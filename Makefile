@@ -1,0 +1,19 @@
+# Convenience targets for the repro package.
+
+PY ?= python
+
+.PHONY: test bench examples props all coverage
+
+test:
+	$(PY) -m pytest tests/ -q
+
+props:
+	$(PY) -m pytest tests/test_properties.py tests/test_csi_exact.py -q
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -q -s
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; echo "all examples ran"
+
+all: test bench examples

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one paper artifact (figure, listing,
+or quantitative claim — see DESIGN.md's experiment index) and prints a
+paper-vs-measured report alongside the pytest-benchmark timing of the
+underlying computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, rows: list[tuple[str, object, object]]) -> None:
+    """Print a paper-vs-measured block (captured with `pytest -s`)."""
+    print(f"\n[{title}]")
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"  {'quantity'.ljust(width)} | paper | measured")
+    for name, paper, measured in rows:
+        print(f"  {name.ljust(width)} | {paper!s:>5} | {measured}")
+
+
+@pytest.fixture
+def paper_report():
+    return report

@@ -1,0 +1,32 @@
+"""F2 — Figure 2: the base meta-state conversion of Listing 1.
+
+Regenerates the eight-state automaton and benchmarks the conversion
+algorithm itself (the `reach` fixpoint of section 2.3).
+"""
+
+from repro.core.convert import convert
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+from benchmarks.test_fig1_mimd_graph import LISTING1
+
+
+def test_fig2_base_conversion(benchmark, paper_report):
+    cfg = lower_program(analyze(parse(LISTING1)))
+    graph = benchmark(convert, cfg)
+    widest = max(graph.states, key=len)
+    paper_report(
+        "Figure 2: base meta-state graph for Listing 1",
+        [
+            ("meta states", 8, graph.num_states()),
+            ("width histogram", "1x4,2x3,3x1", ",".join(
+                f"{w}x{sorted(len(m) for m in graph.states).count(w)}"
+                for w in (1, 2, 3))),
+            ("successors of {2,6,9}", 5, len(graph.successors(widest))),
+            ("start state", "{0}", "{" + ",".join(
+                str(b) for b in sorted(graph.start)) + "}"),
+        ],
+    )
+    assert graph.num_states() == 8
+    assert len(graph.successors(widest)) == 5

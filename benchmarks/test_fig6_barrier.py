@@ -1,0 +1,34 @@
+"""F6 — Figure 6: barrier synchronization state-space reduction.
+
+Listing 3 = Listing 1 + `wait`: the graph shrinks to
+{0},{2},{6},{2,6},{9} with no mixed barrier states.
+"""
+
+from repro.core.convert import convert
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+from benchmarks.test_fig1_mimd_graph import LISTING1
+
+LISTING3 = LISTING1.replace("return (x);", "wait;\n    return (x);")
+
+
+def test_fig6_barrier_graph(benchmark, paper_report):
+    cfg = lower_program(analyze(parse(LISTING3)))
+    graph = benchmark(convert, cfg)
+    mixed = [
+        m for m in graph.states
+        if m & graph.barrier_ids and (m & graph.barrier_ids) != m
+    ]
+    paper_report(
+        "Figure 6: meta-state graph for Listing 3 (barrier)",
+        [
+            ("meta states (straightened)", 5, graph.num_straightened_states()),
+            ("mixed barrier states ({2,9}-style)", 0, len(mixed)),
+            ("vs Figure 2 without the wait", 8,
+             convert(lower_program(analyze(parse(LISTING1)))).num_states()),
+        ],
+    )
+    assert graph.num_straightened_states() == 5
+    assert not mixed

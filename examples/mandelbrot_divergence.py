@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Mandelbrot escape iteration: float math with per-PE divergence.
+
+Each PE iterates z <- z^2 + c for its own c until escape or the
+iteration cap — trip counts differ wildly across PEs, which is exactly
+the control parallelism MSC converts. The example renders the per-PE
+iteration counts, compares machines, and shows how utilization falls as
+divergence rises (and what the interpreter would pay instead).
+
+Run:  python examples/mandelbrot_divergence.py
+"""
+
+import numpy as np
+
+from repro import convert_source, simulate_mimd, simulate_simd
+from repro.analysis.compare import compare_msc_vs_interpreter, format_table
+from repro.workloads import mandelbrot
+
+SHADES = " .:-=+*#%@"
+
+
+def main() -> None:
+    npes = 64  # an 8x8 tile of the complex plane
+    result = convert_source(mandelbrot(max_iter=24))
+    simd = simulate_simd(result, npes=npes, max_steps=2_000_000)
+    mimd = simulate_mimd(result, nprocs=npes, max_steps=2_000_000)
+    assert np.array_equal(simd.returns, mimd.returns)
+
+    iters = simd.returns.astype(int)
+    print("per-PE escape iterations (8x8 tile):")
+    for row in range(8):
+        line = ""
+        for col in range(8):
+            it = iters[row * 8 + col]
+            line += SHADES[min(len(SHADES) - 1, it * len(SHADES) // 25)] * 2
+        print("  " + line)
+
+    print(f"\niteration counts span {iters.min()}..{iters.max()} "
+          f"({len(set(iters.tolist()))} distinct trip counts)")
+    print(f"meta states: {result.graph.num_states()}; "
+          f"SIMD cycles: {simd.cycles}; utilization {simd.utilization:.1%}")
+    print("divergent trip counts keep some PEs masked off while others "
+          "iterate — the utilization cost of control parallelism on SIMD.")
+
+    print("\nvs the interpreter baseline:")
+    row = compare_msc_vs_interpreter("mandelbrot", result, npes=npes,
+                                     max_steps=2_000_000)
+    print(format_table([row]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: meta-state conversion end to end.
+
+Converts the paper's running example (Listing 1 / Listing 4), shows the
+MIMD state graph, the meta-state automaton under each construction
+(base / compressed / barrier), the generated MPL-like SIMD code, and
+finally executes the program on both the reference MIMD machine and the
+meta-state SIMD machine to demonstrate they agree.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ConversionOptions, convert_source, simulate_mimd, simulate_simd
+from repro.viz.dot import ascii_graph
+
+# The paper's Listing 1 control structure, made runnable: every PE
+# seeds x from its processor number, so the branch and the two do-while
+# loops genuinely diverge across PEs.
+SRC = """
+main() {
+    poly int x;
+    x = procnum % 3;
+    if (x) {
+        do { x = x - 1; } while (x);
+    } else {
+        do { x = x + 2; } while (x - 4);
+    }
+    return (x);
+}
+"""
+
+SRC_BARRIER = SRC.replace("return (x);", "wait;\n    return (x);")
+
+
+def section(title: str) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main() -> None:
+    section("1. MIMD state graph (Figure 1)")
+    result = convert_source(SRC)
+    print(result.cfg)
+
+    section("2. Base meta-state automaton (Figure 2)")
+    print(ascii_graph(result.graph))
+    print(f"\n{result.graph.num_states()} meta states "
+          f"(paper's Figure 2: 8 for this shape)")
+
+    section("3. Compressed automaton (Figure 5)")
+    compressed = convert_source(SRC, ConversionOptions(compress=True))
+    print(ascii_graph(compressed.graph))
+    print(f"\nstraightened: {compressed.graph.num_straightened_states()} "
+          f"states (paper's Figure 5: 2)")
+
+    section("4. Barrier-synchronized automaton (Figure 6)")
+    barrier = convert_source(SRC_BARRIER)
+    print(ascii_graph(barrier.graph))
+
+    section("5. Generated SIMD code (Listing 5 shape, excerpt)")
+    text = result.mpl_text()
+    print("\n".join(text.splitlines()[:28]))
+    print(f"... ({len(text.splitlines())} lines total)")
+
+    section("6. Execution: SIMD meta-state machine vs MIMD reference")
+    npes = 8
+    simd = simulate_simd(result, npes=npes)
+    mimd = simulate_mimd(result, nprocs=npes)
+    print(f"SIMD returns: {simd.returns}")
+    print(f"MIMD returns: {mimd.returns}")
+    assert np.array_equal(simd.returns, mimd.returns)
+    print(f"\nSIMD control-unit cycles : {simd.cycles}")
+    print(f"  body / transitions     : {simd.body_cycles} / "
+          f"{simd.transition_cycles}")
+    print(f"  PE utilization         : {simd.utilization:.1%}")
+    print(f"MIMD finish time         : {mimd.finish_time} cycles "
+          f"(utilization {mimd.utilization:.1%})")
+    print("\nresults identical — the meta-state automaton duplicates the "
+          "MIMD execution on SIMD hardware.")
+
+
+if __name__ == "__main__":
+    main()

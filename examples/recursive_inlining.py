@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Recursive function calls via in-line expansion (section 2.2).
+
+The paper's trick: in-line expand the function once per outermost call
+site and convert every ``return`` into an "ordinary multiway branch"
+over the possible return targets — realized here as a selector pushed
+at each call site and a two-way dispatch chain at function exit, so the
+MIMD state graph stays finite and every state keeps at most two exit
+arcs.
+
+The demo computes, per PE, a collatz-like recursive depth, then cross-
+checks the SIMD meta-state execution against the MIMD reference.
+
+Run:  python examples/recursive_inlining.py
+"""
+
+import numpy as np
+
+from repro import convert_source, simulate_mimd, simulate_simd
+from repro.ir.instr import Op
+
+SRC = """
+int depth(int n) {
+    poly int r;
+    if (n <= 1) { return (0); }
+    if (n % 2) {
+        r = depth(3 * n + 1);
+    } else {
+        r = depth(n / 2);
+    }
+    return (r + 1);
+}
+
+main() {
+    poly int d;
+    d = depth(procnum + 1);
+    return (d);
+}
+"""
+
+
+def main() -> None:
+    result = convert_source(SRC)
+    cfg = result.cfg
+
+    rpush_sites = sum(
+        1 for b in cfg.blocks.values() for i in b.code if i.op is Op.RPUSH
+    )
+    dispatch_blocks = sum(
+        1 for b in cfg.blocks.values() if any(i.op is Op.RPOP for i in b.code)
+    )
+    print(f"MIMD state graph: {len(cfg.blocks)} states")
+    print(f"  call sites pushing a return selector (RPush): {rpush_sites}")
+    print(f"  return-dispatch chains (RPop):                {dispatch_blocks}")
+    print(f"  max exit arcs per state: "
+          f"{max(len(b.successors()) for b in cfg.blocks.values())} "
+          f"(the conversion precondition)")
+    print(f"meta-state automaton: {result.graph.num_states()} states")
+
+    npes = 10
+    simd = simulate_simd(result, npes=npes)
+    mimd = simulate_mimd(result, nprocs=npes)
+    assert np.array_equal(simd.returns, mimd.returns)
+
+    print(f"\nper-PE recursion results (collatz depth of procnum+1):")
+    for pid in range(npes):
+        print(f"  PE {pid}: depth({pid + 1}) = {simd.returns[pid]:.0f}")
+    print(f"\nSIMD == MIMD on all {npes} PEs; recursion depth differs per "
+          "PE, yet a single instruction stream executed everything.")
+
+
+if __name__ == "__main__":
+    main()

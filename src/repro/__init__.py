@@ -1,0 +1,83 @@
+"""repro — a reproduction of H. G. Dietz, "Meta-State Conversion" (1993).
+
+Meta-State Conversion (MSC) compiles control-parallel (MIMD / SPMD)
+programs into pure SIMD code: the set of per-processor states at an
+instant is treated as one aggregate *meta state*, and the program becomes
+a finite automaton over meta states driven by a single program counter.
+
+The package provides:
+
+- :mod:`repro.lang` — a front end for MIMDC, the parallel C dialect the
+  paper's prototype accepts (``mono``/``poly`` variables, ``wait``
+  barriers, ``spawn``/``halt``, parallel subscripting);
+- :mod:`repro.ir` — control-flow graphs of basic blocks over an MPL-like
+  stack ISA, with the normalizations the paper applies (straightening,
+  empty-node removal, loop normalization, function inlining including the
+  recursive return-to-multiway-branch trick);
+- :mod:`repro.core` — the meta-state conversion algorithms: base
+  conversion, MIMD-state time splitting, meta-state compression, and the
+  barrier-synchronization state-space reduction;
+- :mod:`repro.csi` — common subexpression induction for scheduling the
+  threads merged into one meta state;
+- :mod:`repro.hashenc` — customized hash functions encoding the multiway
+  meta-state branches as dense jump tables;
+- :mod:`repro.codegen` — emission of the automaton as an executable SIMD
+  program and as MPL-like C text;
+- :mod:`repro.simd` — a MasPar-like SIMD machine simulator (PEs, enable
+  masks, ``globalor``, router, cycle accounting);
+- :mod:`repro.mimd` — a reference MIMD simulator (the semantic oracle)
+  and the interpreter baseline of the paper's section 1.1;
+- :mod:`repro.analysis` / :mod:`repro.viz` — state-space statistics,
+  utilization and memory models, and graph rendering.
+
+Quickstart::
+
+    from repro import convert_source, simulate_simd, simulate_mimd
+
+    SRC = '''
+    main() {
+        poly int x;
+        x = procnum % 2;
+        if (x) { do { x = x - 1; } while (x); }
+        else   { do { x = x + 1; } while (x - 2); }
+        return (x);
+    }
+    '''
+    result = convert_source(SRC)            # meta-state automaton
+    simd = simulate_simd(result, npes=8)    # run it on the SIMD machine
+    mimd = simulate_mimd(result, nprocs=8)  # ground-truth MIMD execution
+    assert list(simd.returns) == list(mimd.returns)
+"""
+
+from repro.pipeline import (
+    ConversionOptions,
+    ConversionResult,
+    convert_source,
+    simulate_mimd,
+    simulate_simd,
+)
+from repro.errors import (
+    MscError,
+    LexError,
+    ParseError,
+    SemanticError,
+    ConversionError,
+    MachineError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConversionOptions",
+    "ConversionResult",
+    "convert_source",
+    "simulate_mimd",
+    "simulate_simd",
+    "MscError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "ConversionError",
+    "MachineError",
+    "__version__",
+]

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands mirror the prototype tool chain of section 4:
+
+- ``compile``  : MIMDC source -> meta-state automaton; print the graph,
+  the MPL-like SIMD code, or Graphviz dot.
+- ``run``      : convert and execute on the SIMD machine (optionally
+  cross-checking against the MIMD reference).
+- ``compare``  : the section-1 duel — MSC vs the interpreter baseline.
+
+Examples::
+
+    python -m repro compile prog.mimdc --emit mpl
+    python -m repro compile prog.mimdc --compress --emit graph
+    python -m repro run prog.mimdc --npes 64 --check
+    python -m repro compare prog.mimdc --npes 1024
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import ConversionOptions, convert_source, simulate_mimd, simulate_simd
+from repro.analysis.compare import compare_msc_vs_interpreter, format_table
+from repro.errors import MscError
+from repro.viz.dot import ascii_graph, cfg_to_dot, meta_graph_to_dot
+
+
+def _options(args: argparse.Namespace) -> ConversionOptions:
+    return ConversionOptions(
+        compress=args.compress,
+        time_split=args.time_split,
+        max_meta_states=args.max_meta_states,
+        use_csi=not getattr(args, "no_csi", False),
+    )
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("source", help="MIMDC source file ('-' for stdin)")
+    p.add_argument("--compress", action="store_true",
+                   help="meta-state compression (section 2.5)")
+    p.add_argument("--time-split", action="store_true",
+                   help="MIMD state time splitting (section 2.4)")
+    p.add_argument("--no-csi", action="store_true",
+                   help="serialize meta-state bodies (CSI ablation)")
+    p.add_argument("--max-meta-states", type=int, default=100_000)
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    result = convert_source(_read(args.source), _options(args))
+    if args.emit == "mpl":
+        print(result.mpl_text())
+    elif args.emit == "graph":
+        print(ascii_graph(result.graph))
+    elif args.emit == "dot":
+        print(meta_graph_to_dot(result.graph))
+    elif args.emit == "cfg":
+        print(result.cfg)
+    elif args.emit == "cfg-dot":
+        print(cfg_to_dot(result.cfg))
+    else:  # summary
+        from repro.analysis.stats import graph_stats
+
+        stats = graph_stats(result.cfg, result.graph)
+        for key, value in stats.as_row().items():
+            print(f"{key:>16}: {value}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = convert_source(_read(args.source), _options(args))
+    simd = simulate_simd(result, npes=args.npes, active=args.active,
+                         max_steps=args.max_steps)
+    print(f"returns: {simd.returns}")
+    print(f"cycles: {simd.cycles} (body {simd.body_cycles}, "
+          f"transitions {simd.transition_cycles})")
+    print(f"utilization: {simd.utilization:.1%}; "
+          f"meta transitions: {simd.meta_transitions}")
+    if args.check:
+        mimd = simulate_mimd(result, nprocs=args.npes, active=args.active,
+                             max_steps=args.max_steps)
+        if np.array_equal(simd.returns, mimd.returns, equal_nan=True) and \
+                np.array_equal(simd.poly, mimd.poly):
+            print("check: SIMD == MIMD reference")
+        else:
+            print("check: MISMATCH against the MIMD reference", file=sys.stderr)
+            return 1
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    result = convert_source(_read(args.source), _options(args))
+    row = compare_msc_vs_interpreter(args.source, result, npes=args.npes,
+                                     active=args.active)
+    print(format_table([row]))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Meta-State Conversion (Dietz 1993) tool chain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="convert and print an artifact")
+    _add_common(p)
+    p.add_argument("--emit", default="summary",
+                   choices=["summary", "mpl", "graph", "dot", "cfg", "cfg-dot"])
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="execute on the SIMD machine")
+    _add_common(p)
+    p.add_argument("--npes", type=int, default=16)
+    p.add_argument("--active", type=int, default=None)
+    p.add_argument("--max-steps", type=int, default=1_000_000)
+    p.add_argument("--check", action="store_true",
+                   help="cross-check against the MIMD reference machine")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="MSC vs interpreter baseline")
+    _add_common(p)
+    p.add_argument("--npes", type=int, default=16)
+    p.add_argument("--active", type=int, default=None)
+    p.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except MscError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Analysis: state-space statistics, memory and utilization models, and
+the MSC-vs-interpreter comparison the paper's argument rests on.
+"""
+
+from repro.analysis.stats import (
+    GraphStats,
+    graph_stats,
+    theoretical_state_bound,
+    successor_bound,
+)
+from repro.analysis.memory import MemoryModel, memory_comparison
+from repro.analysis.utilization import (
+    static_meta_utilization,
+    meta_state_imbalance,
+)
+from repro.analysis.compare import ComparisonRow, compare_msc_vs_interpreter
+from repro.analysis.traces import (
+    TraceComparison,
+    assert_same_paths,
+    compare_traces,
+)
+
+__all__ = [
+    "GraphStats",
+    "graph_stats",
+    "theoretical_state_bound",
+    "successor_bound",
+    "MemoryModel",
+    "memory_comparison",
+    "static_meta_utilization",
+    "meta_state_imbalance",
+    "ComparisonRow",
+    "compare_msc_vs_interpreter",
+    "TraceComparison",
+    "assert_same_paths",
+    "compare_traces",
+]

@@ -1,0 +1,63 @@
+"""Memory-footprint model: interpreter vs meta-state conversion.
+
+Overhead problem 2 of section 1.1: under interpretation "each PE
+typically will have a copy of the entire MIMD program's instructions.
+In a massively-parallel machine, this wastes a huge amount of memory"
+— the paper's 16K-PE MasPar MP-1 has only 16K bytes per PE. Under MSC
+"only the SIMD control unit needs to have a copy of the meta-state
+automaton; PEs merely hold data."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.emit import SimdProgram
+from repro.mimd.flatten import INSTR_BYTES, FlatProgram
+
+#: Data bytes per memory slot (a machine word).
+WORD_BYTES = 8
+
+#: The MP-1's per-PE memory, for the "does it fit" column.
+MASPAR_PE_BYTES = 16 * 1024
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Per-PE and control-unit memory for one execution scheme."""
+
+    scheme: str
+    program_bytes_per_pe: int
+    data_bytes_per_pe: int
+    control_unit_bytes: int
+
+    @property
+    def pe_total(self) -> int:
+        return self.program_bytes_per_pe + self.data_bytes_per_pe
+
+    def fits_maspar_pe(self) -> bool:
+        return self.pe_total <= MASPAR_PE_BYTES
+
+
+def memory_comparison(flat: FlatProgram, simd: SimdProgram,
+                      stack_depth: int = 64) -> tuple[MemoryModel, MemoryModel]:
+    """(interpreter model, MSC model) for the same program.
+
+    Interpreter: program replicated per PE + data + the interpreter's
+    register structures. MSC: zero program bytes per PE; the automaton
+    lives in the control unit.
+    """
+    data = (flat.n_poly + stack_depth) * WORD_BYTES
+    interp = MemoryModel(
+        scheme="interpreter",
+        program_bytes_per_pe=flat.memory_bytes_per_pe(),
+        data_bytes_per_pe=data,
+        control_unit_bytes=0,
+    )
+    msc = MemoryModel(
+        scheme="meta-state",
+        program_bytes_per_pe=0,
+        data_bytes_per_pe=data,
+        control_unit_bytes=simd.control_unit_instructions() * INSTR_BYTES,
+    )
+    return interp, msc

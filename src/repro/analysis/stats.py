@@ -1,0 +1,87 @@
+"""State-space statistics (the section 1.3 scaling discussion).
+
+"If there are N processors each of which can be in any of S states,
+then it is possible that there may be as many as S!/(S-N)! states in
+the meta-state automaton" — and from n two-exit MIMD states a meta
+state can have up to 3^n successors. These bounds, and how far below
+them each construction stays, are the paper's central scalability
+story.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.metastate import MetaStateGraph
+from repro.ir.cfg import Cfg
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of one meta-state automaton."""
+
+    num_mimd_states: int
+    num_branch_states: int
+    num_meta_states: int
+    num_meta_states_straightened: int
+    num_arcs: int
+    max_width: int
+    mean_width: float
+    max_out_degree: int
+    subset_bound: int          # 2^S - 1: all nonempty member sets
+    successor_bound_worst: int  # 3^(branch members) for the widest state
+
+    def as_row(self) -> dict:
+        return {
+            "MIMD states": self.num_mimd_states,
+            "branch states": self.num_branch_states,
+            "meta states": self.num_meta_states,
+            "straightened": self.num_meta_states_straightened,
+            "arcs": self.num_arcs,
+            "max width": self.max_width,
+            "mean width": round(self.mean_width, 2),
+            "max out-degree": self.max_out_degree,
+        }
+
+
+def theoretical_state_bound(s: int, n: int) -> int:
+    """The paper's S!/(S-N)! worst case for N processors over S states
+    (ordered assignments of distinct states to processors)."""
+    if n > s:
+        n = s
+    return math.perm(s, n)
+
+
+def subset_state_bound(s: int) -> int:
+    """Meta states are member *sets*, so the reachable-space bound for
+    an SPMD program is 2^S - 1 (every nonempty subset)."""
+    return (1 << s) - 1
+
+
+def successor_bound(branch_members: int) -> int:
+    """Up to 3^n successors from a meta state with n two-exit members
+    (TRUE, FALSE, or both, per member)."""
+    return 3 ** branch_members
+
+
+def graph_stats(cfg: Cfg, graph: MetaStateGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for a converted program."""
+    widths = [len(m) for m in graph.states]
+    branch_ids = set(cfg.branch_blocks())
+    max_branch_members = max(
+        (len(m & branch_ids) for m in graph.states), default=0
+    )
+    out_degrees = [len(graph.successors(m)) for m in graph.states]
+    return GraphStats(
+        num_mimd_states=len(cfg.blocks),
+        num_branch_states=len(branch_ids),
+        num_meta_states=graph.num_states(),
+        num_meta_states_straightened=graph.num_straightened_states(),
+        num_arcs=graph.num_arcs(),
+        max_width=max(widths, default=0),
+        mean_width=sum(widths) / max(1, len(widths)),
+        max_out_degree=max(out_degrees, default=0),
+        subset_bound=subset_state_bound(len(cfg.blocks)),
+        successor_bound_worst=successor_bound(max_branch_members),
+    )

@@ -1,0 +1,111 @@
+"""Control-path trace comparison between the machines.
+
+The paper's abstract: "the meta-state automaton is a SIMD program that
+preserves the relative timing properties of MIMD execution." The
+checkable core of that claim: every processor takes exactly the same
+path through the MIMD state graph on both machines — same branch
+decisions, same visit order, same dynamic block counts. This module
+projects both machines' traces onto per-PE block sequences and
+compares them, and computes simple relative-timing statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MscError
+from repro.mimd.machine import MimdResult
+from repro.simd.machine import SimdResult
+
+
+@dataclass(frozen=True)
+class TraceComparison:
+    """Result of a per-PE control-path comparison.
+
+    ``paths_equal`` is the headline; ``total_visits`` counts dynamic
+    block executions (equal on both machines when paths are equal);
+    ``max_path_len`` is the longest per-PE path; ``lockstep_fraction``
+    is the share of SIMD meta steps during which more than one distinct
+    MIMD state was resident (threads genuinely co-scheduled).
+    """
+
+    npes: int
+    paths_equal: bool
+    total_visits: int
+    max_path_len: int
+    lockstep_fraction: float
+    first_divergence: tuple | None  # (pe, index, mimd block, simd block)
+
+
+def pe_paths_mimd(result: MimdResult) -> dict[int, list[int]]:
+    """Per-PE block-visit sequences from a traced MIMD run."""
+    if not any(result.trace.values()):
+        raise MscError("MIMD run was not traced (pass trace=True)")
+    return {pid: [bid for bid, _t in seq] for pid, seq in result.trace.items()}
+
+
+def pe_paths_simd(result: SimdResult) -> dict[int, list[int]]:
+    """Per-PE block-visit sequences from a traced SIMD run."""
+    if result.trace is None:
+        raise MscError("SIMD run was not traced (pass trace=True)")
+    return {pid: [bid for bid, _s in seq] for pid, seq in result.trace.items()}
+
+
+def compare_traces(mimd: MimdResult, simd: SimdResult) -> TraceComparison:
+    """Compare per-PE control paths between a traced MIMD reference run
+    and a traced meta-state SIMD run of the same program."""
+    a = pe_paths_mimd(mimd)
+    b = pe_paths_simd(simd)
+    npes = max(len(a), len(b))
+    first_divergence = None
+    equal = True
+    total = 0
+    longest = 0
+    for pid in range(npes):
+        pa = a.get(pid, [])
+        pb = b.get(pid, [])
+        total += len(pa)
+        longest = max(longest, len(pa), len(pb))
+        if pa != pb and first_divergence is None:
+            equal = False
+            k = next(
+                (i for i, (x, y) in enumerate(zip(pa, pb)) if x != y),
+                min(len(pa), len(pb)),
+            )
+            first_divergence = (
+                pid,
+                k,
+                pa[k] if k < len(pa) else None,
+                pb[k] if k < len(pb) else None,
+            )
+
+    # Lockstep measure: of the SIMD meta steps, how many had >1 distinct
+    # resident MIMD state (i.e. genuinely merged thread execution).
+    steps: dict[int, set[int]] = {}
+    for seq in simd.trace.values():
+        for bid, step in seq:
+            steps.setdefault(step, set()).add(bid)
+    merged = sum(1 for blocks in steps.values() if len(blocks) > 1)
+    lockstep = merged / len(steps) if steps else 0.0
+
+    return TraceComparison(
+        npes=npes,
+        paths_equal=equal,
+        total_visits=total,
+        max_path_len=longest,
+        lockstep_fraction=lockstep,
+        first_divergence=first_divergence,
+    )
+
+
+def assert_same_paths(mimd: MimdResult, simd: SimdResult) -> TraceComparison:
+    """Raise :class:`~repro.errors.MscError` unless every PE took the
+    identical control path on both machines; returns the comparison."""
+    cmp = compare_traces(mimd, simd)
+    if not cmp.paths_equal:
+        pe, idx, mb, sb = cmp.first_divergence
+        raise MscError(
+            f"control paths diverge: PE {pe} visit #{idx} is block "
+            f"{mb} on the MIMD machine but {sb} on the SIMD machine"
+        )
+    return cmp

@@ -1,0 +1,15 @@
+"""SIMD coding of the meta-state automaton (section 3).
+
+- :mod:`repro.codegen.emit` turns a (CFG, meta-state graph) pair into an
+  executable :class:`~repro.codegen.emit.SimdProgram`: per meta state a
+  CSI-scheduled guarded body, per-member terminators, and a
+  hash-encoded multiway transition; single-exit chains are straightened
+  into one emitted node (section 4.2 step 4).
+- :mod:`repro.codegen.mpl` renders the program as MPL-like C text in the
+  exact shape of the paper's Listing 5.
+"""
+
+from repro.codegen.emit import SimdProgram, MetaNode, Segment, encode_program
+from repro.codegen.mpl import render_mpl
+
+__all__ = ["SimdProgram", "MetaNode", "Segment", "encode_program", "render_mpl"]

@@ -1,0 +1,212 @@
+"""Encode a meta-state automaton as an executable SIMD program.
+
+Per meta state (section 3):
+
+- the member MIMD states' bodies are merged into one guarded schedule
+  by common subexpression induction (section 3.1) — in Listing 5 these
+  are the ``if (pc & (BIT(2)|BIT(6))) { ... }`` regions;
+- each member's terminator runs under its own guard (``JumpF``/``Ret``/
+  ``Halt``/spawn, section 3.2);
+- the transition is a multiway branch on the ``globalor`` aggregate,
+  encoded with a customized hash function (section 3.2.3), with the
+  barrier mask adjustment of section 3.2.4; single-exit states jump
+  unconditionally ("all entries to compressed meta states fall into
+  this category", section 3.2.2).
+
+Meta-graph straightening (section 4.2 step 4) merges single-exit /
+single-entry chains into one emitted node of several segments; the
+dispatch between them disappears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metastate import MetaStateGraph, format_members
+from repro.csi.dag import ThreadCode
+from repro.csi.schedule import Schedule, csi_schedule, serial_schedule
+from repro.errors import ConversionError
+from repro.hashenc.search import BranchEncoding, encode_branch, key_of_members
+from repro.ir.block import Terminator
+from repro.ir.cfg import Cfg
+from repro.ir.instr import DEFAULT_COSTS, CostModel
+
+
+@dataclass
+class Segment:
+    """One former meta state inside an emitted node: its guarded body
+    schedule and the per-member terminators that run after it.
+
+    ``terminators`` maps member block id -> (terminator, is_barrier).
+    ``can_exit`` marks segments after which all PEs may be gone (the
+    machine must check the aggregate for emptiness even when the
+    transition out is unconditional — see DESIGN.md on how compressed
+    self-loops still terminate).
+    """
+
+    members: frozenset
+    schedule: Schedule
+    terminators: dict[int, tuple[Terminator, bool]]
+    can_exit: bool = False
+
+
+@dataclass
+class MetaNode:
+    """One emitted SIMD code node (a straightened chain of meta states).
+
+    ``encoding`` dispatches the final multiway transition; ``None`` when
+    the node has at most one successor, in which case ``single_target``
+    names it (or is ``None`` for a pure exit node).
+    """
+
+    name: str
+    segments: list[Segment]
+    encoding: BranchEncoding | None = None
+    single_target: frozenset | None = None
+    #: Runtime all-at-barrier target (compressed graphs, section 2.5 +
+    #: 2.6 combined): taken when the live aggregate is entirely barrier
+    #: bits, checked before the normal transition.
+    barrier_target: frozenset | None = None
+
+    @property
+    def entry_members(self) -> frozenset:
+        return self.segments[0].members
+
+    @property
+    def width(self) -> int:
+        return max(len(s.members) for s in self.segments)
+
+
+@dataclass
+class SimdProgram:
+    """The complete encoded program the SIMD machine executes.
+
+    Only the control unit holds this structure — the PEs hold data
+    only, which is the paper's memory argument against interpretation.
+    """
+
+    nodes: dict[frozenset, MetaNode]       # keyed by entry meta state
+    start: frozenset
+    barrier_ids: frozenset
+    n_poly: int
+    n_mono: int
+    ret_slot: int | None
+    compressed: bool
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def control_unit_instructions(self) -> int:
+        """Size of the program as instruction slots in the control unit
+        (for the memory comparison against the interpreter)."""
+        total = 0
+        for node in self.nodes.values():
+            for seg in node.segments:
+                total += len(seg.schedule.entries) + len(seg.terminators)
+            total += 1  # the transition switch / jump
+        return total
+
+    def csi_totals(self) -> tuple[int, int, int]:
+        """(scheduled cost, serialized cost, lower bound) summed over
+        all multi-member segments — the CSI win."""
+        cost = serial = bound = 0
+        for node in self.nodes.values():
+            for seg in node.segments:
+                if len(seg.members) > 1:
+                    cost += seg.schedule.cost
+                    serial += seg.schedule.serial_cost
+                    bound += seg.schedule.lower_bound
+        return cost, serial, bound
+
+
+def encode_program(cfg: Cfg, graph: MetaStateGraph,
+                   costs: CostModel = DEFAULT_COSTS,
+                   use_csi: bool = True) -> SimdProgram:
+    """Encode ``graph`` over ``cfg`` into a :class:`SimdProgram`.
+
+    ``use_csi=False`` serializes the threads of each meta state instead
+    of running common subexpression induction — the ablation baseline
+    for measuring what CSI buys (section 3.1).
+    """
+    chains = graph.straightened_chains()
+    nodes: dict[frozenset, MetaNode] = {}
+    for chain in chains:
+        segments = [_make_segment(cfg, graph, m, costs, use_csi)
+                    for m in chain]
+        last = chain[-1]
+        table = graph.table.get(last, {})
+        distinct_targets = set(table.values())
+        name = "+".join(format_members(m) for m in chain)
+        node = MetaNode(name=name, segments=segments)
+        if len(table) > 1:
+            cases = {
+                key_of_members(key): target for key, target in table.items()
+            }
+            node.encoding = encode_branch(cases)
+        elif len(distinct_targets) == 1:
+            (node.single_target,) = distinct_targets
+        node.barrier_target = graph.barrier_entry.get(last)
+        nodes[chain[0]] = node
+
+    prog = SimdProgram(
+        nodes=nodes,
+        start=graph.start,
+        barrier_ids=graph.barrier_ids,
+        n_poly=len(cfg.poly_slots),
+        n_mono=len(cfg.mono_slots),
+        ret_slot=cfg.ret_slot,
+        compressed=graph.compressed,
+        costs=costs,
+    )
+    _verify_program(prog, graph)
+    return prog
+
+
+def _make_segment(cfg: Cfg, graph: MetaStateGraph, members: frozenset,
+                  costs: CostModel, use_csi: bool = True) -> Segment:
+    threads = []
+    terminators: dict[int, tuple[Terminator, bool]] = {}
+    for bid in sorted(members):
+        blk = cfg.blocks[bid]
+        threads.append(ThreadCode.of(bid, blk.code))
+        terminators[bid] = (blk.terminator, blk.is_barrier_wait)
+    if use_csi:
+        schedule = csi_schedule(threads, costs)
+    else:
+        schedule = serial_schedule([t for t in threads if t.code], costs)
+    return Segment(
+        members=members,
+        schedule=schedule,
+        terminators=terminators,
+        can_exit=members in graph.can_exit,
+    )
+
+
+def _verify_program(prog: SimdProgram, graph: MetaStateGraph) -> None:
+    """Every transition target must be the entry of an emitted node or
+    an interior segment of one (interior segments are only entered by
+    falling through their chain, never by dispatch)."""
+    interior: set[frozenset] = set()
+    for node in prog.nodes.values():
+        for seg in node.segments[1:]:
+            interior.add(seg.members)
+    for node in prog.nodes.values():
+        targets: list[frozenset] = []
+        if node.encoding is not None:
+            targets.extend(node.encoding.cases.values())
+        elif node.single_target is not None:
+            targets.append(node.single_target)
+        if node.barrier_target is not None:
+            targets.append(node.barrier_target)
+        for t in targets:
+            if t in interior:
+                raise ConversionError(
+                    f"transition targets straightened-away state {set(t)}"
+                )
+            if t not in prog.nodes:
+                raise ConversionError(
+                    f"transition targets unknown node {set(t)}"
+                )
+    if prog.start not in prog.nodes:
+        raise ConversionError("start meta state was straightened away")

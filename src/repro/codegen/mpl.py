@@ -1,0 +1,126 @@
+"""Render a :class:`~repro.codegen.emit.SimdProgram` as MPL-like C.
+
+The output follows the paper's Listing 5: one label per emitted meta
+state, guarded regions ``if (pc & (BIT(a)|BIT(b))) { ... }`` around the
+CSI-scheduled stack macros, per-member ``JumpF``/``Ret`` terminators,
+then ``apc = globalor(pc);`` and a ``switch`` over the customized hash
+of the aggregate.
+"""
+
+from __future__ import annotations
+
+from repro.core.metastate import format_members
+from repro.codegen.emit import MetaNode, Segment, SimdProgram
+from repro.ir.block import CondBr, Fall, Halt, Return, SpawnT
+
+
+def _bits(members) -> str:
+    parts = [f"BIT({b})" for b in sorted(members)]
+    if len(parts) == 1:
+        return parts[0]
+    return "(" + " | ".join(parts) + ")"
+
+
+def _term_text(term, *, is_barrier: bool) -> str:
+    if is_barrier:
+        return "/* barrier release */ Jump({})".format(term.target)
+    if isinstance(term, CondBr):
+        return f"JumpF({term.on_false},{term.on_true})"
+    if isinstance(term, Fall):
+        return f"Jump({term.target})"
+    if isinstance(term, Return):
+        return "Ret"
+    if isinstance(term, Halt):
+        return "Halt"
+    if isinstance(term, SpawnT):
+        return f"Spawn({term.child}) Jump({term.cont})"
+    raise AssertionError(f"unknown terminator {term!r}")
+
+
+def _render_segment(seg: Segment, out: list[str]) -> None:
+    # Coalesce consecutive schedule entries with identical guards into
+    # one guarded region, like the listing's if-blocks.
+    i = 0
+    entries = seg.schedule.entries
+    while i < len(entries):
+        j = i
+        guards = entries[i].guards
+        while j < len(entries) and entries[j].guards == guards:
+            j += 1
+        body = " ".join(str(e.instr) for e in entries[i:j])
+        out.append(f"    if (pc & {_bits(guards)}) {{")
+        out.append(f"        {body}")
+        out.append("    }")
+        i = j
+    for bid in sorted(seg.terminators):
+        term, is_barrier = seg.terminators[bid]
+        out.append(f"    if (pc & BIT({bid})) {{")
+        out.append(f"        {_term_text(term, is_barrier=is_barrier)}")
+        out.append("    }")
+
+
+def _render_node(node: MetaNode, prog: SimdProgram, out: list[str]) -> None:
+    out.append(f"{_label(node)}:")
+    for k, seg in enumerate(node.segments):
+        if k > 0:
+            out.append(f"    /* straightened: {format_members(seg.members)} */")
+        _render_segment(seg, out)
+        if seg.can_exit:
+            out.append("    apc = globalor(pc);")
+            out.append("    if (apc == 0) exit(0);")
+    if node.barrier_target is not None:
+        out.append("    apc = globalor(pc);")
+        out.append("    if (apc == 0) exit(0);")
+        out.append(
+            f"    if (!(apc & ~BARRIERS)) goto "
+            f"{_target_label(prog, node.barrier_target)};"
+        )
+    if node.encoding is not None:
+        enc = node.encoding
+        out.append("    apc = globalor(pc);")
+        if prog.barrier_ids:
+            out.append(
+                f"    if (apc & ~BARRIERS) apc &= ~BARRIERS;"
+                f"  /* section 3.2.4 */"
+            )
+        out.append(f"    switch ({enc.fn.c_expr('apc')}) {{")
+        for key in sorted(enc.cases):
+            target = enc.cases[key]
+            out.append(
+                f"    case {enc.fn.apply(key)}: goto "
+                f"{_target_label(prog, target)};"
+            )
+        out.append("    }")
+    elif node.single_target is not None:
+        out.append(f"    goto {_target_label(prog, node.single_target)};")
+    else:
+        out.append("    /* no next meta state */")
+        out.append("    exit(0);")
+    out.append("")
+
+
+def _label(node: MetaNode) -> str:
+    return format_members(node.entry_members)
+
+
+def _target_label(prog: SimdProgram, target) -> str:
+    node = prog.nodes.get(target)
+    if node is None:
+        return format_members(target)
+    return _label(node)
+
+
+def render_mpl(prog: SimdProgram) -> str:
+    """Full MPL-like listing for ``prog`` (the paper's Listing 5)."""
+    out: list[str] = []
+    if prog.barrier_ids:
+        out.append(
+            "#define BARRIERS " + _bits(prog.barrier_ids)
+        )
+        out.append("")
+    ordered = sorted(prog.nodes.values(), key=lambda n: sorted(n.entry_members))
+    start = prog.nodes[prog.start]
+    ordered.remove(start)
+    for node in [start] + ordered:
+        _render_node(node, prog, out)
+    return "\n".join(out)

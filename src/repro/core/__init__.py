@@ -1,0 +1,27 @@
+"""The paper's primary contribution: meta-state conversion.
+
+A *meta state* is "the set of processor states at a particular time ...
+viewed as a single, aggregate state" (section 1.2). This package builds
+the meta-state automaton from a MIMD state graph:
+
+- :mod:`repro.core.metastate` — the automaton representation;
+- :mod:`repro.core.convert` — the base conversion algorithm (section
+  2.3), meta-state compression (section 2.5), and the barrier
+  synchronization algorithm (section 2.6), all in one subset-style
+  construction;
+- :mod:`repro.core.timesplit` — MIMD state time splitting (section 2.4).
+"""
+
+from repro.core.metastate import MetaStateGraph, format_members
+from repro.core.convert import ConvertOptions, convert
+from repro.core.timesplit import TimeSplitOptions, time_split_state, split_block
+
+__all__ = [
+    "MetaStateGraph",
+    "format_members",
+    "ConvertOptions",
+    "convert",
+    "TimeSplitOptions",
+    "time_split_state",
+    "split_block",
+]

@@ -1,0 +1,281 @@
+"""Meta-state conversion: the base algorithm, compression, and barriers.
+
+Base algorithm (section 2.3): from a meta state, every member MIMD state
+with two exit arcs may send its processes down the TRUE path, the FALSE
+path, or *both* ("if we further assume that there may be multiple
+processes in each MIMD state, it is further possible that both
+successors might be chosen"). Each combination of per-member choices,
+unioned, is a successor meta state — up to 3^n of them from n branch
+members. The construction is the subset construction of NFA->DFA fame,
+"strikingly similar to the process of converting an NFA into a DFA".
+
+Compression (section 2.5): always take both successors. "The case of
+both successors can always emulate either successor, since it has the
+code for both", so the state space shrinks dramatically (linear in the
+number of MIMD states) while each meta state gets wider.
+
+Barrier synchronization (section 2.6): a candidate successor containing
+barrier-wait states keeps them only if *every* member is a barrier wait
+("unless all processors have reached the barrier ... simply remove the
+barrier states"). PEs that reached the barrier park there — their pc
+stays at the barrier state but appears in no executed guard — until the
+aggregate consists solely of barrier states (section 3.2.4).
+
+Spawn (section 3.2.5): a spawn terminator behaves like a conditional
+jump both of whose exits are always taken (the compressed rule), one by
+the original processes and one by the newly activated ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import ConversionError
+from repro.ir.block import CondBr, Fall, Halt, Return, SpawnT
+from repro.ir.cfg import Cfg
+from repro.core.metastate import MetaStateGraph
+
+
+@dataclass(frozen=True)
+class ConvertOptions:
+    """Knobs of the conversion.
+
+    Attributes
+    ----------
+    compress:
+        Apply meta-state compression (section 2.5).
+    max_meta_states:
+        Hard cap on the number of meta states; exceeding it raises
+        :class:`~repro.errors.ConversionError` ("without some means to
+        ensure that the state space is kept manageable, the technique is
+        not practical").
+    max_parked:
+        Cap on the number of distinct barrier states PEs may be parked
+        at simultaneously (the all-at-barrier closure enumerates subsets
+        of this set).
+    """
+
+    compress: bool = False
+    max_meta_states: int = 100_000
+    max_parked: int = 8
+
+
+def member_choices(cfg: Cfg, bid: int, compress: bool) -> list[frozenset]:
+    """The sets of MIMD states a member's processes can occupy next.
+
+    A two-exit member yields ``[{t}, {f}, {t,f}]`` (or just ``[{t,f}]``
+    compressed); one exit yields its target; zero exits yield the empty
+    set (the processes leave the automaton). A spawn always yields both
+    exits, regardless of compression.
+    """
+    t = cfg.blocks[bid].terminator
+    if isinstance(t, CondBr):
+        both = frozenset((t.on_true, t.on_false))
+        if compress or len(both) == 1:
+            return [both]
+        return [
+            frozenset((t.on_true,)),
+            frozenset((t.on_false,)),
+            both,
+        ]
+    if isinstance(t, Fall):
+        return [frozenset((t.target,))]
+    if isinstance(t, SpawnT):
+        return [frozenset((t.child, t.cont))]
+    if isinstance(t, (Return, Halt)):
+        return [frozenset()]
+    raise AssertionError(f"unknown terminator {t!r}")
+
+
+def candidate_unions(cfg: Cfg, members: frozenset, compress: bool) -> set[frozenset]:
+    """All distinct unions of one choice per member — the aggregate pc
+    sets observable at the end of the meta state (before barrier
+    parking). Deduplicates incrementally so the work is bounded by the
+    number of *distinct* unions rather than the full 3^n product."""
+    acc: set[frozenset] = {frozenset()}
+    for bid in sorted(members):
+        choices = member_choices(cfg, bid, compress)
+        acc = {u | c for u in acc for c in choices}
+    return acc
+
+
+def convert(cfg: Cfg, options: ConvertOptions = ConvertOptions()) -> MetaStateGraph:
+    """Build the meta-state automaton for ``cfg``.
+
+    This is the paper's ``meta_state_convert`` / ``reach`` pair
+    (sections 2.3 and 2.5) extended with the barrier algorithm of
+    section 2.6, implemented as a worklist fixpoint:
+
+    - pop an unmarked meta state;
+    - enumerate the distinct unions of member transition choices;
+    - apply the barrier filter to each union, tracking at which barrier
+      states processes may be parked;
+    - record the transition table entry and enqueue new meta states.
+    """
+    barrier_ids = frozenset(
+        b.bid for b in cfg.blocks.values() if b.is_barrier_wait
+    )
+    start = frozenset((cfg.entry,))
+    if cfg.entry in barrier_ids:
+        raise ConversionError("program entry cannot be a barrier wait")
+
+    graph = MetaStateGraph(
+        start=start, barrier_ids=barrier_ids, compressed=options.compress
+    )
+    graph.states.add(start)
+    graph.parked_possible[start] = frozenset()
+
+    # Worklist of meta states whose successors must be (re)computed. A
+    # state re-enters the list when its parked_possible set grows, since
+    # that can expose new all-at-barrier targets (monotone fixpoint).
+    work: list[frozenset] = [start]
+    processed_with: dict[frozenset, frozenset] = {}
+
+    while work:
+        m = work.pop()
+        parked = graph.parked_possible[m]
+        if processed_with.get(m) == parked:
+            continue
+        processed_with[m] = parked
+
+        if options.compress:
+            self_exits = _convert_compressed_state(cfg, graph, work, m,
+                                                   parked, barrier_ids, options)
+            if self_exits:
+                graph.can_exit.add(m)
+            continue
+
+        table: dict[frozenset, frozenset] = {}
+        exits = False
+        for union in candidate_unions(cfg, m, options.compress):
+            if not union:
+                # Every member finished simultaneously. If no PE can be
+                # parked at a barrier the aggregate is empty and
+                # execution ends (no arc). Otherwise the parked PEs are
+                # now the only live ones — they are all at barriers, so
+                # the transition enters the all-at-barrier meta state.
+                exits = True
+                for extra in _subsets(parked):
+                    if extra:
+                        _enter(graph, work, extra, frozenset(), options)
+                        table[extra] = extra
+                continue
+            waits = union & barrier_ids
+            if waits and waits != union:
+                # Not everyone reached the barrier: the barrier states
+                # are removed from the meta state; the PEs that reached
+                # them are parked there.
+                active = union - waits
+                key = active  # the encoded transition key masks barriers
+                new_parked = parked | waits
+                _enter(graph, work, active, new_parked, options)
+                table[key] = active
+            elif waits:
+                # union is entirely barrier states. At runtime the
+                # aggregate also contains every parked pc, so the
+                # all-at-barrier meta state is union plus any subset of
+                # the possibly-parked set that is actually occupied.
+                if len(parked) > options.max_parked:
+                    raise ConversionError(
+                        f"more than {options.max_parked} simultaneously "
+                        "parked barrier states"
+                    )
+                for extra in _subsets(parked - union):
+                    target = union | extra
+                    _enter(graph, work, target, frozenset(), options)
+                    table[target] = target
+            else:
+                _enter(graph, work, union, parked, options)
+                table[union] = union
+        graph.table[m] = table
+        if exits:
+            graph.can_exit.add(m)
+
+    graph.verify(valid_blocks=set(cfg.blocks))
+    return graph
+
+
+def _convert_compressed_state(cfg, graph, work, m, parked, barrier_ids,
+                              options) -> bool:
+    """Successor computation under meta-state compression.
+
+    With both successors always taken, each meta state has exactly one
+    candidate union, so transitions are unconditional (section 3.2.2:
+    "all entries to compressed meta states fall into this category").
+    Compression loses the invariant that every member is populated at
+    runtime, so two conditions become runtime checks rather than
+    aggregate-dispatched cases: program exit (possible whenever a
+    member is terminal) and all-at-barrier entry (``barrier_entry``).
+
+    Returns True when the state can be the last one executed.
+    """
+    from repro.ir.block import Halt, Return
+
+    (union,) = candidate_unions(cfg, m, compress=True)
+    can_exit = any(
+        isinstance(cfg.blocks[b].terminator, (Return, Halt)) for b in m
+    )
+    table: dict[frozenset, frozenset] = {}
+    if union:
+        waits = union & barrier_ids
+        if waits and waits != union:
+            active = union - waits
+            _enter(graph, work, active, parked | waits, options)
+            table[active] = active
+            # Runtime alternative: every live PE is at a barrier.
+            btarget = waits | parked
+            _enter(graph, work, btarget, frozenset(), options)
+            graph.barrier_entry[m] = btarget
+        elif waits:
+            btarget = union | parked
+            _enter(graph, work, btarget, frozenset(), options)
+            table[btarget] = btarget
+        else:
+            _enter(graph, work, union, parked, options)
+            table[union] = union
+            if parked:
+                # Live PEs may all be parked even though some member of
+                # the union is non-barrier (its PE count can be zero).
+                btarget = frozenset(parked)
+                _enter(graph, work, btarget, frozenset(), options)
+                graph.barrier_entry[m] = btarget
+    elif parked:
+        btarget = frozenset(parked)
+        _enter(graph, work, btarget, frozenset(), options)
+        graph.barrier_entry[m] = btarget
+    graph.table[m] = table
+    return can_exit
+
+
+def _enter(
+    graph: MetaStateGraph,
+    work: list,
+    members: frozenset,
+    parked: frozenset,
+    options: ConvertOptions,
+) -> None:
+    """Register ``members`` as a meta state, growing its parked set."""
+    if members not in graph.states:
+        graph.states.add(members)
+        graph.parked_possible[members] = parked
+        if len(graph.states) > options.max_meta_states:
+            raise ConversionError(
+                f"meta-state space exceeded {options.max_meta_states} states; "
+                "enable compression or add barriers (sections 2.5-2.6)"
+            )
+        work.append(members)
+    else:
+        old = graph.parked_possible[members]
+        merged = old | parked
+        if merged != old:
+            graph.parked_possible[members] = merged
+            work.append(members)
+
+
+def _subsets(s: frozenset):
+    """All subsets of a (small) frozenset."""
+    items = sorted(s)
+    for r in range(len(items) + 1):
+        for combo in itertools.combinations(items, r):
+            yield frozenset(combo)

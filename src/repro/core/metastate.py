@@ -1,0 +1,192 @@
+"""Representation of the meta-state automaton.
+
+A meta state is identified by the frozenset of MIMD state (block) ids it
+contains. The automaton records, per meta state, the *transition table*:
+for every aggregate ``pc`` set (the ``globalor`` result, with barrier
+parking already applied) that can be observed at the end of the meta
+state, the successor meta state. This is exactly the information the
+multiway branch of section 3.2.3 dispatches on, and what
+:mod:`repro.hashenc` encodes as a hash-indexed jump table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MetaId = frozenset  # frozenset[int]: the member MIMD state ids
+
+
+def format_members(members: frozenset) -> str:
+    """Render a meta state like the paper's labels: ``ms_2_6_9``."""
+    if not members:
+        return "ms_exit"
+    return "ms_" + "_".join(str(b) for b in sorted(members))
+
+
+@dataclass
+class MetaStateGraph:
+    """The meta-state automaton.
+
+    Attributes
+    ----------
+    start:
+        The start meta state — "the set of MIMD start states forms the
+        start state of the meta-state automaton" (section 2).
+    states:
+        All reachable meta states.
+    table:
+        ``table[m][apc_key]`` is the successor meta state observed when
+        the aggregate of live pc values at the end of ``m`` equals
+        ``apc_key``. Keys never contain parked barrier bits unless the
+        transition enters the barrier state itself (section 3.2.4).
+    can_exit:
+        Meta states from which execution can end (every member can
+        reach a zero-exit-arc terminator simultaneously, leaving the
+        aggregate empty).
+    parked_possible:
+        For each meta state, barrier-wait MIMD states at which some PEs
+        may already be waiting while the meta state executes (they
+        appear in no guard and no transition key except the
+        all-at-barrier entry).
+    barrier_ids:
+        All barrier-wait MIMD state ids of the program.
+    compressed:
+        Whether the graph was built with meta-state compression
+        (section 2.5).
+    """
+
+    start: MetaId
+    states: set = field(default_factory=set)
+    table: dict = field(default_factory=dict)   # MetaId -> {MetaId: MetaId}
+    can_exit: set = field(default_factory=set)
+    parked_possible: dict = field(default_factory=dict)
+    barrier_ids: frozenset = frozenset()
+    compressed: bool = False
+    #: Compressed graphs only: runtime all-at-barrier target per state.
+    #: Compression loses the populated-members invariant, so the
+    #: barrier entry cannot be enumerated per exact aggregate; instead
+    #: the machine branches here whenever the aggregate is all-barrier.
+    barrier_entry: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def successors(self, m: MetaId) -> set:
+        """Distinct successor meta states of ``m`` (including the
+        runtime all-at-barrier target of compressed graphs)."""
+        out = set(self.table.get(m, {}).values())
+        if m in self.barrier_entry:
+            out.add(self.barrier_entry[m])
+        return out
+
+    def arcs(self) -> list[tuple]:
+        """All (source, target) arcs, deduplicated."""
+        out = set()
+        for m in self.states:
+            for t in self.successors(m):
+                out.add((m, t))
+        return sorted(out, key=lambda p: (sorted(p[0]), sorted(p[1])))
+
+    def num_states(self) -> int:
+        return len(self.states)
+
+    def num_arcs(self) -> int:
+        return len(self.arcs())
+
+    def width(self, m: MetaId) -> int:
+        """Number of MIMD states merged into ``m`` — "the average
+        meta-state is wider" is the compression trade-off."""
+        return len(m)
+
+    def predecessors(self) -> dict:
+        preds: dict = {m: set() for m in self.states}
+        for m in self.states:
+            for t in self.successors(m):
+                preds[t].add(m)
+        return preds
+
+    # ------------------------------------------------------------------
+    def straightened_chains(self) -> list[list]:
+        """Group meta states into chains per section 4.2 step 4 ("the
+        resulting meta-state graph is straightened"): a state with a
+        single successor whose successor has a single predecessor is
+        merged with it. Returns a list of chains (each a list of meta
+        states, execution order); the automaton over chains is the
+        straightened graph."""
+        preds = self.predecessors()
+        succs = {m: self.successors(m) for m in self.states}
+        # A chain edge a->b is merged when a has exactly one successor b,
+        # b has exactly one predecessor a, b is not the start, and a != b.
+        next_in_chain: dict = {}
+        has_prev: set = set()
+        for a in self.states:
+            sa = succs[a]
+            if len(sa) != 1:
+                continue
+            (b,) = sa
+            if b == a or b == self.start:
+                continue
+            if len(preds[b]) != 1:
+                continue
+            next_in_chain[a] = b
+            has_prev.add(b)
+        chains: list[list] = []
+        for m in sorted(self.states, key=lambda s: sorted(s)):
+            if m in has_prev:
+                continue
+            chain = [m]
+            while chain[-1] in next_in_chain:
+                chain.append(next_in_chain[chain[-1]])
+            chains.append(chain)
+        return chains
+
+    def num_straightened_states(self) -> int:
+        """Number of nodes after meta-graph straightening (the count the
+        paper quotes for Figure 5's compressed graph)."""
+        return len(self.straightened_chains())
+
+    # ------------------------------------------------------------------
+    def verify(self, valid_blocks: set | None = None) -> None:
+        """Check structural invariants of the automaton."""
+        from repro.errors import ConversionError
+
+        if self.start not in self.states:
+            raise ConversionError("start meta state missing from state set")
+        for m, tab in self.table.items():
+            if m not in self.states:
+                raise ConversionError(f"transition from unknown state {set(m)}")
+            for key, target in tab.items():
+                if target not in self.states:
+                    raise ConversionError(
+                        f"transition into unknown state {set(target)}"
+                    )
+                if not key:
+                    raise ConversionError("empty aggregate used as a key")
+        for m, t in self.barrier_entry.items():
+            if m not in self.states or t not in self.states:
+                raise ConversionError("dangling barrier-entry arc")
+            if t - self.barrier_ids:
+                raise ConversionError(
+                    "barrier-entry target contains non-barrier states"
+                )
+        if valid_blocks is not None:
+            for m in self.states:
+                if not m:
+                    raise ConversionError("empty meta state")
+                bad = set(m) - valid_blocks
+                if bad:
+                    raise ConversionError(
+                        f"meta state {set(m)} references unknown blocks {bad}"
+                    )
+
+    def __str__(self) -> str:
+        lines = [
+            f"meta-state automaton: {self.num_states()} states, "
+            f"{self.num_arcs()} arcs, start={format_members(self.start)}"
+        ]
+        for m in sorted(self.states, key=lambda s: sorted(s)):
+            succ = ", ".join(
+                format_members(t)
+                for t in sorted(self.successors(m), key=lambda s: sorted(s))
+            )
+            exit_mark = " [exit]" if m in self.can_exit else ""
+            lines.append(f"  {format_members(m)}{exit_mark} -> {succ or '(none)'}")
+        return "\n".join(lines)

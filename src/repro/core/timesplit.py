@@ -1,0 +1,142 @@
+"""MIMD state time splitting (section 2.4).
+
+The meta-state automaton is an execution-time schedule. If a meta state
+merges a 5-cycle block with a 100-cycle block, "the parallel machine may
+spend up to 95% of its processor cycles simply waiting for the
+transition to the next meta state". The paper's heuristic breaks the
+expensive MIMD state into an approximately-min-cost head that is
+unconditionally followed by the remainder (Figures 3-4), then restarts
+the conversion so the automaton stays consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.block import BasicBlock, Fall
+from repro.ir.cfg import Cfg
+from repro.ir.instr import DEFAULT_COSTS, CostModel
+from repro.ir.timing import block_time
+
+
+@dataclass(frozen=True)
+class TimeSplitOptions:
+    """Thresholds of the paper's ``time_split_state`` pseudocode.
+
+    ``split_delta`` is the noise level: no split when
+    ``min + split_delta > max``. ``split_percent`` is the acceptable
+    utilization: no split when ``min > split_percent * max / 100``.
+    ``max_restarts`` bounds the split-and-reconvert loop.
+    """
+
+    split_delta: int = 4
+    split_percent: int = 50
+    max_restarts: int = 64
+
+
+def split_block(cfg: Cfg, bid: int, head_cost: int,
+                costs: CostModel = DEFAULT_COSTS) -> int | None:
+    """Split block ``bid`` into a head of cost ≈ ``head_cost`` and a
+    tail holding the remainder plus the original terminator (Figure 4:
+    beta becomes beta_0 -> beta').
+
+    The split point is the instruction boundary whose cumulative cost is
+    closest to ``head_cost`` while leaving both halves non-empty.
+    Returns the new tail block id, or ``None`` when the block cannot be
+    split (fewer than two instructions, or no boundary strictly inside).
+    """
+    blk = cfg.blocks[bid]
+    if blk.is_barrier_wait or len(blk.code) < 2:
+        return None
+    # Candidate boundaries: after instruction i for i in [1, len-1].
+    best_i = None
+    best_err = None
+    running = 0
+    for i, instr in enumerate(blk.code[:-1]):
+        running += costs.cost(instr)
+        err = abs(running - head_cost)
+        if best_err is None or err < best_err:
+            best_err = err
+            best_i = i + 1
+    if best_i is None:
+        return None
+    tail = cfg.new_block(label=f"{blk.label}'" if blk.label else "")
+    tail.code = blk.code[best_i:]
+    tail.terminator = blk.terminator
+    blk.code = blk.code[:best_i]
+    blk.terminator = Fall(tail.bid)
+    return tail.bid
+
+
+def time_split_state(cfg: Cfg, members: frozenset,
+                     options: TimeSplitOptions = TimeSplitOptions(),
+                     costs: CostModel = DEFAULT_COSTS) -> bool:
+    """The paper's ``time_split_state``: decide whether the time
+    imbalance between the MIMD states inside one meta state warrants
+    splitting the more expensive ones, and perform the splits.
+
+    Returns True when at least one block was split (the caller must
+    then restart the conversion, section 2.4: "the construction of the
+    meta-state automaton is restarted to ensure that the final
+    meta-state automaton is consistent").
+    """
+    # Ignore zero-execution-time components "because you can't do
+    # anything about them anyway".
+    timed = [
+        (bid, block_time(cfg, bid, costs))
+        for bid in members
+        if block_time(cfg, bid, costs) > 0
+    ]
+    if len(timed) < 2:
+        return False
+    times = [t for _, t in timed]
+    tmin, tmax = min(times), max(times)
+    # Is enough time wasted to be worth splitting?
+    if tmin + options.split_delta > tmax:
+        return False
+    if tmin > (options.split_percent * tmax) // 100:
+        return False
+    did_split = False
+    for bid, t in timed:
+        if t > tmin:
+            if split_block(cfg, bid, tmin, costs) is not None:
+                did_split = True
+    return did_split
+
+
+def convert_with_time_splitting(cfg: Cfg, convert_options=None,
+                                split_options: TimeSplitOptions = TimeSplitOptions(),
+                                costs: CostModel = DEFAULT_COSTS):
+    """Run conversion, splitting imbalanced MIMD states and restarting
+    until the automaton is balanced or ``max_restarts`` is reached.
+
+    Returns ``(graph, cfg, restarts)``. The CFG is mutated in place by
+    the splits.
+    """
+    from repro.core.convert import ConvertOptions, convert
+    from repro.errors import ConversionError
+
+    if convert_options is None:
+        convert_options = ConvertOptions()
+    restarts = 0
+    graph = convert(cfg, convert_options)
+    while True:
+        snapshot = cfg.clone()
+        any_split = False
+        for m in sorted(graph.states, key=lambda s: sorted(s)):
+            if time_split_state(cfg, m, split_options, costs):
+                any_split = True
+        if not any_split:
+            return graph, cfg, restarts
+        restarts += 1
+        try:
+            new_graph = convert(cfg, convert_options)
+        except ConversionError:
+            # Splitting pushed the automaton past the state-space cap
+            # — exactly the explosion section 2.4 warns about when
+            # states approach instruction granularity. Keep the last
+            # consistent automaton instead.
+            return graph, snapshot, restarts - 1
+        graph = new_graph
+        if restarts >= split_options.max_restarts:
+            return graph, cfg, restarts

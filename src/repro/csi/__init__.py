@@ -1,0 +1,51 @@
+"""Common Subexpression Induction (CSI), after [Die92] / section 3.1.
+
+A meta state that merged several MIMD states "effectively contains
+multiple instruction sequences that are supposed to execute
+simultaneously". A traditional SIMD machine cannot execute different
+instruction types at once, so the sequences must be interleaved — but
+"any operations that would be performed by more than one sequence can
+be executed in parallel by all processors". CSI finds that sharing and
+produces the guarded SIMD schedule.
+
+For straight-line stack code the optimization is exactly the weighted
+shortest-common-supersequence problem: the schedule must contain each
+thread's instruction sequence as a subsequence, and an instruction
+emitted once may be executed by every thread whose next instruction it
+is (under an enable guard). The pipeline mirrors the paper's summary:
+guarded DAG + inter-thread CSE (:mod:`repro.csi.dag`), earliest/latest
+mobility, operation classes and the theoretical lower bound
+(:mod:`repro.csi.bounds`), then a linear schedule improved by a cheap
+approximate search and a permutation-in-range search
+(:mod:`repro.csi.schedule`).
+"""
+
+from repro.csi.dag import ThreadCode, GuardedOp, build_guarded_dag
+from repro.csi.bounds import (
+    operation_classes,
+    mobility,
+    lower_bound_cost,
+)
+from repro.csi.schedule import (
+    Schedule,
+    ScheduleEntry,
+    csi_schedule,
+    serial_schedule,
+    verify_schedule,
+)
+from repro.csi.exact import csi_schedule_exact
+
+__all__ = [
+    "ThreadCode",
+    "GuardedOp",
+    "build_guarded_dag",
+    "operation_classes",
+    "mobility",
+    "lower_bound_cost",
+    "Schedule",
+    "ScheduleEntry",
+    "csi_schedule",
+    "csi_schedule_exact",
+    "serial_schedule",
+    "verify_schedule",
+]

@@ -1,0 +1,106 @@
+"""The guarded DAG: CSI's view of a meta state's threads.
+
+"First, a guarded DAG is constructed for the input, then this DAG is
+improved using inter-thread CSE" (section 3.1). A node is one
+operation; its guard is the set of threads (MIMD states) that execute
+it. For stack code, intra-thread dependencies are the sequential order;
+inter-thread CSE merges *aligned* identical operations from different
+threads into one node with a wider guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instr import Instr
+
+
+@dataclass(frozen=True)
+class ThreadCode:
+    """One thread inside a meta state: the MIMD state id (its guard
+    bit) and the straight-line code it must execute."""
+
+    thread: int
+    code: tuple[Instr, ...]
+
+    @staticmethod
+    def of(thread: int, code) -> "ThreadCode":
+        return ThreadCode(thread, tuple(code))
+
+
+@dataclass
+class GuardedOp:
+    """A DAG node: one instruction, the set of threads executing it,
+    and per-thread sequence positions (for dependence checking).
+
+    ``positions[t]`` is the index of this op in thread ``t``'s original
+    sequence; a node depends on every node holding a smaller position
+    of the same thread.
+    """
+
+    instr: Instr
+    guards: frozenset
+    positions: dict[int, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        g = ",".join(str(t) for t in sorted(self.guards))
+        return f"[{g}] {self.instr}"
+
+
+def build_guarded_dag(threads: list[ThreadCode]) -> list[GuardedOp]:
+    """Build the guarded DAG with greedy inter-thread CSE.
+
+    Nodes are produced in a valid topological order. The CSE pass works
+    like a multi-way merge: at each step it looks at every thread's
+    next unconsumed instruction and emits the instruction shared by the
+    most threads (ties broken toward cheaper-first, then deterministic
+    ordering), consuming it from all sharing threads — each merge is an
+    induced common subexpression.
+    """
+    cursors = {t.thread: 0 for t in threads}
+    remaining = {t.thread: list(t.code) for t in threads}
+    nodes: list[GuardedOp] = []
+    while True:
+        heads: dict[Instr, list[int]] = {}
+        for t in threads:
+            tid = t.thread
+            if cursors[tid] < len(remaining[tid]):
+                instr = remaining[tid][cursors[tid]]
+                heads.setdefault(instr, []).append(tid)
+        if not heads:
+            break
+
+        def future_mergeable(instr: Instr, tids: list[int]) -> bool:
+            """Could waiting merge this op with another thread later?"""
+            for t in threads:
+                tid = t.thread
+                if tid in tids:
+                    continue
+                if instr in remaining[tid][cursors[tid]:]:
+                    return True
+            return False
+
+        # Widest sharing first; among ties, prefer ops with no pending
+        # occurrence in other threads (emitting them now cannot destroy
+        # a future merge); final tie-break is deterministic rendering.
+        instr, tids = max(
+            heads.items(),
+            key=lambda kv: (
+                len(kv[1]),
+                not future_mergeable(kv[0], kv[1]),
+                str(kv[0]),
+            ),
+        )
+        positions = {tid: cursors[tid] for tid in tids}
+        nodes.append(
+            GuardedOp(instr=instr, guards=frozenset(tids), positions=positions)
+        )
+        for tid in tids:
+            cursors[tid] += 1
+    return nodes
+
+
+def dag_shared_ops(nodes: list[GuardedOp]) -> int:
+    """Number of DAG nodes executed by more than one thread — the
+    common subexpressions CSI induced."""
+    return sum(1 for n in nodes if len(n.guards) > 1)

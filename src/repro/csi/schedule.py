@@ -1,0 +1,257 @@
+"""CSI scheduling: build the guarded SIMD instruction schedule.
+
+"Next, this information is used to create a linear schedule (SIMD
+execution sequence), which is improved using a cheap approximate search
+and then used as the initial schedule for the permutation-in-range
+search that is the core of the CSI optimization" (section 3.1).
+
+For linear stack code the optimum is the weighted shortest common
+supersequence of the thread sequences. We build two initial schedules —
+the greedy multi-way merge of :func:`repro.csi.dag.build_guarded_dag`
+(the "cheap approximate search") and a successive pairwise
+dynamic-programming merge (optimal for two threads) — then run the
+permutation-in-range improvement: operations are moved within their
+legal mobility ranges to land identical operations of disjoint threads
+in the same slot, merging them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instr import DEFAULT_COSTS, CostModel, Instr
+from repro.csi.bounds import lower_bound_cost
+from repro.csi.dag import ThreadCode, build_guarded_dag
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One SIMD instruction slot: the instruction and the guard — the
+    set of MIMD states (pc bits) whose PEs execute it."""
+
+    instr: Instr
+    guards: frozenset
+
+    def __str__(self) -> str:
+        g = ",".join(str(t) for t in sorted(self.guards))
+        return f"[{g}] {self.instr}"
+
+
+@dataclass
+class Schedule:
+    """A guarded SIMD schedule for one meta state.
+
+    ``serial_cost`` is what naive serialization (run each thread's code
+    one after another) would cost; ``lower_bound`` the theoretical
+    minimum; ``cost`` what this schedule costs. The paper's win is
+    ``cost < serial_cost`` whenever threads share operations.
+    """
+
+    entries: list[ScheduleEntry] = field(default_factory=list)
+    serial_cost: int = 0
+    lower_bound: int = 0
+    cost: int = 0
+
+    def shared_slots(self) -> int:
+        """Slots executed by more than one thread (induced sharing)."""
+        return sum(1 for e in self.entries if len(e.guards) > 1)
+
+    def recompute_cost(self, costs: CostModel = DEFAULT_COSTS) -> int:
+        self.cost = sum(costs.cost(e.instr) for e in self.entries)
+        return self.cost
+
+    def __str__(self) -> str:
+        return "\n".join(str(e) for e in self.entries)
+
+
+# ----------------------------------------------------------------------
+# initial schedules
+# ----------------------------------------------------------------------
+def serial_schedule(threads: list[ThreadCode],
+                    costs: CostModel = DEFAULT_COSTS) -> Schedule:
+    """No sharing at all: concatenate the threads (what a SIMD machine
+    would do with plain serialization)."""
+    entries = [
+        ScheduleEntry(instr, frozenset((t.thread,)))
+        for t in threads
+        for instr in t.code
+    ]
+    s = Schedule(entries=entries,
+                 serial_cost=sum(costs.cost(e.instr) for e in entries),
+                 lower_bound=lower_bound_cost(threads, costs))
+    s.recompute_cost(costs)
+    return s
+
+
+def greedy_schedule(threads: list[ThreadCode],
+                    costs: CostModel = DEFAULT_COSTS) -> Schedule:
+    """The cheap approximate search: widest-sharing-first multiway merge
+    (this is exactly the guarded-DAG construction order)."""
+    nodes = build_guarded_dag(threads)
+    entries = [ScheduleEntry(n.instr, n.guards) for n in nodes]
+    s = Schedule(entries=entries)
+    s.recompute_cost(costs)
+    return s
+
+
+def _pairwise_scs(a: list[ScheduleEntry], b: list[ScheduleEntry],
+                  costs: CostModel) -> list[ScheduleEntry]:
+    """Optimal weighted shortest common supersequence of two guarded
+    sequences (classic O(n*m) dynamic program). Entries merge when
+    their instructions are identical; guards union."""
+    n, m = len(a), len(b)
+    INF = float("inf")
+    # f[i][j]: min cost to cover a[i:], b[j:].
+    f = [[INF] * (m + 1) for _ in range(n + 1)]
+    f[n][m] = 0
+    for j in range(m - 1, -1, -1):
+        f[n][j] = f[n][j + 1] + costs.cost(b[j].instr)
+    for i in range(n - 1, -1, -1):
+        f[i][m] = f[i + 1][m] + costs.cost(a[i].instr)
+        row = f[i]
+        row1 = f[i + 1]
+        for j in range(m - 1, -1, -1):
+            best = row1[j] + costs.cost(a[i].instr)
+            alt = row[j + 1] + costs.cost(b[j].instr)
+            if alt < best:
+                best = alt
+            if a[i].instr == b[j].instr:
+                alt = row1[j + 1] + costs.cost(a[i].instr)
+                if alt < best:
+                    best = alt
+            row[j] = best
+    # Reconstruct.
+    out: list[ScheduleEntry] = []
+    i = j = 0
+    while i < n or j < m:
+        if (
+            i < n
+            and j < m
+            and a[i].instr == b[j].instr
+            and f[i][j] == f[i + 1][j + 1] + costs.cost(a[i].instr)
+        ):
+            out.append(ScheduleEntry(a[i].instr, a[i].guards | b[j].guards))
+            i += 1
+            j += 1
+        elif i < n and f[i][j] == f[i + 1][j] + costs.cost(a[i].instr):
+            out.append(a[i])
+            i += 1
+        else:
+            out.append(b[j])
+            j += 1
+    return out
+
+
+def pairwise_schedule(threads: list[ThreadCode],
+                      costs: CostModel = DEFAULT_COSTS) -> Schedule:
+    """Fold the threads through the pairwise-optimal DP, most expensive
+    first (so the long sequences align first)."""
+    ordered = sorted(
+        threads,
+        key=lambda t: sum(costs.cost(i) for i in t.code),
+        reverse=True,
+    )
+    merged: list[ScheduleEntry] = []
+    for t in ordered:
+        seq = [ScheduleEntry(i, frozenset((t.thread,))) for i in t.code]
+        merged = _pairwise_scs(merged, seq, costs) if merged else seq
+    s = Schedule(entries=merged)
+    s.recompute_cost(costs)
+    return s
+
+
+# ----------------------------------------------------------------------
+# permutation-in-range improvement
+# ----------------------------------------------------------------------
+def improve_schedule(s: Schedule, costs: CostModel = DEFAULT_COSTS,
+                     max_passes: int = 8) -> Schedule:
+    """Permutation-in-range search: repeatedly find a pair of slots
+    with identical instructions, disjoint guards, and a legal move
+    between them, and merge them. Each merge removes one slot, so the
+    search terminates; ``max_passes`` bounds the outer fixpoint loop."""
+    entries = list(s.entries)
+    for _ in range(max_passes):
+        merged_any = False
+        # Index slots by instruction for pair discovery.
+        by_instr: dict[Instr, list[int]] = {}
+        for idx, e in enumerate(entries):
+            by_instr.setdefault(e.instr, []).append(idx)
+        for instr, slots in by_instr.items():
+            if len(slots) < 2:
+                continue
+            # Try to merge later occurrences into earlier ones.
+            for ii in range(len(slots)):
+                i = slots[ii]
+                if entries[i] is None:
+                    continue
+                for jj in range(ii + 1, len(slots)):
+                    j = slots[jj]
+                    if entries[j] is None or entries[i] is None:
+                        continue
+                    if entries[i].guards & entries[j].guards:
+                        continue
+                    live = [k for k in range(min(i, j) + 1, max(i, j))
+                            if entries[k] is not None]
+                    moved = entries[j].guards
+                    target = entries[i].guards
+                    between_ok_j = all(
+                        not (entries[k].guards & moved) for k in live
+                    )
+                    between_ok_i = all(
+                        not (entries[k].guards & target) for k in live
+                    )
+                    if between_ok_j:
+                        # Move j's threads up: merged entry sits at i.
+                        entries[i] = ScheduleEntry(instr, target | moved)
+                        entries[j] = None  # type: ignore[call-overload]
+                        merged_any = True
+                    elif between_ok_i:
+                        # Move i's threads down: merged entry sits at j.
+                        entries[j] = ScheduleEntry(instr, target | moved)
+                        entries[i] = None  # type: ignore[call-overload]
+                        merged_any = True
+        entries = [e for e in entries if e is not None]
+        if not merged_any:
+            break
+    out = Schedule(entries=entries, serial_cost=s.serial_cost,
+                   lower_bound=s.lower_bound)
+    out.recompute_cost(costs)
+    return out
+
+
+# ----------------------------------------------------------------------
+# main entry point
+# ----------------------------------------------------------------------
+def csi_schedule(threads: list[ThreadCode],
+                 costs: CostModel = DEFAULT_COSTS) -> Schedule:
+    """Full CSI pipeline: best of the greedy and pairwise-DP initial
+    schedules, improved by the permutation-in-range search. The result
+    is verified to preserve every thread's sequence."""
+    threads = [t for t in threads if t.code]
+    if not threads:
+        return Schedule()
+    serial = serial_schedule(threads, costs)
+    if len(threads) == 1:
+        return serial
+    candidates = [
+        improve_schedule(greedy_schedule(threads, costs), costs),
+        improve_schedule(pairwise_schedule(threads, costs), costs),
+    ]
+    best = min(candidates, key=lambda s: s.cost)
+    best.serial_cost = serial.serial_cost
+    best.lower_bound = serial.lower_bound
+    verify_schedule(threads, best)
+    return best
+
+
+def verify_schedule(threads: list[ThreadCode], s: Schedule) -> None:
+    """Assert ``s`` executes exactly each thread's code in order."""
+    from repro.errors import ConversionError
+
+    for t in threads:
+        got = [e.instr for e in s.entries if t.thread in e.guards]
+        if got != list(t.code):
+            raise ConversionError(
+                f"CSI schedule corrupts thread {t.thread}: "
+                f"{[str(i) for i in got]} != {[str(i) for i in t.code]}"
+            )

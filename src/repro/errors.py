@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`MscError`, so
+callers can catch one type. Front-end errors carry source positions.
+"""
+
+from __future__ import annotations
+
+
+class MscError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SourceError(MscError):
+    """An error attributable to a position in MIMDC source text.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.
+    line, col:
+        1-based source position, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.message = message
+        self.line = line
+        self.col = col
+        if line is not None:
+            super().__init__(f"line {line}:{col if col is not None else '?'}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexError(SourceError):
+    """Malformed token in MIMDC source."""
+
+
+class ParseError(SourceError):
+    """Syntax error in MIMDC source."""
+
+
+class SemanticError(SourceError):
+    """Type/semantics violation (e.g. assigning a poly value to a mono
+    variable, calling an undefined function, ``wait`` inside divergent
+    control flow where it cannot be supported)."""
+
+
+class ConversionError(MscError):
+    """The meta-state conversion could not be completed, e.g. the state
+    space exceeded the configured cap, or the input graph violated an
+    invariant (a block with more than two exit arcs)."""
+
+
+class MachineError(MscError):
+    """A runtime error in one of the simulated machines (stack overflow,
+    spawn with no free processing elements, step-budget exceeded, ...)."""

@@ -1,0 +1,27 @@
+"""Multiway branch encoding with customized hash functions.
+
+Section 3.2.3: a meta state with multiple exit arcs dispatches on the
+``globalor`` aggregate of all PE ``pc`` bits. "The efficient
+implementation of N-way branches is a difficult problem, but can be
+accomplished using customized hash functions indexing jump tables"
+[Die92a]. Listing 5 shows the shapes the tool finds, e.g.
+``switch(((~apc) >> 5) & 3)`` and ``switch(((apc >> 6) ^ apc) & 15)`` —
+hash functions that map the sparse aggregate values onto a small dense
+range so the compiler emits a jump table.
+"""
+
+from repro.hashenc.search import (
+    HashFn,
+    BranchEncoding,
+    find_hash,
+    encode_branch,
+    key_of_members,
+)
+
+__all__ = [
+    "HashFn",
+    "BranchEncoding",
+    "find_hash",
+    "encode_branch",
+    "key_of_members",
+]

@@ -1,0 +1,44 @@
+"""Intermediate representation: MPL-like stack ISA, basic blocks, CFGs.
+
+The IR mirrors the form the paper's prototype converter works on: a
+control-flow graph whose nodes are maximal basic blocks ("MIMD states"),
+each with zero, one, or two exit arcs (section 2.1), holding straight-line
+stack code in an MPL-like instruction set (Listing 5).
+"""
+
+from repro.ir.instr import (
+    Op,
+    Instr,
+    CostModel,
+    DEFAULT_COSTS,
+    code_cost,
+)
+from repro.ir.block import (
+    BasicBlock,
+    Terminator,
+    Fall,
+    CondBr,
+    Return,
+    Halt,
+    SpawnT,
+)
+from repro.ir.cfg import Cfg
+from repro.ir.timing import block_time, cfg_times
+
+__all__ = [
+    "Op",
+    "Instr",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "code_cost",
+    "BasicBlock",
+    "Terminator",
+    "Fall",
+    "CondBr",
+    "Return",
+    "Halt",
+    "SpawnT",
+    "Cfg",
+    "block_time",
+    "cfg_times",
+]

@@ -1,0 +1,270 @@
+"""The MPL-like stack instruction set and its cycle-cost model.
+
+The paper's generated SIMD code (Listing 5) is "simple SIMD stack code
+using MPL macros for each operation" — ``Push``, ``LdL``, ``StL``,
+``Pop``, ``JumpF``, ``Ret``. We define a cleaned-up version of that ISA.
+Every simulated machine in the package (the reference MIMD machine, the
+interpreter baseline, and the meta-state SIMD machine) executes exactly
+this instruction set, which is what makes the cross-machine equivalence
+oracle exact.
+
+Values are IEEE-754 doubles on every machine; ``int``-typed operations
+truncate after division, and comparisons yield 1.0 / 0.0. This mirrors a
+single machine word without modelling two register files.
+
+Costs are per-opcode cycle counts collected in :class:`CostModel`. The
+MasPar MP-1's true latencies are not published at this granularity, so
+the defaults are plausible relative magnitudes (router traffic and
+broadcasts are expensive, ALU ops cheap); every paper claim we reproduce
+is about ratios and survives any monotone re-costing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+
+class Op(enum.Enum):
+    """Opcode of a stack instruction.
+
+    Stack effects are written ``(pops -> pushes)``.
+    """
+
+    # -- data movement ------------------------------------------------
+    PUSH = "Push"        # (0 -> 1) push constant `arg`
+    POP = "Pop"          # (arg -> 0) discard `arg` values
+    DUP = "Dup"          # (1 -> 2) duplicate top of stack
+    SWAP = "Swap"        # (2 -> 2) exchange the top two values
+    LD = "Ld"           # (0 -> 1) push poly local slot `arg`
+    ST = "St"           # (1 -> 0) pop into poly local slot `arg`
+    LDM = "LdM"          # (0 -> 1) push mono (shared) slot `arg`
+    STM = "StM"          # (1 -> 0) pop into mono slot `arg` (broadcast)
+    LDR = "LdR"          # (1 -> 1) pop PE index, push that PE's slot `arg`
+    STR = "StR"          # (2 -> 0) pop PE index, pop value, store remotely
+    LDI = "LdI"          # (1 -> 1) pop element index, push poly array
+    #                      element; arg = base slot, arg2 = array size
+    STI = "StI"          # (2 -> 0) pop element index, pop value, store
+    #                      into the poly array at arg/arg2
+    LDMI = "LdMI"        # (1 -> 1) pop element index, push mono array element
+    STMI = "StMI"        # (2 -> 0) pop element index, pop value, store
+    #                      into the mono array (broadcast)
+    PROCNUM = "ProcNum"  # (0 -> 1) push this PE's index
+    NPROC = "NProc"      # (0 -> 1) push the machine width
+
+    # -- arithmetic / logic (binary: 2 -> 1) --------------------------
+    ADD = "Add"
+    SUB = "Sub"
+    MUL = "Mul"
+    DIV = "Div"          # float division
+    IDIV = "IDiv"        # truncating integer division
+    MOD = "Mod"          # C-style (truncated) remainder
+    LT = "Lt"
+    LE = "Le"
+    GT = "Gt"
+    GE = "Ge"
+    EQ = "Eq"
+    NE = "Ne"
+    BAND = "BAnd"        # bitwise and (operands truncated to int64)
+    BOR = "BOr"
+    BXOR = "BXor"
+    SHL = "Shl"
+    SHR = "Shr"
+    LAND = "LAnd"        # logical and: (a != 0) & (b != 0)
+    LOR = "LOr"
+    SEL = "Sel"          # (3 -> 1) pop b, a, c; push a if c != 0 else b
+
+    # -- unary (1 -> 1) ------------------------------------------------
+    NEG = "Neg"
+    NOT = "Not"          # logical not
+    BNOT = "BNot"        # bitwise not (int64)
+    TRUNC = "Trunc"      # truncate toward zero (float -> int value)
+    BOOL = "Bool"        # normalize to 1.0 / 0.0
+
+    # -- return-selector stack (section 2.2's recursion trick) --------
+    RPUSH = "RPush"      # (0 -> 0) push constant `arg` on the PE's
+    #                      return-selector stack (set at call sites)
+    RPOP = "RPop"        # (0 -> 1) pop the selector stack onto the
+    #                      operand stack (start of a return dispatch)
+
+
+#: Opcodes whose execution involves the inter-PE router.
+ROUTER_OPS = frozenset({Op.LDR, Op.STR})
+
+#: Binary ALU opcodes (pop two, push one).
+BINARY_OPS = frozenset(
+    {
+        Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.IDIV, Op.MOD,
+        Op.LT, Op.LE, Op.GT, Op.GE, Op.EQ, Op.NE,
+        Op.BAND, Op.BOR, Op.BXOR, Op.SHL, Op.SHR, Op.LAND, Op.LOR,
+    }
+)
+
+#: Unary ALU opcodes (pop one, push one).
+UNARY_OPS = frozenset({Op.NEG, Op.NOT, Op.BNOT, Op.TRUNC, Op.BOOL})
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One stack instruction: an opcode and an optional immediate.
+
+    ``arg`` is an int for slot numbers / pop counts / selector ids, a
+    float for ``Push`` of a float constant, or ``None``. The array
+    opcodes carry a second immediate ``arg2`` (the array length, for
+    bounds checking).
+    """
+
+    op: Op
+    arg: float | int | None = None
+    arg2: int | None = None
+
+    def __str__(self) -> str:  # e.g. "Push(4)", "LdL", "Add"
+        if self.arg is None:
+            return self.op.value
+        if self.arg2 is not None:
+            return f"{self.op.value}({int(self.arg)},{int(self.arg2)})"
+        if isinstance(self.arg, float) and not self.arg.is_integer():
+            return f"{self.op.value}({self.arg})"
+        return f"{self.op.value}({int(self.arg)})"
+
+    def stack_delta(self) -> int:
+        """Net change in operand-stack depth caused by this instruction."""
+        op = self.op
+        if op in BINARY_OPS:
+            return -1
+        if op in UNARY_OPS:
+            return 0
+        if op in (Op.PUSH, Op.LD, Op.LDM, Op.PROCNUM, Op.NPROC, Op.DUP, Op.RPOP):
+            return 1
+        if op in (Op.ST, Op.STM):
+            return -1
+        if op in (Op.LDR, Op.LDI, Op.LDMI, Op.SWAP):
+            return 0
+        if op in (Op.STR, Op.STI, Op.STMI):
+            return -2
+        if op is Op.SEL:
+            return -2
+        if op is Op.POP:
+            return -int(self.arg or 0)
+        if op is Op.RPUSH:
+            return 0
+        raise AssertionError(f"unhandled opcode {op}")
+
+    def pops(self) -> int:
+        """Number of operand-stack values consumed."""
+        op = self.op
+        if op in BINARY_OPS:
+            return 2
+        if op in UNARY_OPS:
+            return 1
+        if op in (Op.ST, Op.STM, Op.LDR, Op.LDI, Op.LDMI, Op.DUP):
+            return 1
+        if op in (Op.STR, Op.STI, Op.STMI, Op.SWAP):
+            return 2
+        if op is Op.SEL:
+            return 3
+        if op is Op.POP:
+            return int(self.arg or 0)
+        return 0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-opcode cycle costs plus machine-level overheads.
+
+    Attributes
+    ----------
+    op_costs:
+        Mapping from :class:`Op` to cycles. Missing entries fall back to
+        ``default_op_cost``.
+    branch_cost:
+        Cost of a block terminator (conditional or unconditional jump).
+    globalor_cost:
+        Cost of the ``globalor`` reduction used to aggregate PE ``pc``
+        values at a multiway meta-state transition (section 3.2.3).
+    dispatch_cost:
+        Cost of hashing the aggregate and indexing the jump table.
+    broadcast_cost:
+        Extra cost of a ``StM`` broadcast updating every PE's replica of
+        a mono variable (section 4.1).
+    fetch_cost / decode_cost:
+        Per-step overheads of the interpreter baseline (section 1.1,
+        steps 1-2 of the Basic MIMD Interpreter Algorithm). The
+        meta-state machine never pays these — that is the point of MSC.
+    """
+
+    op_costs: dict[Op, int] = field(default_factory=lambda: dict(_DEFAULT_OP_COSTS))
+    default_op_cost: int = 1
+    branch_cost: int = 1
+    globalor_cost: int = 4
+    dispatch_cost: int = 2
+    broadcast_cost: int = 8
+    fetch_cost: int = 2
+    decode_cost: int = 2
+
+    def cost(self, instr: Instr) -> int:
+        """Cycle cost of one instruction."""
+        base = self.op_costs.get(instr.op, self.default_op_cost)
+        if instr.op in (Op.STM, Op.STMI):
+            base += self.broadcast_cost
+        return base
+
+    def with_overrides(self, **changes) -> "CostModel":
+        """Return a copy with some fields replaced."""
+        return replace(self, **changes)
+
+
+_DEFAULT_OP_COSTS: dict[Op, int] = {
+    Op.PUSH: 1,
+    Op.POP: 1,
+    Op.DUP: 1,
+    Op.SWAP: 1,
+    Op.LD: 2,
+    Op.ST: 2,
+    Op.LDM: 2,
+    Op.STM: 2,       # + broadcast_cost
+    Op.LDR: 16,      # router round trip
+    Op.STR: 16,
+    Op.LDI: 3,       # indexed local access
+    Op.STI: 3,
+    Op.LDMI: 3,
+    Op.STMI: 3,      # + broadcast_cost
+    Op.PROCNUM: 1,
+    Op.NPROC: 1,
+    Op.ADD: 1,
+    Op.SUB: 1,
+    Op.MUL: 3,
+    Op.DIV: 8,
+    Op.IDIV: 8,
+    Op.MOD: 8,
+    Op.LT: 1,
+    Op.LE: 1,
+    Op.GT: 1,
+    Op.GE: 1,
+    Op.EQ: 1,
+    Op.NE: 1,
+    Op.BAND: 1,
+    Op.BOR: 1,
+    Op.BXOR: 1,
+    Op.SHL: 1,
+    Op.SHR: 1,
+    Op.LAND: 1,
+    Op.LOR: 1,
+    Op.SEL: 2,
+    Op.NEG: 1,
+    Op.NOT: 1,
+    Op.BNOT: 1,
+    Op.TRUNC: 1,
+    Op.BOOL: 1,
+    Op.RPUSH: 2,
+    Op.RPOP: 2,
+}
+
+#: The default cost model used throughout the package.
+DEFAULT_COSTS = CostModel()
+
+
+def code_cost(code: Iterable[Instr], costs: CostModel = DEFAULT_COSTS) -> int:
+    """Total cycle cost of a straight-line instruction sequence."""
+    return sum(costs.cost(i) for i in code)

@@ -1,0 +1,656 @@
+"""Lowering: MIMDC AST -> MIMD control-flow graph of stack code.
+
+This implements section 4.2 step 1 ("a traditional control-flow graph
+... is built ... in a normalized form that ensures, for example, that
+loops are all of the type that execute the body one or more times,
+rather than zero or more, e.g. by replicating some code and inserting an
+additional if statement") and section 2.2 (handling of function calls by
+in-line expansion, with ``return`` statements of recursive functions
+converted into multiway branches over their possible return targets).
+
+Call handling
+-------------
+- Non-recursive callees are expanded fresh at every call site with a
+  fresh set of memory slots; their returns jump straight to the single
+  continuation — no dispatch is needed.
+- Callees in a call-graph cycle get one expansion per *outermost* call
+  site. Recursive re-entries inside that expansion jump back to the
+  shared body entry after pushing a call-site selector on the PE's
+  return-selector stack (``RPush``); every ``return`` funnels into a
+  dispatch chain that pops the selector (``RPop``) and branches to the
+  matching continuation — the paper's "multiway branch" realized as a
+  chain of two-way branches, preserving the ≤2-exit-arcs invariant.
+- Locals of a recursive function share one frame across recursion
+  levels (the paper's in-line expansion implies the same; programs must
+  carry per-level data explicitly, e.g. in accumulator variables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SemanticError
+from repro.ir.block import BasicBlock, CondBr, Fall, Halt, Return, SpawnT
+from repro.ir.cfg import Cfg, SlotInfo
+from repro.ir.instr import Instr, Op
+from repro.lang import ast
+from repro.lang.sema import SemaInfo, Symbol
+
+_BINOPS = {
+    "+": Op.ADD, "-": Op.SUB, "*": Op.MUL,
+    "%": Op.MOD, "<": Op.LT, "<=": Op.LE, ">": Op.GT, ">=": Op.GE,
+    "==": Op.EQ, "!=": Op.NE, "&": Op.BAND, "|": Op.BOR, "^": Op.BXOR,
+    "<<": Op.SHL, ">>": Op.SHR, "&&": Op.LAND, "||": Op.LOR,
+}
+
+_UNOPS = {"-": Op.NEG, "!": Op.NOT, "~": Op.BNOT}
+
+
+@dataclass
+class _Expansion:
+    """One in-line expansion of a (possibly recursive) function."""
+
+    name: str
+    frame: dict[int, int]          # Symbol.uid -> poly slot
+    ret_slot: int | None
+    entry: BasicBlock | None = None          # shared body entry (recursive)
+    dispatch: BasicBlock | None = None        # return dispatch chain head
+    returns: list[tuple[int, BasicBlock]] = field(default_factory=list)
+    # (selector, continuation) pairs; non-recursive expansions keep a
+    # single continuation here with selector -1.
+    recursive: bool = False
+
+
+@dataclass
+class _LoopCtx:
+    """Targets for break/continue inside the innermost loop."""
+
+    break_to: BasicBlock
+    continue_to: BasicBlock
+
+
+class Lowerer:
+    """Lowers an analyzed MIMDC program to a :class:`~repro.ir.cfg.Cfg`.
+
+    Parameters
+    ----------
+    sema:
+        Output of :func:`repro.lang.sema.analyze`.
+    """
+
+    def __init__(self, sema: SemaInfo):
+        self.sema = sema
+        self.cfg = Cfg()
+        self.cur: BasicBlock | None = None
+        self.recursive = sema.recursive_functions()
+        self.active: dict[str, _Expansion] = {}
+        self.expansion_stack: list[_Expansion] = []
+        self.loop_stack: list[_LoopCtx] = []
+        self.labels: dict[str, BasicBlock] = {}
+        self.next_selector = 0
+        self._slot_of_global: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # slot management
+    # ------------------------------------------------------------------
+    def _alloc_poly(self, name: str, ctype: str, count: int = 1) -> int:
+        idx = len(self.cfg.poly_slots)
+        for k in range(count):
+            tag = name if count == 1 else f"{name}[{k}]"
+            self.cfg.poly_slots.append(
+                SlotInfo(tag, idx + k, "poly", ctype)
+            )
+        return idx
+
+    def _alloc_mono(self, name: str, ctype: str, count: int = 1) -> int:
+        idx = len(self.cfg.mono_slots)
+        for k in range(count):
+            tag = name if count == 1 else f"{name}[{k}]"
+            self.cfg.mono_slots.append(
+                SlotInfo(tag, idx + k, "mono", ctype)
+            )
+        return idx
+
+    def _slot(self, sym: Symbol) -> tuple[int, bool]:
+        """Resolve a symbol to (slot index, is_mono)."""
+        if sym.kind == "global":
+            return self._slot_of_global[sym.uid], sym.storage == "mono"
+        for exp in reversed(self.expansion_stack):
+            if sym.uid in exp.frame:
+                return exp.frame[sym.uid], False
+        raise SemanticError(f"internal: unresolved symbol {sym.name!r}")
+
+    # ------------------------------------------------------------------
+    # block/builder helpers
+    # ------------------------------------------------------------------
+    def emit(self, op: Op, arg: float | int | None = None,
+             arg2: int | None = None) -> None:
+        assert self.cur is not None
+        self.cur.code.append(Instr(op, arg, arg2))
+
+    def _start(self, label: str = "") -> BasicBlock:
+        blk = self.cfg.new_block(label)
+        self.cur = blk
+        return blk
+
+    def _goto(self, target: BasicBlock) -> None:
+        """Terminate the current block with a jump to ``target``."""
+        assert self.cur is not None
+        self.cur.terminator = Fall(target.bid)
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def lower(self) -> Cfg:
+        """Lower the whole program; returns the normalized, renumbered CFG."""
+        prog = self.sema.program
+        entry = self._start("entry")
+        self.cfg.entry = entry.bid
+
+        # Global memory layout + literal initializers.
+        for decl in prog.globals:
+            sym: Symbol = decl.symbol  # type: ignore[attr-defined]
+            count = decl.size or 1
+            if decl.storage == "mono":
+                self._slot_of_global[sym.uid] = self._alloc_mono(
+                    decl.name, decl.ctype, count
+                )
+            else:
+                self._slot_of_global[sym.uid] = self._alloc_poly(
+                    decl.name, decl.ctype, count
+                )
+            if decl.init is not None:
+                value = decl.init.value  # literal, checked by sema
+                if decl.ctype == "int":
+                    value = int(value)
+                self.emit(Op.PUSH, value)
+                slot, is_mono = self._slot(sym)
+                self.emit(Op.STM if is_mono else Op.ST, slot)
+
+        # main()'s return value lands in a dedicated poly slot.
+        main = prog.function("main")
+        assert main is not None
+        self.cfg.ret_slot = self._alloc_poly("__ret", main.ret_ctype or "int")
+
+        main_exp = _Expansion(
+            name="main",
+            frame={},
+            ret_slot=self.cfg.ret_slot,
+            recursive=False,
+        )
+        end_block = self.cfg.new_block("end")
+        end_block.terminator = Return()
+        main_exp.returns.append((-1, end_block))
+        self.active["main"] = main_exp
+        self.expansion_stack.append(main_exp)
+        self._lower_stmt(main.body)
+        # Fall off the end of main: implicit return 0.
+        if main.ret_ctype is not None:
+            self.emit(Op.PUSH, 0)
+            self.emit(Op.ST, self.cfg.ret_slot)
+        self._goto(end_block)
+        self.expansion_stack.pop()
+        del self.active["main"]
+
+        cfg = self.cfg
+        cfg.normalize()
+        cfg = cfg.renumbered()
+        cfg.verify()
+        return cfg
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _lower_stmt(self, stmt: ast.Stmt | None) -> None:
+        if stmt is None or isinstance(stmt, ast.EmptyStmt):
+            return
+        if isinstance(stmt, ast.Block):
+            for s in stmt.body:
+                self._lower_stmt(s)
+        elif isinstance(stmt, ast.VarDecl):
+            sym: Symbol = stmt.symbol  # type: ignore[attr-defined]
+            exp = self.expansion_stack[-1]
+            exp.frame[sym.uid] = self._alloc_poly(
+                f"{exp.name}.{stmt.name}", stmt.ctype, stmt.size or 1
+            )
+            if stmt.init is not None:
+                self._lower_expr(stmt.init)
+                self._coerce(stmt.init.ctype, stmt.ctype)
+                self.emit(Op.ST, exp.frame[sym.uid])
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expr_stmt(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._lower_dowhile(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            self._lower_return(stmt)
+        elif isinstance(stmt, ast.WaitStmt):
+            wait = self.cfg.new_block("wait")
+            wait.is_barrier_wait = True
+            self._goto(wait)
+            after = self._start()
+            wait.terminator = Fall(after.bid)
+        elif isinstance(stmt, ast.HaltStmt):
+            assert self.cur is not None
+            self.cur.terminator = Halt()
+            self._start()  # unreachable continuation, pruned later
+        elif isinstance(stmt, ast.SpawnStmt):
+            child = self._label_block(stmt.target)
+            assert self.cur is not None
+            spawn_block = self.cur
+            cont = self._start()
+            spawn_block.terminator = SpawnT(child=child.bid, cont=cont.bid)
+        elif isinstance(stmt, ast.LabeledStmt):
+            blk = self._label_block(stmt.label)
+            self._goto(blk)
+            self.cur = blk
+            self._lower_stmt(stmt.stmt)
+        elif isinstance(stmt, ast.BreakStmt):
+            if not self.loop_stack:
+                raise SemanticError("break outside loop", stmt.line)
+            self._goto(self.loop_stack[-1].break_to)
+            self._start()
+        elif isinstance(stmt, ast.ContinueStmt):
+            if not self.loop_stack:
+                raise SemanticError("continue outside loop", stmt.line)
+            self._goto(self.loop_stack[-1].continue_to)
+            self._start()
+        else:
+            raise AssertionError(f"unknown statement {stmt!r}")
+
+    def _label_block(self, label: str) -> BasicBlock:
+        exp = self.expansion_stack[-1]
+        key = f"{exp.name}:{label}"
+        if key not in self.labels:
+            self.labels[key] = self.cfg.new_block(label)
+        return self.labels[key]
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        self._lower_expr(stmt.cond)
+        head = self.cur
+        assert head is not None
+        then_entry = self._start()
+        self._lower_stmt(stmt.then)
+        then_exit = self.cur
+        if stmt.otherwise is not None:
+            else_entry = self._start()
+            self._lower_stmt(stmt.otherwise)
+            else_exit = self.cur
+            join = self._start()
+            assert then_exit is not None and else_exit is not None
+            then_exit.terminator = Fall(join.bid)
+            else_exit.terminator = Fall(join.bid)
+            head.terminator = CondBr(then_entry.bid, else_entry.bid)
+        else:
+            join = self._start()
+            assert then_exit is not None
+            then_exit.terminator = Fall(join.bid)
+            head.terminator = CondBr(then_entry.bid, join.bid)
+
+    def _lower_loop_core(
+        self, body: ast.Stmt | None, cond: ast.Expr,
+        update: ast.Expr | None = None,
+    ) -> tuple[BasicBlock, BasicBlock]:
+        """Lower a do-while-shaped loop; returns (body_entry, exit_block).
+
+        The latch (continue target) evaluates ``update`` (for-loops) and
+        then the condition, branching back to the body entry.
+        """
+        head = self.cur
+        assert head is not None
+        body_entry = self._start("loop")
+        latch = self.cfg.new_block()
+        exit_block = self.cfg.new_block()
+        head.terminator = Fall(body_entry.bid)
+        self.loop_stack.append(_LoopCtx(break_to=exit_block, continue_to=latch))
+        self._lower_stmt(body)
+        self._goto(latch)
+        self.loop_stack.pop()
+        self.cur = latch
+        if update is not None:
+            self._lower_expr_stmt(update)
+        self._lower_expr(cond)
+        assert self.cur is not None
+        self.cur.terminator = CondBr(body_entry.bid, exit_block.bid)
+        self.cur = exit_block
+        return body_entry, exit_block
+
+    def _lower_dowhile(self, stmt: ast.DoWhile) -> None:
+        self._lower_loop_core(stmt.body, stmt.cond)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        # Normalization: while (c) s  =>  if (c) { do s while (c); }
+        self._lower_expr(stmt.cond)
+        head = self.cur
+        assert head is not None
+        self._start()
+        body_entry, exit_block = self._lower_loop_core(stmt.body, stmt.cond)
+        head.terminator = CondBr(body_entry.bid, exit_block.bid)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            self._lower_expr_stmt(stmt.init)
+        cond = stmt.cond if stmt.cond is not None else ast.IntLit(value=1)
+        # Normalization: for (;c;u) s  =>  if (c) { do {s; u;} while (c); }
+        self._lower_expr(cond)
+        head = self.cur
+        assert head is not None
+        self._start()
+        body_entry, exit_block = self._lower_loop_core(
+            stmt.body, cond, update=stmt.update
+        )
+        head.terminator = CondBr(body_entry.bid, exit_block.bid)
+
+    def _lower_return(self, stmt: ast.ReturnStmt) -> None:
+        exp = self.expansion_stack[-1]
+        if stmt.value is not None:
+            self._lower_expr(stmt.value)
+            func = self.sema.program.function(exp.name)
+            want = (func.ret_ctype or "int") if func else "int"
+            self._coerce(stmt.value.ctype, want)
+            assert exp.ret_slot is not None
+            self.emit(Op.ST, exp.ret_slot)
+        if exp.recursive:
+            assert exp.dispatch is not None
+            self._goto(exp.dispatch)
+        else:
+            # single continuation, direct jump
+            self._goto(exp.returns[0][1])
+        self._start()  # unreachable continuation
+
+    # ------------------------------------------------------------------
+    # calls (section 2.2)
+    # ------------------------------------------------------------------
+    def _lower_call(self, call: ast.Call, result_slot: int | None) -> None:
+        name = call.name
+        func = self.sema.program.function(name)
+        assert func is not None
+
+        if name in self.active:
+            exp = self.active[name]
+            if not exp.recursive:
+                raise SemanticError(
+                    f"internal: unexpected re-entry of {name}", call.line
+                )
+            self._pass_args(call, func, exp)
+            selector = self.next_selector
+            self.next_selector += 1
+            self.emit(Op.RPUSH, selector)
+            assert exp.entry is not None
+            self._goto(exp.entry)
+            cont = self._start()
+            exp.returns.append((selector, cont))
+        else:
+            exp = _Expansion(
+                name=name,
+                frame={},
+                ret_slot=None,
+                recursive=name in self.recursive,
+            )
+            if func.ret_ctype is not None:
+                exp.ret_slot = self._alloc_poly(
+                    f"{name}.__ret", func.ret_ctype
+                )
+            # Parameter slots must exist before argument evaluation.
+            for p in func.params:
+                psym: Symbol = p.symbol  # type: ignore[attr-defined]
+                exp.frame[psym.uid] = self._alloc_poly(
+                    f"{name}.{p.name}", p.ctype
+                )
+            self._pass_args(call, func, exp)
+
+            cont = self.cfg.new_block()
+            if exp.recursive:
+                exp.dispatch = self.cfg.new_block(f"{name}.retdispatch")
+                selector = self.next_selector
+                self.next_selector += 1
+                self.emit(Op.RPUSH, selector)
+                exp.returns.append((selector, cont))
+            else:
+                exp.returns.append((-1, cont))
+
+            body_entry = self.cfg.new_block(name)
+            exp.entry = body_entry
+            self._goto(body_entry)
+            self.cur = body_entry
+
+            self.active[name] = exp
+            self.expansion_stack.append(exp)
+            self._lower_stmt(func.body)
+            # Fall off the end of the body: implicit return 0 / void.
+            if func.ret_ctype is not None:
+                self.emit(Op.PUSH, 0)
+                assert exp.ret_slot is not None
+                self.emit(Op.ST, exp.ret_slot)
+            if exp.recursive:
+                assert exp.dispatch is not None
+                self._goto(exp.dispatch)
+            else:
+                self._goto(cont)
+            self.expansion_stack.pop()
+            del self.active[name]
+
+            if exp.recursive:
+                self._build_dispatch(exp)
+            self.cur = cont
+
+        if result_slot is not None:
+            if exp.ret_slot is None:
+                raise SemanticError(
+                    f"void function {name}() used as a value", call.line
+                )
+            self.emit(Op.LD, exp.ret_slot)
+            self.emit(Op.ST, result_slot)
+
+    def _pass_args(self, call: ast.Call, func: ast.FuncDef, exp: _Expansion) -> None:
+        for arg, param in zip(call.args, func.params):
+            self._lower_expr(arg)
+            self._coerce(arg.ctype, param.ctype)
+            psym: Symbol = param.symbol  # type: ignore[attr-defined]
+            self.emit(Op.ST, exp.frame[psym.uid])
+
+    def _build_dispatch(self, exp: _Expansion) -> None:
+        """Build the return-dispatch chain: RPop the selector and branch
+        through two-way tests to the matching continuation — the paper's
+        "ordinary multiway branch" for recursive returns."""
+        assert exp.dispatch is not None
+        pairs = exp.returns
+        chain = exp.dispatch
+        chain.code.append(Instr(Op.RPOP))
+        for i, (selector, cont) in enumerate(pairs):
+            last = i == len(pairs) - 1
+            if last:
+                chain.code.append(Instr(Op.POP, 1))
+                chain.terminator = Fall(cont.bid)
+            else:
+                prep = self.cfg.new_block()
+                prep.code.append(Instr(Op.POP, 1))
+                prep.terminator = Fall(cont.bid)
+                nxt = self.cfg.new_block(f"{exp.name}.retdispatch{i + 1}")
+                chain.code.extend(
+                    [Instr(Op.DUP), Instr(Op.PUSH, selector), Instr(Op.EQ)]
+                )
+                chain.terminator = CondBr(prep.bid, nxt.bid)
+                chain = nxt
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def _lower_expr_stmt(self, expr: ast.Expr | None) -> None:
+        """Lower an expression evaluated for effect only."""
+        if expr is None:
+            return
+        if isinstance(expr, ast.Call):
+            self._lower_call(expr, result_slot=None)
+            return
+        if isinstance(expr, ast.Assign) and expr.op == "=" and isinstance(
+            expr.value, ast.Call
+        ):
+            # x = f(...);  — call result routed through the return slot.
+            assert isinstance(expr.target, ast.Name)
+            sym: Symbol = expr.target.symbol  # type: ignore[attr-defined]
+            slot, is_mono = self._slot(sym)
+            if is_mono:
+                raise SemanticError(
+                    "cannot assign a call result to a mono variable "
+                    "(call results are poly)", expr.line,
+                )
+            self._lower_call(expr.value, result_slot=slot)
+            return
+        if isinstance(expr, ast.Assign):
+            self._lower_assign(expr, want_value=False)
+            return
+        self._lower_expr(expr)
+        self.emit(Op.POP, 1)
+
+    def _lower_assign(self, expr: ast.Assign, want_value: bool) -> None:
+        target = expr.target
+        if isinstance(target, ast.IndexRef):
+            self._lower_array_assign(expr, want_value)
+            return
+        if isinstance(target, ast.ParallelRef):
+            if expr.op != "=":
+                raise SemanticError(
+                    "compound assignment to a parallel reference is not "
+                    "supported", expr.line,
+                )
+            sym: Symbol = target.symbol  # type: ignore[attr-defined]
+            slot, _ = self._slot(sym)
+            self._lower_expr(expr.value)
+            self._coerce(expr.value.ctype, sym.ctype)
+            if want_value:
+                self.emit(Op.DUP)
+                self._lower_expr(target.index)
+                self.emit(Op.STR, slot)
+            else:
+                self._lower_expr(target.index)
+                self.emit(Op.STR, slot)
+            return
+        assert isinstance(target, ast.Name)
+        sym = target.symbol  # type: ignore[attr-defined]
+        slot, is_mono = self._slot(sym)
+        if expr.op == "=":
+            self._lower_expr(expr.value)
+            self._coerce(expr.value.ctype, sym.ctype)
+        else:
+            # x op= v  =>  x = x op v (strict)
+            self.emit(Op.LDM if is_mono else Op.LD, slot)
+            self._lower_expr(expr.value)
+            base_op = expr.op[:-1]
+            self._emit_binop(base_op, sym.ctype, expr.value.ctype)
+            self._coerce(
+                "float" if "float" in (sym.ctype, expr.value.ctype) else "int",
+                sym.ctype,
+            )
+        if want_value:
+            self.emit(Op.DUP)
+        self.emit(Op.STM if is_mono else Op.ST, slot)
+
+    def _lower_array_assign(self, expr: ast.Assign, want_value: bool) -> None:
+        """Assignment to ``a[i]``. Plain assignment evaluates value then
+        index; compound forms load the element through a duplicated
+        index and swap before the store."""
+        target = expr.target
+        assert isinstance(target, ast.IndexRef)
+        sym = target.symbol  # type: ignore[attr-defined]
+        slot, is_mono = self._slot(sym)
+        st_op = Op.STMI if is_mono else Op.STI
+        ld_op = Op.LDMI if is_mono else Op.LDI
+        if expr.op == "=":
+            self._lower_expr(expr.value)
+            self._coerce(expr.value.ctype, sym.ctype)
+            if want_value:
+                self.emit(Op.DUP)
+            self._lower_expr(target.index)
+            self._coerce(target.index.ctype, "int")
+            self.emit(st_op, slot, sym.size)
+        else:
+            if want_value:
+                raise SemanticError(
+                    "compound assignment to an array element cannot be "
+                    "used as a value", expr.line,
+                )
+            # a[i] op= v: [i] -> [i, i] -> [i, a[i]] -> [i, r] -> [r, i]
+            self._lower_expr(target.index)
+            self._coerce(target.index.ctype, "int")
+            self.emit(Op.DUP)
+            self.emit(ld_op, slot, sym.size)
+            self._lower_expr(expr.value)
+            base_op = expr.op[:-1]
+            self._emit_binop(base_op, sym.ctype, expr.value.ctype)
+            self._coerce(
+                "float" if "float" in (sym.ctype, expr.value.ctype) else "int",
+                sym.ctype,
+            )
+            self.emit(Op.SWAP)
+            self.emit(st_op, slot, sym.size)
+
+    def _emit_binop(self, op: str, lt: str, rt: str) -> None:
+        if op == "/":
+            self.emit(Op.IDIV if (lt == "int" and rt == "int") else Op.DIV)
+        else:
+            self.emit(_BINOPS[op])
+
+    def _coerce(self, have: str, want: str) -> None:
+        if have == "float" and want == "int":
+            self.emit(Op.TRUNC)
+
+    def _lower_expr(self, expr: ast.Expr | None) -> None:
+        """Lower an expression, leaving its value on the operand stack."""
+        assert expr is not None
+        if isinstance(expr, ast.IntLit):
+            self.emit(Op.PUSH, int(expr.value))
+        elif isinstance(expr, ast.FloatLit):
+            self.emit(Op.PUSH, float(expr.value))
+        elif isinstance(expr, ast.ProcNum):
+            self.emit(Op.PROCNUM)
+        elif isinstance(expr, ast.NProc):
+            self.emit(Op.NPROC)
+        elif isinstance(expr, ast.Name):
+            sym: Symbol = expr.symbol  # type: ignore[attr-defined]
+            slot, is_mono = self._slot(sym)
+            self.emit(Op.LDM if is_mono else Op.LD, slot)
+        elif isinstance(expr, ast.IndexRef):
+            sym = expr.symbol  # type: ignore[attr-defined]
+            slot, is_mono = self._slot(sym)
+            self._lower_expr(expr.index)
+            self._coerce(expr.index.ctype, "int")
+            self.emit(Op.LDMI if is_mono else Op.LDI, slot, sym.size)
+        elif isinstance(expr, ast.ParallelRef):
+            sym = expr.symbol  # type: ignore[attr-defined]
+            slot, _ = self._slot(sym)
+            self._lower_expr(expr.index)
+            self.emit(Op.LDR, slot)
+        elif isinstance(expr, ast.Unary):
+            self._lower_expr(expr.operand)
+            self.emit(_UNOPS[expr.op])
+        elif isinstance(expr, ast.Binary):
+            self._lower_expr(expr.left)
+            self._lower_expr(expr.right)
+            self._emit_binop(expr.op, expr.left.ctype, expr.right.ctype)
+        elif isinstance(expr, ast.Ternary):
+            self._lower_expr(expr.cond)
+            self._lower_expr(expr.if_true)
+            self._coerce(expr.if_true.ctype, expr.ctype)
+            self._lower_expr(expr.if_false)
+            self._coerce(expr.if_false.ctype, expr.ctype)
+            self.emit(Op.SEL)
+        elif isinstance(expr, ast.Assign):
+            self._lower_assign(expr, want_value=True)
+        elif isinstance(expr, ast.Call):
+            raise SemanticError(
+                "calls may only appear as a statement or as the right-hand "
+                "side of a plain assignment", expr.line,
+            )
+        else:
+            raise AssertionError(f"unknown expression {expr!r}")
+
+
+def lower_program(sema: SemaInfo) -> Cfg:
+    """Lower an analyzed program to its normalized MIMD state graph."""
+    return Lowerer(sema).lower()

@@ -1,0 +1,34 @@
+"""Per-block execution-time model.
+
+Section 2.4: "the meta-state automaton embodies an execution time
+schedule for the code, and it is necessary that the execution time of
+each block be taken into account if a good schedule is to be produced."
+Each MIMD state carries an execution time; here that time is the sum of
+the cycle costs of its instructions plus the terminator cost.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import Cfg
+from repro.ir.instr import DEFAULT_COSTS, CostModel, code_cost
+
+
+def block_time(cfg: Cfg, bid: int, costs: CostModel = DEFAULT_COSTS) -> int:
+    """Execution time (cycles) of block ``bid`` under ``costs``.
+
+    Barrier-wait blocks cost zero — the paper stresses that "the barrier
+    synchronization does not result in a runtime operation, but rather
+    constrains the asynchrony" (section 2.6).
+    """
+    blk = cfg.blocks[bid]
+    if blk.is_barrier_wait:
+        return 0
+    t = code_cost(blk.code, costs)
+    if not blk.is_terminal:
+        t += costs.branch_cost
+    return t
+
+
+def cfg_times(cfg: Cfg, costs: CostModel = DEFAULT_COSTS) -> dict[int, int]:
+    """Execution time of every block in ``cfg``."""
+    return {bid: block_time(cfg, bid, costs) for bid in cfg.blocks}

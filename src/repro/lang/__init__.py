@@ -1,0 +1,88 @@
+"""Front end for MIMDC, the paper's parallel dialect of C (section 4.1).
+
+MIMDC "supports most of the basic C constructs. Data values can be
+either ``int`` or ``float``, and variables can be declared as ``mono``
+(shared) or ``poly`` (private)." It adds parallel subscripting
+(``x[[i]]`` reads/writes variable ``x`` on processing element ``i``),
+barrier synchronization via the ``wait`` statement, and the restricted
+process-creation primitives ``spawn(label)`` / ``halt`` of section 3.2.5.
+
+Deviations from C, all checked by the semantic analyzer and documented
+in DESIGN.md: ``&&`` / ``||`` / ``?:`` evaluate strictly (no
+short-circuit), and function calls appear only as statements or as the
+whole right-hand side of an assignment (calls are inline-expanded per
+section 2.2, so this keeps call boundaries on statement boundaries).
+"""
+
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.ast import (
+    Program,
+    FuncDef,
+    VarDecl,
+    Param,
+    Block,
+    If,
+    While,
+    DoWhile,
+    For,
+    ExprStmt,
+    ReturnStmt,
+    WaitStmt,
+    HaltStmt,
+    SpawnStmt,
+    LabeledStmt,
+    BreakStmt,
+    ContinueStmt,
+    EmptyStmt,
+    IntLit,
+    FloatLit,
+    Name,
+    ProcNum,
+    NProc,
+    Unary,
+    Binary,
+    Ternary,
+    Assign,
+    Call,
+    ParallelRef,
+)
+from repro.lang.parser import parse
+from repro.lang.sema import SemaInfo, analyze
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse",
+    "analyze",
+    "SemaInfo",
+    "Program",
+    "FuncDef",
+    "VarDecl",
+    "Param",
+    "Block",
+    "If",
+    "While",
+    "DoWhile",
+    "For",
+    "ExprStmt",
+    "ReturnStmt",
+    "WaitStmt",
+    "HaltStmt",
+    "SpawnStmt",
+    "LabeledStmt",
+    "BreakStmt",
+    "ContinueStmt",
+    "EmptyStmt",
+    "IntLit",
+    "FloatLit",
+    "Name",
+    "ProcNum",
+    "NProc",
+    "Unary",
+    "Binary",
+    "Ternary",
+    "Assign",
+    "Call",
+    "ParallelRef",
+]

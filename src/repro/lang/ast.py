@@ -1,0 +1,256 @@
+"""Abstract syntax tree for MIMDC.
+
+Plain dataclasses; every node carries the source line of its first token
+so later phases can report positioned errors. Expression nodes gain a
+``storage`` annotation ("mono" or "poly") during semantic analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    """Base class of all AST nodes."""
+
+    line: int = 0
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Expr(Node):
+    """Base class of expressions. ``storage`` and ``ctype`` are filled
+    in by :func:`repro.lang.sema.analyze`."""
+
+    storage: str = "mono"   # "mono" | "poly"
+    ctype: str = "int"      # "int" | "float"
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Name(Expr):
+    """Reference to a declared variable."""
+
+    name: str = ""
+
+
+@dataclass
+class ProcNum(Expr):
+    """``procnum`` — the index of this processing element (poly int)."""
+
+
+@dataclass
+class NProc(Expr):
+    """``nproc`` — the machine width (mono int)."""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = "-"            # "-", "!", "~", "+"
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = "+"            # arithmetic, comparison, bitwise, && ||
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Ternary(Expr):
+    """``c ? a : b`` — evaluated strictly (both arms computed)."""
+
+    cond: Expr | None = None
+    if_true: Expr | None = None
+    if_false: Expr | None = None
+
+
+@dataclass
+class ParallelRef(Expr):
+    """Parallel subscripting ``x[[e]]``: variable ``x`` on the PE whose
+    index is the local value of ``e`` (section 4.1)."""
+
+    name: str = ""
+    index: Expr | None = None
+
+
+@dataclass
+class IndexRef(Expr):
+    """Array element access ``a[e]`` (local element; poly arrays are
+    per-PE, mono arrays shared)."""
+
+    name: str = ""
+    index: Expr | None = None
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment to a variable or a parallel reference. ``op`` is
+    ``"="`` or a compound form like ``"+="``."""
+
+    target: Expr | None = None   # Name or ParallelRef
+    op: str = "="
+    value: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    """Function call. Only legal as an expression statement or as the
+    entire right-hand side of a plain assignment."""
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt(Node):
+    """Base class of statements."""
+
+
+@dataclass
+class VarDecl(Stmt):
+    """``[mono|poly] [int|float] name[size] [= init];`` — one
+    declarator per node (the parser splits comma lists). ``size`` is
+    ``None`` for scalars; arrays cannot be initialized in the
+    declaration."""
+
+    storage: str = "poly"
+    ctype: str = "int"
+    name: str = ""
+    init: Expr | None = None
+    size: int | None = None
+
+
+@dataclass
+class Block(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    otherwise: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Expr | None = None
+    cond: Expr | None = None
+    update: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class WaitStmt(Stmt):
+    """``wait;`` — barrier synchronization of all threads (section 2.6)."""
+
+
+@dataclass
+class HaltStmt(Stmt):
+    """``halt;`` — return this PE to the free pool (section 3.2.5)."""
+
+
+@dataclass
+class SpawnStmt(Stmt):
+    """``spawn(label);`` — restricted dynamic process creation: newly
+    activated PEs begin at the statement labeled ``label``."""
+
+    target: str = ""
+
+
+@dataclass
+class LabeledStmt(Stmt):
+    """``label: stmt`` — a spawn target."""
+
+    label: str = ""
+    stmt: Stmt | None = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+# ----------------------------------------------------------------------
+# top level
+# ----------------------------------------------------------------------
+@dataclass
+class Param(Node):
+    storage: str = "poly"
+    ctype: str = "int"
+    name: str = ""
+
+
+@dataclass
+class FuncDef(Node):
+    """Function definition. ``ret_ctype`` is ``None`` for ``void``."""
+
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    ret_storage: str = "poly"
+    ret_ctype: str | None = "int"
+    body: Block | None = None
+
+
+@dataclass
+class Program(Node):
+    """A whole MIMDC translation unit: global declarations + functions.
+    Execution starts at ``main``."""
+
+    globals: list[VarDecl] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDef | None:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        return None

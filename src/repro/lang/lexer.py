@@ -1,0 +1,164 @@
+"""Hand-written lexer for MIMDC.
+
+Produces a flat token list with 1-based line/column positions. Comments
+are C ``/* ... */`` and C++ ``// ...``; both are skipped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+
+class TokenKind(enum.Enum):
+    INT = "int-literal"
+    FLOAT = "float-literal"
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    PUNCT = "punctuation"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "float",
+        "void",
+        "mono",
+        "poly",
+        "if",
+        "else",
+        "while",
+        "do",
+        "for",
+        "return",
+        "wait",
+        "spawn",
+        "halt",
+        "break",
+        "continue",
+        "procnum",
+        "nproc",
+    }
+)
+
+# Longest first so maximal munch works with simple ordered matching.
+_PUNCTUATION = [
+    "[[", "]]",
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "{", "}", "(", ")", "[", "]", ";", ",", ":", "?",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+    value: float | int | None = None
+
+    def __str__(self) -> str:
+        return f"{self.text!r}@{self.line}:{self.col}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MIMDC ``source``; the result always ends with an EOF
+    token. Raises :class:`~repro.errors.LexError` on malformed input."""
+    toks: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = source[i]
+        # whitespace
+        if c in " \t\r\n":
+            advance(1)
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated comment", start_line, start_col)
+            advance(2)
+            continue
+        # numbers
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            start_line, start_col = line, col
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                ch = source[i]
+                if ch.isdigit():
+                    advance(1)
+                elif ch == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    advance(1)
+                elif ch in "eE" and not seen_exp and i > start:
+                    seen_exp = True
+                    advance(1)
+                    if i < n and source[i] in "+-":
+                        advance(1)
+                else:
+                    break
+            text = source[start:i]
+            try:
+                if seen_dot or seen_exp:
+                    toks.append(
+                        Token(TokenKind.FLOAT, text, start_line, start_col, float(text))
+                    )
+                else:
+                    toks.append(
+                        Token(TokenKind.INT, text, start_line, start_col, int(text))
+                    )
+            except ValueError:
+                raise LexError(f"malformed number {text!r}", start_line, start_col)
+            continue
+        # identifiers / keywords
+        if c.isalpha() or c == "_":
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            toks.append(Token(kind, text, start_line, start_col))
+            continue
+        # punctuation (maximal munch)
+        for p in _PUNCTUATION:
+            if source.startswith(p, i):
+                toks.append(Token(TokenKind.PUNCT, p, line, col))
+                advance(len(p))
+                break
+        else:
+            raise LexError(f"unexpected character {c!r}", line, col)
+
+    toks.append(Token(TokenKind.EOF, "", line, col))
+    return toks

@@ -1,0 +1,377 @@
+"""Recursive-descent parser for MIMDC.
+
+The grammar is classic C restricted to the paper's dialect: ``int`` /
+``float`` scalars with ``mono`` / ``poly`` storage, structured control
+flow, ``wait`` / ``spawn`` / ``halt``, labels (spawn targets), and
+parallel subscripting ``x[[e]]``. The function-definition return type is
+optional (the paper writes ``main() { ... }``), defaulting to
+``poly int``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.toks = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        return self.toks[min(self.pos + ahead, len(self.toks) - 1)]
+
+    def at(self, text: str, ahead: int = 0) -> bool:
+        return self.peek(ahead).text == text and self.peek(ahead).kind in (
+            TokenKind.PUNCT,
+            TokenKind.KEYWORD,
+        )
+
+    def accept(self, text: str) -> Token | None:
+        if self.at(text):
+            t = self.peek()
+            self.pos += 1
+            return t
+        return None
+
+    def expect(self, text: str) -> Token:
+        t = self.accept(text)
+        if t is None:
+            got = self.peek()
+            raise ParseError(f"expected {text!r}, got {got.text!r}", got.line, got.col)
+        return t
+
+    def expect_ident(self) -> Token:
+        t = self.peek()
+        if t.kind is not TokenKind.IDENT:
+            raise ParseError(f"expected identifier, got {t.text!r}", t.line, t.col)
+        self.pos += 1
+        return t
+
+    # -- top level -----------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        prog = ast.Program(line=1)
+        while self.peek().kind is not TokenKind.EOF:
+            storage, ctype, is_void = self._parse_decl_head()
+            name = self.expect_ident()
+            if self.at("("):
+                func = self._parse_funcdef(storage, ctype, is_void, name)
+                if func is not None:
+                    prog.functions.append(func)
+            else:
+                if is_void:
+                    raise ParseError("void variable", name.line, name.col)
+                prog.globals.extend(
+                    self._parse_declarators(storage or "mono", ctype or "int", name)
+                )
+        if prog.function("main") is None:
+            raise ParseError("program has no main() function", 1, 1)
+        return prog
+
+    def _parse_decl_head(self) -> tuple[str | None, str | None, bool]:
+        """Parse an optional ``[mono|poly] [int|float|void]`` prefix."""
+        storage = None
+        if self.at("mono"):
+            self.pos += 1
+            storage = "mono"
+        elif self.at("poly"):
+            self.pos += 1
+            storage = "poly"
+        ctype = None
+        is_void = False
+        if self.at("int"):
+            self.pos += 1
+            ctype = "int"
+        elif self.at("float"):
+            self.pos += 1
+            ctype = "float"
+        elif self.at("void"):
+            self.pos += 1
+            is_void = True
+        return storage, ctype, is_void
+
+    def _parse_funcdef(
+        self, storage: str | None, ctype: str | None, is_void: bool, name: Token
+    ) -> ast.FuncDef | None:
+        self.expect("(")
+        params: list[ast.Param] = []
+        if not self.at(")"):
+            while True:
+                p_storage, p_ctype, p_void = self._parse_decl_head()
+                if p_void:
+                    break  # f(void)
+                p_name = self.expect_ident()
+                params.append(
+                    ast.Param(
+                        line=p_name.line,
+                        storage=p_storage or "poly",
+                        ctype=p_ctype or "int",
+                        name=p_name.text,
+                    )
+                )
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        if self.accept(";"):
+            # Forward declaration: sema resolves calls against the whole
+            # translation unit, so prototypes carry no information; they
+            # are accepted and discarded.
+            return None
+        body = self._parse_block()
+        return ast.FuncDef(
+            line=name.line,
+            name=name.text,
+            params=params,
+            ret_storage=storage or "poly",
+            ret_ctype=None if is_void else (ctype or "int"),
+            body=body,
+        )
+
+    def _parse_declarators(
+        self, storage: str, ctype: str, first: Token
+    ) -> list[ast.VarDecl]:
+        """Parse ``name [= init] (, name [= init])* ;`` after the head."""
+        decls: list[ast.VarDecl] = []
+        name = first
+        while True:
+            init = None
+            size = None
+            if self.accept("["):
+                size_tok = self.peek()
+                if size_tok.kind is not TokenKind.INT or int(size_tok.value) < 1:
+                    raise ParseError("array size must be a positive integer",
+                                     size_tok.line, size_tok.col)
+                self.pos += 1
+                self.expect("]")
+                size = int(size_tok.value)
+            elif self.accept("="):
+                init = self._parse_assign()
+            decls.append(
+                ast.VarDecl(
+                    line=name.line,
+                    storage=storage,
+                    ctype=ctype,
+                    name=name.text,
+                    init=init,
+                    size=size,
+                )
+            )
+            if not self.accept(","):
+                break
+            name = self.expect_ident()
+        self.expect(";")
+        return decls
+
+    # -- statements ------------------------------------------------------
+    def _parse_block(self) -> ast.Block:
+        lbrace = self.expect("{")
+        body: list[ast.Stmt] = []
+        while not self.at("}"):
+            if self.peek().kind is TokenKind.EOF:
+                raise ParseError("unterminated block", lbrace.line, lbrace.col)
+            body.extend(self._parse_block_item())
+        self.expect("}")
+        return ast.Block(line=lbrace.line, body=body)
+
+    def _parse_block_item(self) -> list[ast.Stmt]:
+        if self.at("mono") or self.at("poly") or self.at("int") or self.at("float"):
+            storage, ctype, is_void = self._parse_decl_head()
+            name = self.expect_ident()
+            if is_void:
+                raise ParseError("void variable", name.line, name.col)
+            return list(
+                self._parse_declarators(storage or "poly", ctype or "int", name)
+            )
+        return [self._parse_stmt()]
+
+    def _parse_stmt(self) -> ast.Stmt:
+        t = self.peek()
+        if self.at("{"):
+            return self._parse_block()
+        if self.accept(";"):
+            return ast.EmptyStmt(line=t.line)
+        if self.accept("if"):
+            self.expect("(")
+            cond = self._parse_expr()
+            self.expect(")")
+            then = self._parse_stmt()
+            otherwise = self._parse_stmt() if self.accept("else") else None
+            return ast.If(line=t.line, cond=cond, then=then, otherwise=otherwise)
+        if self.accept("while"):
+            self.expect("(")
+            cond = self._parse_expr()
+            self.expect(")")
+            return ast.While(line=t.line, cond=cond, body=self._parse_stmt())
+        if self.accept("do"):
+            body = self._parse_stmt()
+            self.expect("while")
+            self.expect("(")
+            cond = self._parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return ast.DoWhile(line=t.line, body=body, cond=cond)
+        if self.accept("for"):
+            self.expect("(")
+            init = None if self.at(";") else self._parse_expr()
+            self.expect(";")
+            cond = None if self.at(";") else self._parse_expr()
+            self.expect(";")
+            update = None if self.at(")") else self._parse_expr()
+            self.expect(")")
+            return ast.For(
+                line=t.line, init=init, cond=cond, update=update,
+                body=self._parse_stmt(),
+            )
+        if self.accept("return"):
+            value = None if self.at(";") else self._parse_expr()
+            self.expect(";")
+            return ast.ReturnStmt(line=t.line, value=value)
+        if self.accept("wait"):
+            self.expect(";")
+            return ast.WaitStmt(line=t.line)
+        if self.accept("halt"):
+            self.expect(";")
+            return ast.HaltStmt(line=t.line)
+        if self.accept("spawn"):
+            self.expect("(")
+            target = self.expect_ident()
+            self.expect(")")
+            self.expect(";")
+            return ast.SpawnStmt(line=t.line, target=target.text)
+        if self.accept("break"):
+            self.expect(";")
+            return ast.BreakStmt(line=t.line)
+        if self.accept("continue"):
+            self.expect(";")
+            return ast.ContinueStmt(line=t.line)
+        # label: stmt
+        if t.kind is TokenKind.IDENT and self.at(":", ahead=1):
+            self.pos += 2
+            return ast.LabeledStmt(line=t.line, label=t.text, stmt=self._parse_stmt())
+        expr = self._parse_expr()
+        self.expect(";")
+        return ast.ExprStmt(line=t.line, expr=expr)
+
+    # -- expressions -----------------------------------------------------
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_assign()
+
+    def _parse_assign(self) -> ast.Expr:
+        left = self._parse_ternary()
+        for op in _ASSIGN_OPS:
+            if self.at(op):
+                tok = self.peek()
+                if not isinstance(left, (ast.Name, ast.ParallelRef,
+                                         ast.IndexRef)):
+                    raise ParseError("assignment target must be a variable or x[[i]]",
+                                     tok.line, tok.col)
+                self.pos += 1
+                value = self._parse_assign()
+                return ast.Assign(line=tok.line, target=left, op=op, value=value)
+        return left
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self.at("?"):
+            tok = self.peek()
+            self.pos += 1
+            if_true = self._parse_expr()
+            self.expect(":")
+            if_false = self._parse_ternary()
+            return ast.Ternary(
+                line=tok.line, cond=cond, if_true=if_true, if_false=if_false
+            )
+        return cond
+
+    # precedence table, loosest first
+    _LEVELS = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(self._LEVELS):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        while True:
+            for op in self._LEVELS[level]:
+                if self.at(op):
+                    tok = self.peek()
+                    self.pos += 1
+                    right = self._parse_binary(level + 1)
+                    left = ast.Binary(line=tok.line, op=op, left=left, right=right)
+                    break
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expr:
+        for op in ("-", "!", "~", "+"):
+            if self.at(op):
+                tok = self.peek()
+                self.pos += 1
+                operand = self._parse_unary()
+                if op == "+":
+                    return operand
+                return ast.Unary(line=tok.line, op=op, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        t = self.peek()
+        if t.kind is TokenKind.INT:
+            self.pos += 1
+            return ast.IntLit(line=t.line, value=int(t.value))
+        if t.kind is TokenKind.FLOAT:
+            self.pos += 1
+            return ast.FloatLit(line=t.line, value=float(t.value), ctype="float")
+        if self.accept("procnum"):
+            return ast.ProcNum(line=t.line, storage="poly")
+        if self.accept("nproc"):
+            return ast.NProc(line=t.line)
+        if self.accept("("):
+            inner = self._parse_expr()
+            self.expect(")")
+            return inner
+        if t.kind is TokenKind.IDENT:
+            self.pos += 1
+            if self.accept("("):
+                args: list[ast.Expr] = []
+                if not self.at(")"):
+                    while True:
+                        args.append(self._parse_assign())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return ast.Call(line=t.line, name=t.text, args=args)
+            if self.accept("[["):
+                index = self._parse_expr()
+                self.expect("]]")
+                return ast.ParallelRef(line=t.line, name=t.text, index=index)
+            if self.accept("["):
+                index = self._parse_expr()
+                self.expect("]")
+                return ast.IndexRef(line=t.line, name=t.text, index=index)
+            return ast.Name(line=t.line, name=t.text)
+        raise ParseError(f"unexpected token {t.text!r}", t.line, t.col)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MIMDC ``source`` into a :class:`~repro.lang.ast.Program`.
+
+    Raises :class:`~repro.errors.LexError` or
+    :class:`~repro.errors.ParseError` with source positions.
+    """
+    parser = _Parser(tokenize(source))
+    return parser.parse_program()

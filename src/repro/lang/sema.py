@@ -1,0 +1,420 @@
+"""Semantic analysis for MIMDC.
+
+Resolves names, checks the mono/poly typing discipline, validates call
+sites and spawn labels, and computes the call graph the inliner needs.
+
+The mono/poly rules (section 4.1 and [Phi89]):
+
+- a literal is ``mono``; ``procnum`` is ``poly``; ``nproc`` is ``mono``;
+- an operation is ``poly`` if any operand is ``poly``;
+- a ``mono`` variable may only be assigned a ``mono`` value (a poly
+  value has no single value to broadcast);
+- parallel subscripting ``x[[i]]`` requires ``x`` to be ``poly`` ("it is
+  also possible to directly access poly values from other processors");
+  the result is ``poly``;
+- conditions may be ``poly`` — data-dependent branching is exactly the
+  paper's source of asynchrony.
+
+Deviation notes enforced here: calls may appear only as an expression
+statement or as the whole right-hand side of a plain ``=`` assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SemanticError
+from repro.lang import ast
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A resolved variable: globals keep one symbol program-wide, locals
+    one per declaration site. ``size`` is None for scalars and the
+    element count for arrays."""
+
+    uid: int
+    name: str
+    storage: str
+    ctype: str
+    kind: str  # "global" | "local" | "param"
+    func: str | None  # owning function, None for globals
+    size: int | None = None
+
+    @property
+    def is_array(self) -> bool:
+        return self.size is not None
+
+
+@dataclass
+class FuncInfo:
+    """Per-function facts gathered by analysis."""
+
+    defn: ast.FuncDef
+    locals: list[Symbol] = field(default_factory=list)
+    params: list[Symbol] = field(default_factory=list)
+    labels: set[str] = field(default_factory=set)
+    calls: set[str] = field(default_factory=set)
+    has_spawn: bool = False
+    has_wait: bool = False
+
+
+@dataclass
+class SemaInfo:
+    """Result of :func:`analyze`."""
+
+    program: ast.Program
+    globals: list[Symbol]
+    functions: dict[str, FuncInfo]
+    call_graph: dict[str, set[str]]
+
+    def recursive_functions(self) -> set[str]:
+        """Functions involved in any call-graph cycle (incl. self loops)."""
+        # Tarjan-free approach: a function is recursive iff it can reach
+        # itself in the call graph.
+        out: set[str] = set()
+        for f in self.call_graph:
+            seen: set[str] = set()
+            work = list(self.call_graph.get(f, ()))
+            while work:
+                g = work.pop()
+                if g == f:
+                    out.add(f)
+                    break
+                if g in seen:
+                    continue
+                seen.add(g)
+                work.extend(self.call_graph.get(g, ()))
+        return out
+
+
+class _Analyzer:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.next_uid = 0
+        self.global_syms: dict[str, Symbol] = {}
+        self.functions: dict[str, FuncInfo] = {}
+
+    def fresh(self, name: str, storage: str, ctype: str, kind: str,
+              func: str | None, size: int | None = None) -> Symbol:
+        sym = Symbol(self.next_uid, name, storage, ctype, kind, func, size)
+        self.next_uid += 1
+        return sym
+
+    # ------------------------------------------------------------------
+    def run(self) -> SemaInfo:
+        for decl in self.program.globals:
+            if decl.name in self.global_syms:
+                raise SemanticError(f"redeclared global {decl.name!r}", decl.line)
+            if decl.init is not None and not isinstance(
+                decl.init, (ast.IntLit, ast.FloatLit)
+            ):
+                raise SemanticError(
+                    f"global initializer for {decl.name!r} must be a literal",
+                    decl.line,
+                )
+            sym = self.fresh(decl.name, decl.storage, decl.ctype, "global",
+                             None, decl.size)
+            self.global_syms[decl.name] = sym
+            decl.symbol = sym  # type: ignore[attr-defined]
+
+        names = set()
+        for func in self.program.functions:
+            if func.name in names:
+                raise SemanticError(f"redefined function {func.name!r}", func.line)
+            names.add(func.name)
+            self.functions[func.name] = FuncInfo(defn=func)
+
+        main = self.program.function("main")
+        if main is not None and main.params:
+            raise SemanticError("main() must take no parameters", main.line)
+
+        for func in self.program.functions:
+            self._collect_labels(func)
+        for func in self.program.functions:
+            self._check_function(func)
+
+        call_graph = {name: info.calls for name, info in self.functions.items()}
+        return SemaInfo(
+            program=self.program,
+            globals=list(self.global_syms.values()),
+            functions=self.functions,
+            call_graph=call_graph,
+        )
+
+    # ------------------------------------------------------------------
+    def _collect_labels(self, func: ast.FuncDef) -> None:
+        info = self.functions[func.name]
+
+        def walk(stmt: ast.Stmt | None) -> None:
+            if stmt is None:
+                return
+            if isinstance(stmt, ast.LabeledStmt):
+                if stmt.label in info.labels:
+                    raise SemanticError(f"duplicate label {stmt.label!r}", stmt.line)
+                info.labels.add(stmt.label)
+                walk(stmt.stmt)
+            elif isinstance(stmt, ast.Block):
+                for s in stmt.body:
+                    walk(s)
+            elif isinstance(stmt, ast.If):
+                walk(stmt.then)
+                walk(stmt.otherwise)
+            elif isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+                walk(stmt.body)
+
+        walk(func.body)
+
+    # ------------------------------------------------------------------
+    def _check_function(self, func: ast.FuncDef) -> None:
+        info = self.functions[func.name]
+        scopes: list[dict[str, Symbol]] = [dict(self.global_syms)]
+
+        def declare(name: str, storage: str, ctype: str, kind: str,
+                    line: int, size: int | None = None) -> Symbol:
+            if name in scopes[-1] and scopes[-1][name].kind != "global":
+                raise SemanticError(f"redeclared variable {name!r}", line)
+            sym = self.fresh(name, storage, ctype, kind, func.name, size)
+            scopes[-1][name] = sym
+            (info.params if kind == "param" else info.locals).append(sym)
+            return sym
+
+        def lookup(name: str, line: int) -> Symbol:
+            for scope in reversed(scopes):
+                if name in scope:
+                    return scope[name]
+            raise SemanticError(f"undeclared variable {name!r}", line)
+
+        scopes.append({})
+        for p in func.params:
+            sym = declare(p.name, p.storage, p.ctype, "param", p.line)
+            p.symbol = sym  # type: ignore[attr-defined]
+
+        loop_depth = 0
+
+        def check_expr(e: ast.Expr, call_ok: bool = False) -> ast.Expr:
+            if isinstance(e, ast.IntLit):
+                e.storage, e.ctype = "mono", "int"
+            elif isinstance(e, ast.FloatLit):
+                e.storage, e.ctype = "mono", "float"
+            elif isinstance(e, ast.ProcNum):
+                e.storage, e.ctype = "poly", "int"
+            elif isinstance(e, ast.NProc):
+                e.storage, e.ctype = "mono", "int"
+            elif isinstance(e, ast.Name):
+                sym = lookup(e.name, e.line)
+                if sym.is_array:
+                    raise SemanticError(
+                        f"array {e.name!r} used without a subscript", e.line
+                    )
+                e.symbol = sym  # type: ignore[attr-defined]
+                e.storage, e.ctype = sym.storage, sym.ctype
+            elif isinstance(e, ast.IndexRef):
+                sym = lookup(e.name, e.line)
+                if not sym.is_array:
+                    raise SemanticError(
+                        f"{e.name!r} is not an array", e.line
+                    )
+                e.symbol = sym  # type: ignore[attr-defined]
+                check_expr(e.index)
+                if e.index.ctype != "int":
+                    raise SemanticError("array index must be an int", e.line)
+                # A poly index into a mono array reads different
+                # elements per PE: the value is poly.
+                e.storage = (
+                    "poly"
+                    if sym.storage == "poly" or e.index.storage == "poly"
+                    else "mono"
+                )
+                e.ctype = sym.ctype
+            elif isinstance(e, ast.ParallelRef):
+                sym = lookup(e.name, e.line)
+                if sym.is_array:
+                    raise SemanticError(
+                        "parallel subscripting applies to poly scalars, "
+                        f"not arrays ({e.name!r})", e.line,
+                    )
+                if sym.storage != "poly":
+                    raise SemanticError(
+                        f"parallel subscript requires a poly variable, "
+                        f"{e.name!r} is mono", e.line,
+                    )
+                e.symbol = sym  # type: ignore[attr-defined]
+                check_expr(e.index)
+                e.storage, e.ctype = "poly", sym.ctype
+            elif isinstance(e, ast.Unary):
+                check_expr(e.operand)
+                e.storage = e.operand.storage
+                e.ctype = "int" if e.op in ("!", "~") else e.operand.ctype
+            elif isinstance(e, ast.Binary):
+                check_expr(e.left)
+                check_expr(e.right)
+                if e.op in ("%", "<<", ">>", "&", "|", "^") and (
+                    e.left.ctype == "float" or e.right.ctype == "float"
+                ):
+                    raise SemanticError(
+                        f"operator {e.op!r} requires int operands", e.line
+                    )
+                e.storage = (
+                    "poly"
+                    if "poly" in (e.left.storage, e.right.storage)
+                    else "mono"
+                )
+                if e.op in ("<", "<=", ">", ">=", "==", "!=", "&&", "||"):
+                    e.ctype = "int"
+                else:
+                    e.ctype = (
+                        "float"
+                        if "float" in (e.left.ctype, e.right.ctype)
+                        else "int"
+                    )
+            elif isinstance(e, ast.Ternary):
+                check_expr(e.cond)
+                check_expr(e.if_true)
+                check_expr(e.if_false)
+                e.storage = (
+                    "poly"
+                    if "poly" in (e.cond.storage, e.if_true.storage,
+                                  e.if_false.storage)
+                    else "mono"
+                )
+                e.ctype = (
+                    "float"
+                    if "float" in (e.if_true.ctype, e.if_false.ctype)
+                    else "int"
+                )
+            elif isinstance(e, ast.Assign):
+                check_expr(e.target)
+                rhs_call_ok = call_ok and e.op == "=" and isinstance(
+                    e.target, ast.Name
+                )
+                check_expr(e.value, call_ok=rhs_call_ok)
+                if e.target.storage == "mono" and e.value.storage == "poly":
+                    raise SemanticError(
+                        "cannot assign a poly value to a mono variable", e.line
+                    )
+                if (
+                    isinstance(e.target, ast.IndexRef)
+                    and e.target.symbol.storage == "mono"  # type: ignore[attr-defined]
+                    and e.target.index.storage == "poly"
+                ):
+                    raise SemanticError(
+                        "cannot store into a mono array through a poly index",
+                        e.line,
+                    )
+                e.storage, e.ctype = e.target.storage, e.target.ctype
+            elif isinstance(e, ast.Call):
+                if not call_ok:
+                    raise SemanticError(
+                        "calls may only appear as a statement or as the "
+                        "right-hand side of a plain assignment", e.line,
+                    )
+                callee = self.functions.get(e.name)
+                if callee is None:
+                    raise SemanticError(f"call to undefined function {e.name!r}",
+                                        e.line)
+                if len(e.args) != len(callee.defn.params):
+                    raise SemanticError(
+                        f"{e.name}() expects {len(callee.defn.params)} "
+                        f"argument(s), got {len(e.args)}", e.line,
+                    )
+                for a in e.args:
+                    check_expr(a)
+                info.calls.add(e.name)
+                e.func = callee  # type: ignore[attr-defined]
+                e.storage = callee.defn.ret_storage
+                e.ctype = callee.defn.ret_ctype or "int"
+            else:
+                raise AssertionError(f"unknown expression {e!r}")
+            return e
+
+        def check_stmt(stmt: ast.Stmt | None) -> None:
+            nonlocal loop_depth
+            if stmt is None:
+                return
+            if isinstance(stmt, ast.VarDecl):
+                if stmt.init is not None:
+                    check_expr(stmt.init)
+                    if stmt.storage == "mono" and stmt.init.storage == "poly":
+                        raise SemanticError(
+                            "cannot initialize a mono variable with a poly value",
+                            stmt.line,
+                        )
+                sym = declare(stmt.name, stmt.storage, stmt.ctype, "local",
+                              stmt.line, stmt.size)
+                stmt.symbol = sym  # type: ignore[attr-defined]
+            elif isinstance(stmt, ast.Block):
+                scopes.append({})
+                for s in stmt.body:
+                    check_stmt(s)
+                scopes.pop()
+            elif isinstance(stmt, ast.ExprStmt):
+                check_expr(stmt.expr, call_ok=True)
+            elif isinstance(stmt, ast.If):
+                check_expr(stmt.cond)
+                check_stmt(stmt.then)
+                check_stmt(stmt.otherwise)
+            elif isinstance(stmt, ast.While):
+                check_expr(stmt.cond)
+                loop_depth += 1
+                check_stmt(stmt.body)
+                loop_depth -= 1
+            elif isinstance(stmt, ast.DoWhile):
+                loop_depth += 1
+                check_stmt(stmt.body)
+                loop_depth -= 1
+                check_expr(stmt.cond)
+            elif isinstance(stmt, ast.For):
+                if stmt.init is not None:
+                    check_expr(stmt.init)
+                if stmt.cond is not None:
+                    check_expr(stmt.cond)
+                if stmt.update is not None:
+                    check_expr(stmt.update)
+                loop_depth += 1
+                check_stmt(stmt.body)
+                loop_depth -= 1
+            elif isinstance(stmt, ast.ReturnStmt):
+                if stmt.value is not None:
+                    if func.ret_ctype is None:
+                        raise SemanticError(
+                            f"void function {func.name!r} returns a value",
+                            stmt.line,
+                        )
+                    check_expr(stmt.value)
+                elif func.ret_ctype is not None:
+                    raise SemanticError(
+                        f"non-void function {func.name!r} returns no value",
+                        stmt.line,
+                    )
+            elif isinstance(stmt, ast.WaitStmt):
+                info.has_wait = True
+            elif isinstance(stmt, ast.HaltStmt):
+                pass
+            elif isinstance(stmt, ast.SpawnStmt):
+                if stmt.target not in info.labels:
+                    raise SemanticError(
+                        f"spawn target label {stmt.target!r} not found in "
+                        f"{func.name}()", stmt.line,
+                    )
+                info.has_spawn = True
+            elif isinstance(stmt, ast.LabeledStmt):
+                check_stmt(stmt.stmt)
+            elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+                if loop_depth == 0:
+                    kind = "break" if isinstance(stmt, ast.BreakStmt) else "continue"
+                    raise SemanticError(f"{kind} outside of a loop", stmt.line)
+            elif isinstance(stmt, ast.EmptyStmt):
+                pass
+            else:
+                raise AssertionError(f"unknown statement {stmt!r}")
+
+        check_stmt(func.body)
+        scopes.pop()
+
+
+def analyze(program: ast.Program) -> SemaInfo:
+    """Run semantic analysis on ``program``, annotating AST nodes in
+    place and returning the gathered :class:`SemaInfo`. Raises
+    :class:`~repro.errors.SemanticError` on the first violation."""
+    return _Analyzer(program).run()

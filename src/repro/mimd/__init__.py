@@ -1,0 +1,28 @@
+"""The MIMD substrate: a reference asynchronous machine and the
+section-1.1 interpreter baseline.
+
+- :mod:`repro.mimd.machine` executes a MIMD state graph on N truly
+  asynchronous processors. It is the semantic *oracle*: meta-state
+  conversion must reproduce its results exactly, and it supplies the
+  MIMD-side timings (including runtime barrier costs, which MSC
+  eliminates).
+- :mod:`repro.mimd.interp` is the paper's strawman: a SIMD machine that
+  *interprets* MIMD instructions, with every PE holding a copy of the
+  whole program and every step paying fetch + decode + per-opcode
+  serialization.
+- :mod:`repro.mimd.flatten` linearizes a CFG into the flat instruction
+  memory the interpreter fetches from.
+"""
+
+from repro.mimd.machine import MimdMachine, MimdResult
+from repro.mimd.flatten import FlatProgram, flatten_cfg
+from repro.mimd.interp import InterpreterMachine, InterpResult
+
+__all__ = [
+    "MimdMachine",
+    "MimdResult",
+    "FlatProgram",
+    "flatten_cfg",
+    "InterpreterMachine",
+    "InterpResult",
+]

@@ -1,0 +1,142 @@
+"""Linearize a CFG into the flat instruction memory the interpreter
+baseline fetches from.
+
+The section-1.1 interpreter models a PE-local copy of "the entire MIMD
+program's instructions". We lay blocks out in id order, append explicit
+control instructions, and record the byte footprint so the memory-cost
+comparison against meta-state conversion (where only the control unit
+holds the program) can be made.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.block import CondBr, Fall, Halt, Return, SpawnT
+from repro.ir.cfg import Cfg
+from repro.ir.instr import Instr
+
+# Control "opcodes" of the flat form. These are interpreter-level
+# operations, not members of Op; each takes one slot of instruction
+# memory like any other instruction.
+JMP = "Jmp"      # arg: flat index
+JF = "JumpF"     # pops cond; arg: flat index on false (fallthrough on true)
+RET = "Ret"
+HALTC = "Halt"
+SPAWN = "Spawn"  # arg: flat index of the child entry (fallthrough cont)
+WAIT = "Wait"    # barrier
+
+
+@dataclass(frozen=True)
+class FlatInstr:
+    """One flat instruction: either a body :class:`Instr` or a control
+    operation (``ctrl`` set, ``instr`` None)."""
+
+    instr: Instr | None = None
+    ctrl: str | None = None
+    arg: int = 0
+
+    def __str__(self) -> str:
+        if self.instr is not None:
+            return str(self.instr)
+        if self.ctrl in (JMP, JF, SPAWN):
+            return f"{self.ctrl}({self.arg})"
+        return str(self.ctrl)
+
+
+#: Modelled encoding size of one flat instruction in PE memory: a 2-byte
+#: opcode plus a 4-byte immediate — deliberately generous to the
+#: interpreter (tight encoding), since MSC wins the comparison anyway.
+INSTR_BYTES = 6
+
+
+@dataclass
+class FlatProgram:
+    """The linearized program.
+
+    ``code`` is the instruction memory; ``block_start`` maps block id to
+    its first flat index; ``ret_slot``/``n_poly``/``n_mono`` mirror the
+    CFG's memory layout.
+    """
+
+    code: list[FlatInstr] = field(default_factory=list)
+    block_start: dict[int, int] = field(default_factory=dict)
+    entry: int = 0
+    n_poly: int = 0
+    n_mono: int = 0
+    ret_slot: int | None = None
+
+    def memory_bytes_per_pe(self) -> int:
+        """Program memory each PE must hold under interpretation —
+        the footprint MSC reduces to zero ("nor is it necessary that
+        each PE have a copy of the program in local memory")."""
+        return len(self.code) * INSTR_BYTES
+
+    def __str__(self) -> str:
+        lines = []
+        starts = {v: k for k, v in self.block_start.items()}
+        for i, fi in enumerate(self.code):
+            tag = f"  ; B{starts[i]}" if i in starts else ""
+            lines.append(f"{i:4d}: {fi}{tag}")
+        return "\n".join(lines)
+
+
+def flatten_cfg(cfg: Cfg) -> FlatProgram:
+    """Lay out ``cfg`` as flat instruction memory.
+
+    Blocks are emitted in ascending id order starting with the entry;
+    fallthroughs become explicit ``Jmp``s except when the target is the
+    next block. Conditional branches are encoded as ``JumpF(false_idx)``
+    followed, when needed, by a ``Jmp(true_idx)`` — mirroring a real
+    two-address branch encoding.
+    """
+    order = [cfg.entry] + [b for b in sorted(cfg.blocks) if b != cfg.entry]
+    prog = FlatProgram(
+        n_poly=len(cfg.poly_slots),
+        n_mono=len(cfg.mono_slots),
+        ret_slot=cfg.ret_slot,
+    )
+
+    # First pass: place bodies, leaving control gaps; we need two slots
+    # for a CondBr (JumpF + Jmp), one for everything else.
+    placed: dict[int, int] = {}
+    idx = 0
+    for bid in order:
+        blk = cfg.blocks[bid]
+        placed[bid] = idx
+        idx += len(blk.code)
+        if blk.is_barrier_wait:
+            idx += 1  # Wait
+        term = blk.terminator
+        if isinstance(term, (CondBr, SpawnT)):
+            idx += 2
+        else:
+            idx += 1
+    prog.block_start = placed
+
+    # Second pass: emit.
+    for pos, bid in enumerate(order):
+        blk = cfg.blocks[bid]
+        for instr in blk.code:
+            prog.code.append(FlatInstr(instr=instr))
+        if blk.is_barrier_wait:
+            prog.code.append(FlatInstr(ctrl=WAIT))
+        term = blk.terminator
+        if isinstance(term, Fall):
+            prog.code.append(FlatInstr(ctrl=JMP, arg=placed[term.target]))
+        elif isinstance(term, CondBr):
+            prog.code.append(FlatInstr(ctrl=JF, arg=placed[term.on_false]))
+            prog.code.append(FlatInstr(ctrl=JMP, arg=placed[term.on_true]))
+        elif isinstance(term, Return):
+            prog.code.append(FlatInstr(ctrl=RET))
+        elif isinstance(term, Halt):
+            prog.code.append(FlatInstr(ctrl=HALTC))
+        elif isinstance(term, SpawnT):
+            prog.code.append(FlatInstr(ctrl=SPAWN, arg=placed[term.child]))
+            prog.code.append(FlatInstr(ctrl=JMP, arg=placed[term.cont]))
+        else:
+            raise AssertionError(f"unknown terminator {term!r}")
+
+    assert len(prog.code) == idx, "layout/emission size mismatch"
+    prog.entry = placed[cfg.entry]
+    return prog

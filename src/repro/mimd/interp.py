@@ -1,0 +1,231 @@
+"""The interpreter baseline: "MIMD Emulation" (section 1.1).
+
+The Basic MIMD Interpreter Algorithm, verbatim from the paper:
+
+1. Each PE fetches an "instruction" into its "instruction register"
+   and updates its "program counter".
+2. Each PE decodes the "instruction".
+3. For each "instruction" type present: disable all PEs whose IR holds
+   a different type, simulate the instruction on the enabled PEs,
+   re-enable everyone.
+4. Go to step 1.
+
+This machine is SIMD hardware *pretending* to be MIMD. Its three
+overheads — the ones MSC removes — are modelled explicitly:
+
+- fetch + decode cycles every step (``fetch_cost`` + ``decode_cost``);
+- the whole program replicated in every PE's memory
+  (:meth:`~repro.mimd.flatten.FlatProgram.memory_bytes_per_pe`);
+- serialization over the distinct opcodes present in a step, plus the
+  interpreter-loop jump overhead (``loop_cost``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.ir.instr import DEFAULT_COSTS, CostModel
+from repro.mimd.flatten import (
+    HALTC,
+    JF,
+    JMP,
+    RET,
+    SPAWN,
+    WAIT,
+    FlatProgram,
+)
+from repro.simd import vecops
+
+RUNNING = 0
+WAITING = 1
+DONE = 2
+IDLE = 3
+
+
+@dataclass
+class InterpResult:
+    """Outcome + cost accounting of an interpreted run.
+
+    ``cycles`` is the total SIMD control-unit time;
+    ``fetch_decode_cycles`` and ``execute_cycles`` split it into
+    interpreter overhead vs useful opcode execution; ``steps`` counts
+    interpreter iterations; ``program_bytes_per_pe`` is the replicated
+    code footprint. ``enabled_pe_cycles`` / (npes * cycles) is the PE
+    utilization of the emulation.
+    """
+
+    npes: int
+    poly: np.ndarray
+    mono: np.ndarray
+    returns: np.ndarray
+    status: np.ndarray
+    cycles: int
+    fetch_decode_cycles: int
+    execute_cycles: int
+    steps: int
+    program_bytes_per_pe: int
+    enabled_pe_cycles: int
+
+    @property
+    def utilization(self) -> float:
+        if self.cycles <= 0 or self.npes == 0:
+            return 1.0
+        return self.enabled_pe_cycles / (self.npes * self.cycles)
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of control-unit time spent on fetch/decode/loop rather
+        than executing user operations."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.fetch_decode_cycles / self.cycles
+
+
+class InterpreterMachine:
+    """SIMD machine running the section-1.1 MIMD interpreter.
+
+    Parameters mirror :class:`~repro.simd.machine.SimdMachine`;
+    ``loop_cost`` is "the cost of jumping back to the start of the
+    interpreter loop" (overhead problem 3).
+    """
+
+    def __init__(self, npes: int, costs: CostModel = DEFAULT_COSTS,
+                 loop_cost: int = 1, stack_depth: int = 64,
+                 rstack_depth: int = 256):
+        if npes < 1:
+            raise MachineError("need at least one PE")
+        self.npes = npes
+        self.costs = costs
+        self.loop_cost = loop_cost
+        self.stack_depth = stack_depth
+        self.rstack_depth = rstack_depth
+
+    def run(self, prog: FlatProgram, active: int | None = None,
+            max_steps: int = 1_000_000) -> InterpResult:
+        """Interpret ``prog``; ``active`` PEs start at the entry."""
+        if active is None:
+            active = self.npes
+        if not (1 <= active <= self.npes):
+            raise MachineError(f"active={active} out of range 1..{self.npes}")
+
+        st = vecops.PeState(self.npes, prog.n_poly, prog.n_mono,
+                            self.stack_depth, self.rstack_depth)
+        pc = np.zeros(self.npes, dtype=np.int64)
+        status = np.full(self.npes, IDLE, dtype=np.int64)
+        status[:active] = RUNNING
+        pc[:active] = prog.entry
+
+        cycles = 0
+        fetch_decode = 0
+        execute = 0
+        enabled_pe_cycles = 0
+        steps = 0
+        code = prog.code
+
+        while True:
+            live = status == RUNNING
+            waiting = status == WAITING
+            if not live.any():
+                if waiting.any():
+                    raise MachineError(
+                        "deadlock: PEs left waiting at a barrier"
+                    )
+                break
+            steps += 1
+            if steps > max_steps:
+                raise MachineError(f"interpreter exceeded {max_steps} steps")
+
+            # Steps 1-2: every PE fetches and decodes (paid even by
+            # disabled PEs — the control unit runs the loop regardless).
+            step_cost = self.costs.fetch_cost + self.costs.decode_cost
+            fetch_decode += step_cost + self.loop_cost
+
+            # Step 3: serialize over the distinct instruction types the
+            # live PEs fetched.
+            live_idx = np.flatnonzero(live)
+            fetched = pc[live_idx]
+            kinds: dict[int, list[int]] = {}
+            for pe, fi in zip(live_idx, fetched):
+                kinds.setdefault(int(fi), []).append(int(pe))
+            # Group PEs by the *instruction* they sit at. Distinct flat
+            # indices holding the same opcode still serialize — the
+            # interpreter dispatches per (opcode, operand) instruction
+            # word it decoded, as a real jump-table interpreter would.
+            exec_cost_this_step = 0
+            for fi, pes in sorted(kinds.items()):
+                idxs = np.array(sorted(pes), dtype=np.int64)
+                flat = code[fi]
+                if flat.instr is not None:
+                    c = self.costs.cost(flat.instr)
+                    vecops.exec_instr(flat.instr, idxs, st)
+                    pc[idxs] = fi + 1
+                else:
+                    c = self.costs.branch_cost
+                    self._exec_ctrl(flat, fi, idxs, pc, status, st, prog)
+                exec_cost_this_step += c
+                enabled_pe_cycles += c * idxs.size
+            execute += exec_cost_this_step
+            cycles += step_cost + self.loop_cost + exec_cost_this_step
+
+            # Barrier release: all live PEs waiting -> everyone proceeds.
+            live_or_wait = (status == RUNNING) | (status == WAITING)
+            if live_or_wait.any() and np.all(status[live_or_wait] == WAITING):
+                w = np.flatnonzero(status == WAITING)
+                status[w] = RUNNING
+                pc[w] += 1  # past the Wait instruction
+
+        returns = np.full(self.npes, np.nan)
+        if prog.ret_slot is not None:
+            done = status == DONE
+            returns[done] = st.poly[prog.ret_slot, done]
+        return InterpResult(
+            npes=self.npes,
+            poly=st.poly,
+            mono=st.mono,
+            returns=returns,
+            status=status,
+            cycles=cycles,
+            fetch_decode_cycles=fetch_decode,
+            execute_cycles=execute,
+            steps=steps,
+            program_bytes_per_pe=prog.memory_bytes_per_pe(),
+            enabled_pe_cycles=enabled_pe_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    def _exec_ctrl(self, flat, fi: int, idxs: np.ndarray, pc: np.ndarray,
+                   status: np.ndarray, st: vecops.PeState,
+                   prog: FlatProgram) -> None:
+        if flat.ctrl == JMP:
+            pc[idxs] = flat.arg
+        elif flat.ctrl == JF:
+            if np.any(st.sp[idxs] < 1):
+                raise MachineError("branch on empty stack")
+            cond = st.stack[st.sp[idxs] - 1, idxs]
+            st.sp[idxs] -= 1
+            pc[idxs] = np.where(cond != 0, fi + 1, flat.arg)
+        elif flat.ctrl == RET:
+            status[idxs] = DONE
+        elif flat.ctrl == HALTC:
+            status[idxs] = IDLE
+            st.reset_pes(idxs)
+        elif flat.ctrl == WAIT:
+            status[idxs] = WAITING
+        elif flat.ctrl == SPAWN:
+            free = np.flatnonzero(status == IDLE)
+            if free.size < idxs.size:
+                raise MachineError(
+                    "spawn: not enough free PEs (section 3.2.5 requires "
+                    "spawns not to exceed the number of processors)"
+                )
+            children = free[: idxs.size]
+            st.poly[:, children] = st.poly[:, idxs]
+            st.reset_pes(children)
+            status[children] = RUNNING
+            pc[children] = flat.arg
+            pc[idxs] = fi + 1  # spawners continue at the Jmp to cont
+        else:
+            raise AssertionError(f"unknown control {flat.ctrl!r}")

@@ -1,0 +1,363 @@
+"""Reference MIMD machine: N asynchronous processors, no meta states.
+
+This is the execution model the paper wants to *duplicate* on SIMD
+hardware. Each processor walks the MIMD state graph independently; the
+only sources of asynchrony are data-dependent branch outcomes (the
+paper's assumption: "processors computing different values for the
+parallel expressions ... are the only sources of asynchrony, i.e. there
+are no external interrupts").
+
+Determinism: processors are simulated on an event loop ordered by
+(time, processor id); a processor executes a whole basic block
+atomically at its current time, then advances by the block's cycle
+cost. Mono stores and router traffic therefore take effect in a defined
+global order, making runs reproducible. Programs whose output depends
+on mono/router races are outside the equivalence oracle (DESIGN.md).
+
+Barriers: a processor reaching a barrier-wait block parks; when every
+live processor is parked at a barrier, all are released simultaneously
+at the latest arrival time (runtime synchronization, whose cost MSC
+eliminates — section 5). ``barrier_wait_cycles`` accumulates the time
+processors spent parked, and ``barrier_release_cost`` cycles are
+charged per processor per release (the runtime-synchronization price of
+real MIMD execution).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.ir import semantics
+from repro.ir.block import CondBr, Fall, Halt, Return, SpawnT
+from repro.ir.cfg import Cfg
+from repro.ir.instr import DEFAULT_COSTS, BINARY_OPS, UNARY_OPS, CostModel, Op
+from repro.ir.timing import block_time
+
+# Processor status values.
+RUNNING = 0
+WAITING = 1   # parked at a barrier
+DONE = 2      # executed Return
+IDLE = 3      # never started, or executed Halt
+
+
+@dataclass
+class MimdResult:
+    """Outcome of a reference MIMD run.
+
+    ``poly`` is the (nslots, nprocs) poly memory, ``mono`` the shared
+    memory, ``returns`` the per-processor value of the program's return
+    slot (NaN for processors that never ran). ``finish_time`` is the
+    completion time of the whole program (max over processors);
+    ``busy_cycles`` counts cycles spent executing blocks, so
+    ``busy_cycles / (nprocs * finish_time)`` is processor utilization.
+    ``trace`` maps each processor to its sequence of (block id, start
+    time) visits.
+    """
+
+    nprocs: int
+    poly: np.ndarray
+    mono: np.ndarray
+    returns: np.ndarray
+    status: np.ndarray
+    finish_time: int
+    busy_cycles: int
+    barrier_wait_cycles: int
+    barrier_releases: int
+    trace: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of processor-cycles spent executing code."""
+        if self.finish_time <= 0 or self.nprocs == 0:
+            return 1.0
+        return self.busy_cycles / (self.nprocs * self.finish_time)
+
+
+@dataclass
+class _Proc:
+    pid: int
+    pc: int = 0
+    time: int = 0
+    status: int = IDLE
+    stack: list[float] = field(default_factory=list)
+    rstack: list[float] = field(default_factory=list)
+
+
+class MimdMachine:
+    """An N-processor asynchronous MIMD machine executing a
+    :class:`~repro.ir.cfg.Cfg` directly.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of processors.
+    costs:
+        Cycle-cost model (shared with the SIMD machine so timing
+        comparisons are apples-to-apples).
+    barrier_release_cost:
+        Cycles charged to every processor at each barrier release — the
+        runtime cost of MIMD synchronization that meta-state conversion
+        makes implicit.
+    max_rstack:
+        Return-selector stack depth (recursion limit).
+    trace:
+        Record per-processor block visit traces.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        costs: CostModel = DEFAULT_COSTS,
+        barrier_release_cost: int = 8,
+        max_rstack: int = 256,
+        trace: bool = False,
+    ):
+        if nprocs < 1:
+            raise MachineError("need at least one processor")
+        self.nprocs = nprocs
+        self.costs = costs
+        self.barrier_release_cost = barrier_release_cost
+        self.max_rstack = max_rstack
+        self.trace_enabled = trace
+
+    # ------------------------------------------------------------------
+    def run(self, cfg: Cfg, active: int | None = None,
+            max_steps: int = 1_000_000) -> MimdResult:
+        """Execute ``cfg`` from its entry block on every active
+        processor (SPMD start). ``active`` defaults to all processors;
+        the rest stay idle until spawned. ``max_steps`` bounds the total
+        number of block executions."""
+        if active is None:
+            active = self.nprocs
+        if not (1 <= active <= self.nprocs):
+            raise MachineError(f"active={active} out of range 1..{self.nprocs}")
+
+        poly = np.zeros((len(cfg.poly_slots), self.nprocs), dtype=np.float64)
+        mono = np.zeros(len(cfg.mono_slots), dtype=np.float64)
+        procs = [_Proc(pid=p) for p in range(self.nprocs)]
+        for p in range(active):
+            procs[p].status = RUNNING
+            procs[p].pc = cfg.entry
+
+        trace: dict[int, list[tuple[int, int]]] = {p: [] for p in range(self.nprocs)}
+        # Event queue of (time, pid) for runnable processors.
+        heap: list[tuple[int, int]] = [(0, p) for p in range(active)]
+        heapq.heapify(heap)
+
+        busy = 0
+        barrier_wait_cycles = 0
+        barrier_releases = 0
+        steps = 0
+
+        while heap:
+            t, pid = heapq.heappop(heap)
+            proc = procs[pid]
+            if proc.status != RUNNING or proc.time != t:
+                continue  # stale event (e.g. released barrier re-queued)
+            steps += 1
+            if steps > max_steps:
+                raise MachineError(f"MIMD run exceeded {max_steps} block steps")
+
+            blk = cfg.blocks[proc.pc]
+            if self.trace_enabled:
+                trace[pid].append((blk.bid, t))
+
+            if blk.is_barrier_wait:
+                proc.status = WAITING
+                released = self._maybe_release_barrier(cfg, procs, heap)
+                if released is not None:
+                    barrier_releases += 1
+                    barrier_wait_cycles += released
+                continue
+
+            cost = block_time(cfg, blk.bid, self.costs)
+            busy += cost
+            self._exec_body(blk.code, proc, poly, mono, procs)
+
+            term = blk.terminator
+            if isinstance(term, Fall):
+                proc.pc = term.target
+            elif isinstance(term, CondBr):
+                cond = proc.stack.pop()
+                proc.pc = term.on_true if cond != 0 else term.on_false
+            elif isinstance(term, Return):
+                proc.status = DONE
+            elif isinstance(term, Halt):
+                proc.status = IDLE
+                proc.stack.clear()
+                proc.rstack.clear()
+            elif isinstance(term, SpawnT):
+                child = self._claim_idle(procs)
+                if child is None:
+                    raise MachineError(
+                        f"spawn at block {blk.bid}: no free processor "
+                        "(section 3.2.5 requires spawns not to exceed the "
+                        "number of processors available)"
+                    )
+                child.status = RUNNING
+                child.pc = term.child
+                child.time = proc.time + cost
+                child.stack = []
+                child.rstack = []
+                poly[:, child.pid] = poly[:, proc.pid]
+                heapq.heappush(heap, (child.time, child.pid))
+                proc.pc = term.cont
+            else:
+                raise AssertionError(f"unknown terminator {term!r}")
+
+            proc.time += cost
+            if proc.status == RUNNING:
+                heapq.heappush(heap, (proc.time, pid))
+            else:
+                # A processor leaving the live set can complete a barrier
+                # the remaining processors are already waiting at.
+                released = self._maybe_release_barrier(cfg, procs, heap)
+                if released is not None:
+                    barrier_releases += 1
+                    barrier_wait_cycles += released
+
+        # Any processor still WAITING at drain time is deadlocked.
+        if any(p.status == WAITING for p in procs):
+            raise MachineError("deadlock: processors left waiting at a barrier")
+
+        finish = max((p.time for p in procs if p.status != IDLE or p.time > 0),
+                     default=0)
+        returns = np.full(self.nprocs, np.nan)
+        if cfg.ret_slot is not None:
+            done = np.array([p.status == DONE for p in procs])
+            returns[done] = poly[cfg.ret_slot, done]
+        return MimdResult(
+            nprocs=self.nprocs,
+            poly=poly,
+            mono=mono,
+            returns=returns,
+            status=np.array([p.status for p in procs]),
+            finish_time=finish,
+            busy_cycles=busy,
+            barrier_wait_cycles=barrier_wait_cycles,
+            barrier_releases=barrier_releases,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    def _maybe_release_barrier(self, cfg: Cfg, procs: list[_Proc],
+                               heap: list) -> int | None:
+        """Release every waiting processor if all live processors are
+        parked at barriers. Returns the total cycles processors spent
+        waiting, or None when no release happened."""
+        live = [q for q in procs if q.status in (RUNNING, WAITING)]
+        if not live or any(q.status != WAITING for q in live):
+            return None
+        release = max(q.time for q in live)
+        waited = 0
+        for q in live:
+            waited += release - q.time
+            q.time = release + self.barrier_release_cost
+            q.status = RUNNING
+            nxt = cfg.blocks[q.pc].terminator
+            assert isinstance(nxt, Fall)
+            q.pc = nxt.target
+            heapq.heappush(heap, (q.time, q.pid))
+        return waited
+
+    @staticmethod
+    def _bounds(idx: int, instr, pid: int) -> None:
+        if not (0 <= idx < int(instr.arg2)):
+            raise MachineError(
+                f"array index {idx} out of range 0..{int(instr.arg2) - 1} "
+                f"in {instr} on processor {pid}"
+            )
+
+    def _claim_idle(self, procs: list[_Proc]) -> _Proc | None:
+        """Lowest-indexed idle processor, or None."""
+        for q in procs:
+            if q.status == IDLE:
+                return q
+        return None
+
+    def _exec_body(self, code, proc: _Proc, poly: np.ndarray,
+                   mono: np.ndarray, procs: list[_Proc]) -> None:
+        """Execute a block body on one processor."""
+        stack = proc.stack
+        pid = proc.pid
+        for instr in code:
+            op = instr.op
+            if op in BINARY_OPS:
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(semantics.binary(op, a, b))
+            elif op in UNARY_OPS:
+                stack.append(semantics.unary(op, stack.pop()))
+            elif op is Op.PUSH:
+                stack.append(float(instr.arg))
+            elif op is Op.POP:
+                del stack[len(stack) - int(instr.arg):]
+            elif op is Op.DUP:
+                stack.append(stack[-1])
+            elif op is Op.SWAP:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+            elif op is Op.LD:
+                stack.append(float(poly[int(instr.arg), pid]))
+            elif op is Op.ST:
+                poly[int(instr.arg), pid] = stack.pop()
+            elif op is Op.LDM:
+                stack.append(float(mono[int(instr.arg)]))
+            elif op is Op.STM:
+                mono[int(instr.arg)] = stack.pop()
+            elif op is Op.LDR:
+                idx = int(stack.pop())
+                if not (0 <= idx < self.nprocs):
+                    raise MachineError(
+                        f"parallel read from out-of-range PE {idx} on PE {pid}"
+                    )
+                stack.append(float(poly[int(instr.arg), idx]))
+            elif op is Op.STR:
+                idx = int(stack.pop())
+                value = stack.pop()
+                if not (0 <= idx < self.nprocs):
+                    raise MachineError(
+                        f"parallel write to out-of-range PE {idx} on PE {pid}"
+                    )
+                poly[int(instr.arg), idx] = value
+            elif op is Op.LDI:
+                idx = int(stack.pop())
+                self._bounds(idx, instr, pid)
+                stack.append(float(poly[int(instr.arg) + idx, pid]))
+            elif op is Op.STI:
+                idx = int(stack.pop())
+                self._bounds(idx, instr, pid)
+                poly[int(instr.arg) + idx, pid] = stack.pop()
+            elif op is Op.LDMI:
+                idx = int(stack.pop())
+                self._bounds(idx, instr, pid)
+                stack.append(float(mono[int(instr.arg) + idx]))
+            elif op is Op.STMI:
+                idx = int(stack.pop())
+                self._bounds(idx, instr, pid)
+                mono[int(instr.arg) + idx] = stack.pop()
+            elif op is Op.PROCNUM:
+                stack.append(float(pid))
+            elif op is Op.NPROC:
+                stack.append(float(self.nprocs))
+            elif op is Op.SEL:
+                b = stack.pop()
+                a = stack.pop()
+                c = stack.pop()
+                stack.append(a if c != 0 else b)
+            elif op is Op.RPUSH:
+                if len(proc.rstack) >= self.max_rstack:
+                    raise MachineError(
+                        f"return-selector stack overflow on PE {pid} "
+                        f"(recursion deeper than {self.max_rstack})"
+                    )
+                proc.rstack.append(float(instr.arg))
+            elif op is Op.RPOP:
+                if not proc.rstack:
+                    raise MachineError(f"return-selector stack underflow on PE {pid}")
+                stack.append(proc.rstack.pop())
+            else:
+                raise AssertionError(f"unhandled opcode {op}")

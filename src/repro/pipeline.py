@@ -1,0 +1,146 @@
+"""High-level conversion pipeline — the public one-call API.
+
+Mirrors section 4.2's outline of the prototype:
+
+1. parse the MIMDC source into a control-flow graph (normalized form);
+2. straighten and remove empty nodes;
+3. apply the meta-state conversion algorithm (optionally with
+   compression and/or time splitting);
+4. straighten the meta-state graph and encode it for SIMD execution
+   (CSI scheduling + hash-encoded multiway branches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.convert import ConvertOptions, convert
+from repro.core.metastate import MetaStateGraph
+from repro.core.timesplit import TimeSplitOptions, convert_with_time_splitting
+from repro.ir.cfg import Cfg
+from repro.ir.instr import DEFAULT_COSTS, CostModel
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+
+@dataclass(frozen=True)
+class ConversionOptions:
+    """Options controlling the whole pipeline.
+
+    Attributes
+    ----------
+    compress:
+        Meta-state compression (section 2.5).
+    time_split:
+        MIMD state time splitting (section 2.4).
+    split_delta / split_percent:
+        Time-splitting thresholds (see
+        :class:`repro.core.timesplit.TimeSplitOptions`).
+    max_meta_states:
+        State-space cap for the conversion.
+    use_csi:
+        Schedule meta-state bodies with common subexpression induction
+        (section 3.1); ``False`` serializes the threads — the ablation
+        baseline.
+    costs:
+        Cycle-cost model shared by splitting, scheduling, and the
+        simulators.
+    """
+
+    compress: bool = False
+    time_split: bool = False
+    split_delta: int = 4
+    split_percent: int = 50
+    max_meta_states: int = 100_000
+    use_csi: bool = True
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+
+
+@dataclass
+class ConversionResult:
+    """Everything the pipeline produced.
+
+    ``cfg`` is the MIMD state graph (after any time splitting), ``graph``
+    the meta-state automaton, ``program`` the encoded SIMD program (lazy;
+    see :meth:`simd_program`), and ``options`` the options used.
+    """
+
+    source: str
+    cfg: Cfg
+    graph: MetaStateGraph
+    options: ConversionOptions
+    restarts: int = 0
+    _program: object = None
+
+    def simd_program(self):
+        """The executable SIMD encoding (CSI-scheduled, hash-dispatched),
+        built on first use."""
+        if self._program is None:
+            from repro.codegen.emit import encode_program
+
+            self._program = encode_program(
+                self.cfg, self.graph, costs=self.options.costs,
+                use_csi=self.options.use_csi,
+            )
+        return self._program
+
+    def mpl_text(self) -> str:
+        """MPL-like C rendering of the automaton (the paper's Listing 5)."""
+        from repro.codegen.mpl import render_mpl
+
+        return render_mpl(self.simd_program())
+
+
+def convert_source(
+    source: str, options: ConversionOptions = ConversionOptions()
+) -> ConversionResult:
+    """Compile MIMDC ``source`` into a meta-state automaton.
+
+    Raises front-end errors (:class:`~repro.errors.LexError`,
+    :class:`~repro.errors.ParseError`,
+    :class:`~repro.errors.SemanticError`) or
+    :class:`~repro.errors.ConversionError` on state-space blowup.
+    """
+    sema = analyze(parse(source))
+    cfg = lower_program(sema)
+    convert_options = ConvertOptions(
+        compress=options.compress, max_meta_states=options.max_meta_states
+    )
+    if options.time_split:
+        split_options = TimeSplitOptions(
+            split_delta=options.split_delta,
+            split_percent=options.split_percent,
+        )
+        graph, cfg, restarts = convert_with_time_splitting(
+            cfg, convert_options, split_options, options.costs
+        )
+    else:
+        graph = convert(cfg, convert_options)
+        restarts = 0
+    return ConversionResult(
+        source=source, cfg=cfg, graph=graph, options=options, restarts=restarts
+    )
+
+
+def simulate_simd(result: ConversionResult, npes: int, *,
+                  active: int | None = None, max_steps: int = 1_000_000):
+    """Execute the converted program on the SIMD machine simulator.
+
+    ``active`` limits how many PEs start in ``main`` (the rest sit in
+    the free pool for ``spawn`` to claim); default all.
+    """
+    from repro.simd.machine import SimdMachine
+
+    machine = SimdMachine(npes=npes, costs=result.options.costs)
+    return machine.run(result.simd_program(), active=active, max_steps=max_steps)
+
+
+def simulate_mimd(result: ConversionResult, nprocs: int, *,
+                  active: int | None = None, max_steps: int = 1_000_000):
+    """Execute the original MIMD state graph on the reference MIMD
+    machine (the semantic oracle — no meta states involved)."""
+    from repro.mimd.machine import MimdMachine
+
+    machine = MimdMachine(nprocs=nprocs, costs=result.options.costs)
+    return machine.run(result.cfg, active=active, max_steps=max_steps)

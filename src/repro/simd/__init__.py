@@ -1,0 +1,14 @@
+"""The SIMD substrate: a MasPar-MP-1-like machine simulator.
+
+- :mod:`repro.simd.vecops` — vectorized (numpy-across-PEs) semantics of
+  the stack ISA, exactly matching the scalar semantics used by the
+  reference MIMD machine;
+- :mod:`repro.simd.machine` — the meta-state SIMD machine: a control
+  unit holding the meta-state automaton (and nothing per-PE but data),
+  enable masking by ``pc`` bit, the ``globalor`` aggregate, and cycle /
+  utilization accounting.
+"""
+
+from repro.simd.machine import SimdMachine, SimdResult
+
+__all__ = ["SimdMachine", "SimdResult"]

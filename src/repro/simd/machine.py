@@ -1,0 +1,286 @@
+"""The meta-state SIMD machine.
+
+"Once a program has been converted into the form of a meta-state
+automaton, it is no longer necessary for each PE to fetch and decode
+instructions, nor is it necessary that each PE have a copy of the
+program in local memory. Only the SIMD control unit needs to have a
+copy of the meta-state automaton; PEs merely hold data." (section 1.3)
+
+The machine therefore pays *no* fetch/decode cost. Per emitted node it
+executes the CSI-scheduled guarded body (enable mask = "my pc bit is in
+the guard"), applies each member's terminator under its own guard, and
+dispatches on the hash-encoded ``globalor`` aggregate (sections
+3.2.2-3.2.4). Spawn/halt follow section 3.2.5. PE state is vectorized
+with numpy across the PE axis.
+
+``pc`` values: a block id while live, ``PC_DONE`` after ``Ret``,
+``PC_IDLE`` when in the free pool. Only live pcs contribute to the
+aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codegen.emit import SimdProgram
+from repro.errors import MachineError
+from repro.hashenc.search import key_of_members
+from repro.ir.block import CondBr, Fall, Halt, Return, SpawnT
+from repro.ir.instr import DEFAULT_COSTS, CostModel
+from repro.simd import vecops
+
+PC_DONE = -2
+PC_IDLE = -1
+
+
+@dataclass
+class SimdResult:
+    """Outcome + accounting of a meta-state SIMD run.
+
+    ``cycles`` is control-unit time; ``body_cycles`` of it executed
+    user operations, ``transition_cycles`` paid for ``globalor`` +
+    hash dispatch (the only control overhead MSC retains).
+    ``enabled_pe_cycles / (npes * cycles)`` is PE utilization;
+    ``meta_transitions`` counts automaton steps, and ``node_visits``
+    the per-node execution counts.
+    """
+
+    npes: int
+    poly: np.ndarray
+    mono: np.ndarray
+    returns: np.ndarray
+    pc: np.ndarray
+    cycles: int
+    body_cycles: int
+    transition_cycles: int
+    enabled_pe_cycles: int
+    meta_transitions: int
+    node_visits: dict
+    trace: dict = None  # per-PE [(block id, meta step)] when enabled
+
+    @property
+    def utilization(self) -> float:
+        if self.cycles <= 0 or self.npes == 0:
+            return 1.0
+        return self.enabled_pe_cycles / (self.npes * self.cycles)
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of control-unit time spent on meta-state transitions."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.transition_cycles / self.cycles
+
+
+class SimdMachine:
+    """A MasPar-like SIMD machine executing a
+    :class:`~repro.codegen.emit.SimdProgram`.
+
+    Parameters
+    ----------
+    npes:
+        Number of processing elements.
+    costs:
+        Cycle-cost model (``globalor_cost`` and ``dispatch_cost`` price
+        the transitions).
+    stack_depth / rstack_depth:
+        Operand and return-selector stack sizes per PE.
+    """
+
+    def __init__(self, npes: int, costs: CostModel = DEFAULT_COSTS,
+                 stack_depth: int = 64, rstack_depth: int = 256,
+                 trace: bool = False):
+        if npes < 1:
+            raise MachineError("need at least one PE")
+        self.npes = npes
+        self.costs = costs
+        self.stack_depth = stack_depth
+        self.rstack_depth = rstack_depth
+        self.trace_enabled = trace
+
+    # ------------------------------------------------------------------
+    def run(self, prog: SimdProgram, active: int | None = None,
+            max_steps: int = 1_000_000) -> SimdResult:
+        """Run ``prog`` with ``active`` PEs starting in the start meta
+        state (default: all) and the rest idle in the free pool."""
+        if active is None:
+            active = self.npes
+        if not (1 <= active <= self.npes):
+            raise MachineError(f"active={active} out of range 1..{self.npes}")
+
+        st = vecops.PeState(self.npes, prog.n_poly, prog.n_mono,
+                            self.stack_depth, self.rstack_depth)
+        pc = np.full(self.npes, PC_IDLE, dtype=np.int64)
+        (start_bid,) = prog.start if len(prog.start) == 1 else (None,)
+        if start_bid is None:
+            raise MachineError("start meta state must be a singleton (SPMD)")
+        pc[:active] = start_bid
+
+        cycles = 0
+        body_cycles = 0
+        transition_cycles = 0
+        enabled_pe_cycles = 0
+        transitions = 0
+        visits: dict = {}
+        trace: dict = {p: [] for p in range(self.npes)} if self.trace_enabled else None
+        barrier_mask = key_of_members(prog.barrier_ids)
+
+        current = prog.start
+        steps = 0
+        while True:
+            steps += 1
+            if steps > max_steps:
+                raise MachineError(f"SIMD run exceeded {max_steps} meta steps")
+            node = prog.nodes[current]
+            visits[node.entry_members] = visits.get(node.entry_members, 0) + 1
+
+            exited = False
+            for seg in node.segments:
+                c, e = self._exec_segment(seg, pc, st, trace, steps)
+                cycles += c
+                body_cycles += c
+                enabled_pe_cycles += e
+                if seg.can_exit:
+                    cycles += self.costs.globalor_cost
+                    transition_cycles += self.costs.globalor_cost
+                    if not np.any(pc >= 0):
+                        exited = True
+                        break
+            if exited:
+                break
+
+            transitions += 1
+            if node.barrier_target is not None:
+                # Compressed graphs: the all-at-barrier entry is a
+                # runtime check on the aggregate (section 3.2.4).
+                apc = self._globalor(pc)
+                cycles += self.costs.globalor_cost
+                transition_cycles += self.costs.globalor_cost
+                if apc == 0:
+                    break
+                if apc & ~barrier_mask == 0:
+                    current = node.barrier_target
+                    continue
+            if node.encoding is not None:
+                apc = self._globalor(pc)
+                cost = self.costs.globalor_cost + self.costs.dispatch_cost
+                cycles += cost
+                transition_cycles += cost
+                if apc == 0:
+                    break
+                # Section 3.2.4: unless everyone is at a barrier, the
+                # parked barrier bits are masked out of the aggregate.
+                if apc & ~barrier_mask:
+                    key = apc & ~barrier_mask
+                else:
+                    key = apc
+                current = node.encoding.lookup(key)
+            elif node.single_target is not None:
+                cycles += self.costs.branch_cost
+                transition_cycles += self.costs.branch_cost
+                current = node.single_target
+            else:
+                # Terminal node: everyone returned.
+                break
+
+        returns = np.full(self.npes, np.nan)
+        if prog.ret_slot is not None:
+            done = pc == PC_DONE
+            returns[done] = st.poly[prog.ret_slot, done]
+        return SimdResult(
+            npes=self.npes,
+            poly=st.poly,
+            mono=st.mono,
+            returns=returns,
+            pc=pc,
+            cycles=cycles,
+            body_cycles=body_cycles,
+            transition_cycles=transition_cycles,
+            enabled_pe_cycles=enabled_pe_cycles,
+            meta_transitions=transitions,
+            node_visits=visits,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    def _globalor(self, pc: np.ndarray) -> int:
+        """The hardware ``globalor``: OR of ``1 << pc`` over live PEs."""
+        apc = 0
+        for bid in np.unique(pc[pc >= 0]):
+            apc |= 1 << int(bid)
+        return apc
+
+    def _exec_segment(self, seg, pc: np.ndarray, st: vecops.PeState,
+                      trace: dict | None = None,
+                      step: int = 0) -> tuple[int, int]:
+        """Execute one segment: guarded body then guarded terminators.
+        Returns (control-unit cycles, enabled-PE cycles)."""
+        cycles = 0
+        enabled = 0
+        member_list = sorted(seg.members)
+        if trace is not None:
+            for bid in member_list:
+                for pe in np.flatnonzero(pc == bid):
+                    trace[int(pe)].append((bid, step))
+        # Body: each schedule entry runs once, on the PEs whose pc bit
+        # is in its guard.
+        for entry in seg.schedule.entries:
+            mask = np.isin(pc, list(entry.guards))
+            idxs = np.flatnonzero(mask)
+            c = self.costs.cost(entry.instr)
+            cycles += c
+            enabled += c * idxs.size
+            vecops.exec_instr(entry.instr, idxs, st)
+
+        # Terminators, one guarded group per member.
+        new_pc = pc.copy()
+        spawn_requests: list[tuple[np.ndarray, int]] = []
+        for bid in member_list:
+            term, is_barrier = seg.terminators[bid]
+            idxs = np.flatnonzero(pc == bid)
+            c = self.costs.branch_cost
+            cycles += c
+            enabled += c * idxs.size
+            if idxs.size == 0:
+                continue
+            if is_barrier:
+                # Executing the barrier state itself = everyone arrived;
+                # proceed through its single exit.
+                assert isinstance(term, Fall)
+                new_pc[idxs] = term.target
+            elif isinstance(term, Fall):
+                new_pc[idxs] = term.target
+            elif isinstance(term, CondBr):
+                if np.any(st.sp[idxs] < 1):
+                    raise MachineError("branch on empty stack")
+                cond = st.stack[st.sp[idxs] - 1, idxs]
+                st.sp[idxs] -= 1
+                new_pc[idxs] = np.where(cond != 0, term.on_true, term.on_false)
+            elif isinstance(term, Return):
+                new_pc[idxs] = PC_DONE
+            elif isinstance(term, Halt):
+                new_pc[idxs] = PC_IDLE
+                st.reset_pes(idxs)
+            elif isinstance(term, SpawnT):
+                spawn_requests.append((idxs, term.child))
+                new_pc[idxs] = term.cont
+            else:
+                raise AssertionError(f"unknown terminator {term!r}")
+
+        # Spawns activate idle PEs after all pc updates are staged, so a
+        # child cannot be re-claimed within the same segment.
+        for idxs, child in spawn_requests:
+            free = np.flatnonzero(new_pc == PC_IDLE)
+            if free.size < idxs.size:
+                raise MachineError(
+                    "spawn: not enough free PEs (section 3.2.5 requires "
+                    "spawns not to exceed the number of processors)"
+                )
+            children = free[: idxs.size]
+            st.poly[:, children] = st.poly[:, idxs]
+            st.reset_pes(children)
+            new_pc[children] = child
+        pc[:] = new_pc
+        return cycles, enabled

@@ -1,0 +1,289 @@
+"""Vectorized execution of stack instructions across processing elements.
+
+One call executes one instruction for a *set* of PEs (numpy fancy
+indexing over the PE axis) — the data-parallel inner step of both the
+meta-state SIMD machine and the interpreter baseline. Per-PE stack
+pointers are supported (the interpreter needs them; the meta-state
+machine's guarded groups keep them uniform within the enabled set).
+
+The semantics match :mod:`repro.ir.semantics` bit-for-bit for values
+representable in int64 (the package's numeric model; see DESIGN.md).
+
+Deterministic router conflicts: when several enabled PEs ``StR`` to the
+same destination, the highest-indexed writer wins (``idxs`` is kept
+ascending and numpy fancy assignment applies sources in order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.ir.instr import BINARY_OPS, UNARY_OPS, Instr, Op
+
+
+class PeState:
+    """The per-PE data of a simulated SIMD machine.
+
+    Attributes
+    ----------
+    poly:
+        (nslots, npes) poly memory.
+    mono:
+        shared memory (conceptually replicated in each PE; the cost
+        model charges the broadcast on ``StM``).
+    stack / sp:
+        (depth, npes) operand stacks and per-PE stack pointers.
+    rstack / rsp:
+        return-selector stacks for the recursion trick.
+    """
+
+    def __init__(self, npes: int, n_poly: int, n_mono: int,
+                 stack_depth: int = 64, rstack_depth: int = 256):
+        self.npes = npes
+        self.poly = np.zeros((n_poly, npes), dtype=np.float64)
+        self.mono = np.zeros(n_mono, dtype=np.float64)
+        self.stack = np.zeros((stack_depth, npes), dtype=np.float64)
+        self.sp = np.zeros(npes, dtype=np.int64)
+        self.rstack = np.zeros((rstack_depth, npes), dtype=np.float64)
+        self.rsp = np.zeros(npes, dtype=np.int64)
+        self.pids = np.arange(npes, dtype=np.float64)
+
+    def reset_pes(self, idxs: np.ndarray) -> None:
+        """Clear the stacks of the given PEs (halt / spawn setup)."""
+        self.sp[idxs] = 0
+        self.rsp[idxs] = 0
+
+
+def _as_int(x: np.ndarray) -> np.ndarray:
+    return x.astype(np.int64)
+
+
+def _binary(op: Op, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if op is Op.ADD:
+        return a + b
+    if op is Op.SUB:
+        return a - b
+    if op is Op.MUL:
+        return a * b
+    if op is Op.DIV:
+        if np.any(b == 0):
+            raise MachineError("float division by zero")
+        return a / b
+    if op in (Op.IDIV, Op.MOD):
+        ia, ib = _as_int(a), _as_int(b)
+        if np.any(ib == 0):
+            raise MachineError("integer division or remainder by zero")
+        q = np.abs(ia) // np.abs(ib)
+        q = np.where((ia < 0) != (ib < 0), -q, q)
+        if op is Op.IDIV:
+            return q.astype(np.float64)
+        return (ia - q * ib).astype(np.float64)
+    if op is Op.LT:
+        return (a < b).astype(np.float64)
+    if op is Op.LE:
+        return (a <= b).astype(np.float64)
+    if op is Op.GT:
+        return (a > b).astype(np.float64)
+    if op is Op.GE:
+        return (a >= b).astype(np.float64)
+    if op is Op.EQ:
+        return (a == b).astype(np.float64)
+    if op is Op.NE:
+        return (a != b).astype(np.float64)
+    if op is Op.BAND:
+        return (_as_int(a) & _as_int(b)).astype(np.float64)
+    if op is Op.BOR:
+        return (_as_int(a) | _as_int(b)).astype(np.float64)
+    if op is Op.BXOR:
+        return (_as_int(a) ^ _as_int(b)).astype(np.float64)
+    if op is Op.SHL:
+        return (_as_int(a) << (_as_int(b) & 63)).astype(np.float64)
+    if op is Op.SHR:
+        return (_as_int(a) >> (_as_int(b) & 63)).astype(np.float64)
+    if op is Op.LAND:
+        return ((a != 0) & (b != 0)).astype(np.float64)
+    if op is Op.LOR:
+        return ((a != 0) | (b != 0)).astype(np.float64)
+    raise AssertionError(f"not a binary opcode: {op}")
+
+
+def _unary(op: Op, a: np.ndarray) -> np.ndarray:
+    if op is Op.NEG:
+        return -a
+    if op is Op.NOT:
+        return (a == 0).astype(np.float64)
+    if op is Op.BNOT:
+        return (~_as_int(a)).astype(np.float64)
+    if op is Op.TRUNC:
+        return np.trunc(a)
+    if op is Op.BOOL:
+        return (a != 0).astype(np.float64)
+    raise AssertionError(f"not a unary opcode: {op}")
+
+
+def exec_instr(instr: Instr, idxs: np.ndarray, st: PeState) -> None:
+    """Execute ``instr`` on the PEs in ``idxs`` (ascending indices).
+
+    Mutates ``st`` in place. Raises
+    :class:`~repro.errors.MachineError` on stack overflow/underflow,
+    router range errors, or division by zero.
+    """
+    if idxs.size == 0:
+        return
+    op = instr.op
+    sp = st.sp
+    stack = st.stack
+
+    if op in BINARY_OPS:
+        _check_under(sp, idxs, 2, op)
+        b = stack[sp[idxs] - 1, idxs]
+        a = stack[sp[idxs] - 2, idxs]
+        # Python scalar float arithmetic silently produces inf/nan at
+        # the IEEE edges; match it (the scalar/vector agreement is what
+        # the cross-machine oracle rests on).
+        with np.errstate(over="ignore", invalid="ignore"):
+            stack[sp[idxs] - 2, idxs] = _binary(op, a, b)
+        sp[idxs] -= 1
+        return
+    if op in UNARY_OPS:
+        _check_under(sp, idxs, 1, op)
+        with np.errstate(over="ignore", invalid="ignore"):
+            stack[sp[idxs] - 1, idxs] = _unary(op, stack[sp[idxs] - 1, idxs])
+        return
+    if op is Op.PUSH:
+        _check_over(st, idxs, 1, op)
+        stack[sp[idxs], idxs] = float(instr.arg)
+        sp[idxs] += 1
+        return
+    if op is Op.POP:
+        n = int(instr.arg)
+        _check_under(sp, idxs, n, op)
+        sp[idxs] -= n
+        return
+    if op is Op.SWAP:
+        _check_under(sp, idxs, 2, op)
+        a = stack[sp[idxs] - 1, idxs].copy()
+        stack[sp[idxs] - 1, idxs] = stack[sp[idxs] - 2, idxs]
+        stack[sp[idxs] - 2, idxs] = a
+        return
+    if op is Op.DUP:
+        _check_under(sp, idxs, 1, op)
+        _check_over(st, idxs, 1, op)
+        stack[sp[idxs], idxs] = stack[sp[idxs] - 1, idxs]
+        sp[idxs] += 1
+        return
+    if op is Op.LD:
+        _check_over(st, idxs, 1, op)
+        stack[sp[idxs], idxs] = st.poly[int(instr.arg), idxs]
+        sp[idxs] += 1
+        return
+    if op is Op.ST:
+        _check_under(sp, idxs, 1, op)
+        st.poly[int(instr.arg), idxs] = stack[sp[idxs] - 1, idxs]
+        sp[idxs] -= 1
+        return
+    if op is Op.LDM:
+        _check_over(st, idxs, 1, op)
+        stack[sp[idxs], idxs] = st.mono[int(instr.arg)]
+        sp[idxs] += 1
+        return
+    if op is Op.STM:
+        _check_under(sp, idxs, 1, op)
+        values = stack[sp[idxs] - 1, idxs]
+        # A mono store broadcasts; with several enabled writers the
+        # highest-indexed PE's value wins (deterministic rule).
+        st.mono[int(instr.arg)] = values[-1]
+        sp[idxs] -= 1
+        return
+    if op is Op.LDR:
+        _check_under(sp, idxs, 1, op)
+        targets = stack[sp[idxs] - 1, idxs].astype(np.int64)
+        if np.any((targets < 0) | (targets >= st.npes)):
+            raise MachineError("parallel read from out-of-range PE")
+        stack[sp[idxs] - 1, idxs] = st.poly[int(instr.arg), targets]
+        return
+    if op is Op.STR:
+        _check_under(sp, idxs, 2, op)
+        targets = stack[sp[idxs] - 1, idxs].astype(np.int64)
+        values = stack[sp[idxs] - 2, idxs]
+        if np.any((targets < 0) | (targets >= st.npes)):
+            raise MachineError("parallel write to out-of-range PE")
+        st.poly[int(instr.arg), targets] = values
+        sp[idxs] -= 2
+        return
+    if op in (Op.LDI, Op.LDMI):
+        _check_under(sp, idxs, 1, op)
+        eidx = stack[sp[idxs] - 1, idxs].astype(np.int64)
+        _check_bounds(eidx, instr)
+        base = int(instr.arg)
+        if op is Op.LDI:
+            stack[sp[idxs] - 1, idxs] = st.poly[base + eidx, idxs]
+        else:
+            stack[sp[idxs] - 1, idxs] = st.mono[base + eidx]
+        return
+    if op in (Op.STI, Op.STMI):
+        _check_under(sp, idxs, 2, op)
+        eidx = stack[sp[idxs] - 1, idxs].astype(np.int64)
+        _check_bounds(eidx, instr)
+        values = stack[sp[idxs] - 2, idxs]
+        base = int(instr.arg)
+        if op is Op.STI:
+            st.poly[base + eidx, idxs] = values
+        else:
+            # Broadcast store; colliding elements resolve to the
+            # highest-indexed writer (fancy-assignment order).
+            st.mono[base + eidx] = values
+        sp[idxs] -= 2
+        return
+    if op is Op.PROCNUM:
+        _check_over(st, idxs, 1, op)
+        stack[sp[idxs], idxs] = st.pids[idxs]
+        sp[idxs] += 1
+        return
+    if op is Op.NPROC:
+        _check_over(st, idxs, 1, op)
+        stack[sp[idxs], idxs] = float(st.npes)
+        sp[idxs] += 1
+        return
+    if op is Op.SEL:
+        _check_under(sp, idxs, 3, op)
+        b = stack[sp[idxs] - 1, idxs]
+        a = stack[sp[idxs] - 2, idxs]
+        c = stack[sp[idxs] - 3, idxs]
+        stack[sp[idxs] - 3, idxs] = np.where(c != 0, a, b)
+        sp[idxs] -= 2
+        return
+    if op is Op.RPUSH:
+        if np.any(st.rsp[idxs] >= st.rstack.shape[0]):
+            raise MachineError("return-selector stack overflow")
+        st.rstack[st.rsp[idxs], idxs] = float(instr.arg)
+        st.rsp[idxs] += 1
+        return
+    if op is Op.RPOP:
+        if np.any(st.rsp[idxs] < 1):
+            raise MachineError("return-selector stack underflow")
+        _check_over(st, idxs, 1, op)
+        st.rsp[idxs] -= 1
+        stack[sp[idxs], idxs] = st.rstack[st.rsp[idxs], idxs]
+        sp[idxs] += 1
+        return
+    raise AssertionError(f"unhandled opcode {op}")
+
+
+def _check_bounds(eidx: np.ndarray, instr: Instr) -> None:
+    size = int(instr.arg2)
+    if np.any((eidx < 0) | (eidx >= size)):
+        raise MachineError(
+            f"array index out of range 0..{size - 1} in {instr}"
+        )
+
+
+def _check_under(sp: np.ndarray, idxs: np.ndarray, need: int, op: Op) -> None:
+    if np.any(sp[idxs] < need):
+        raise MachineError(f"operand stack underflow executing {op.value}")
+
+
+def _check_over(st: PeState, idxs: np.ndarray, room: int, op: Op) -> None:
+    if np.any(st.sp[idxs] + room > st.stack.shape[0]):
+        raise MachineError(f"operand stack overflow executing {op.value}")

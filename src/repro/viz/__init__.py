@@ -1,0 +1,6 @@
+"""Graph rendering: Graphviz-dot and ASCII forms of the MIMD state
+graph (Figure 1) and the meta-state automaton (Figures 2, 5, 6)."""
+
+from repro.viz.dot import cfg_to_dot, meta_graph_to_dot, ascii_graph
+
+__all__ = ["cfg_to_dot", "meta_graph_to_dot", "ascii_graph"]

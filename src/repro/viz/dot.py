@@ -1,0 +1,95 @@
+"""Graphviz-dot and ASCII rendering of the package's graphs.
+
+The dot output regenerates the paper's figures: run the quickstart
+example and pipe ``cfg_to_dot`` / ``meta_graph_to_dot`` through
+``dot -Tpng``. The ASCII form is what the examples print.
+"""
+
+from __future__ import annotations
+
+from repro.core.metastate import MetaStateGraph, format_members
+from repro.ir.block import CondBr, Fall, Halt, Return, SpawnT
+from repro.ir.cfg import Cfg
+
+
+def _escape(s: str) -> str:
+    return s.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(cfg: Cfg, title: str = "MIMD state graph") -> str:
+    """Render the MIMD state graph (the paper's Figure 1 form): one
+    node per basic block; TRUE/FALSE edge labels on branches."""
+    lines = [
+        "digraph mimd {",
+        f'  label="{_escape(title)}";',
+        "  node [shape=circle];",
+        f"  entry [shape=point]; entry -> b{cfg.entry};",
+    ]
+    for bid in sorted(cfg.blocks):
+        blk = cfg.blocks[bid]
+        label = str(bid)
+        if blk.label:
+            label += f"\\n{blk.label}"
+        shape = "doublecircle" if blk.is_terminal else "circle"
+        if blk.is_barrier_wait:
+            shape = "box"
+            label += "\\nwait"
+        lines.append(f'  b{bid} [shape={shape}, label="{_escape(label)}"];')
+        term = blk.terminator
+        if isinstance(term, Fall):
+            lines.append(f"  b{bid} -> b{term.target};")
+        elif isinstance(term, CondBr):
+            lines.append(f'  b{bid} -> b{term.on_true} [label="T"];')
+            lines.append(f'  b{bid} -> b{term.on_false} [label="F"];')
+        elif isinstance(term, SpawnT):
+            lines.append(f'  b{bid} -> b{term.child} [label="spawn", style=dashed];')
+            lines.append(f"  b{bid} -> b{term.cont};")
+        elif isinstance(term, (Return, Halt)):
+            pass
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def meta_graph_to_dot(graph: MetaStateGraph,
+                      title: str = "meta-state graph") -> str:
+    """Render the meta-state automaton (Figures 2/5/6 form)."""
+    lines = [
+        "digraph meta {",
+        f'  label="{_escape(title)}";',
+        "  node [shape=ellipse];",
+    ]
+
+    def nid(m) -> str:
+        return "m_" + "_".join(str(b) for b in sorted(m))
+
+    for m in sorted(graph.states, key=lambda s: sorted(s)):
+        label = "{" + ",".join(str(b) for b in sorted(m)) + "}"
+        attrs = [f'label="{label}"']
+        if m == graph.start:
+            attrs.append("penwidth=2")
+        if m in graph.can_exit:
+            attrs.append("peripheries=2")
+        lines.append(f"  {nid(m)} [{', '.join(attrs)}];")
+    for src, dst in graph.arcs():
+        style = ""
+        if graph.barrier_entry.get(src) == dst:
+            style = ' [style=dashed, label="all-at-barrier"]'
+        lines.append(f"  {nid(src)} -> {nid(dst)}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ascii_graph(graph: MetaStateGraph) -> str:
+    """Compact textual adjacency rendering of a meta-state graph."""
+    lines = []
+    for m in sorted(graph.states, key=lambda s: (len(s), sorted(s))):
+        marks = []
+        if m == graph.start:
+            marks.append("start")
+        if m in graph.can_exit:
+            marks.append("exit")
+        mark = f" ({', '.join(marks)})" if marks else ""
+        succs = sorted(graph.successors(m), key=lambda s: (len(s), sorted(s)))
+        arrow = ", ".join(format_members(t) for t in succs) or "-"
+        lines.append(f"{format_members(m):>16s}{mark:10s} -> {arrow}")
+    return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""Shared test helpers: the MIMDC program corpus and the cross-machine
+equivalence oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ConversionOptions, convert_source, simulate_mimd, simulate_simd
+from repro.mimd.flatten import flatten_cfg
+from repro.mimd.interp import InterpreterMachine
+
+# ----------------------------------------------------------------------
+# The paper's listings
+# ----------------------------------------------------------------------
+
+#: Listing 1 / Listing 4: the running example. `x` starts 0 on every PE
+#: (memory is zeroed), so literal-condition versions loop forever; this
+#: version seeds x from procnum, keeping the same control structure.
+LISTING1_SHAPE = """
+main() {
+    poly int x;
+    if (x) {
+        do { x = 1; } while (x);
+    } else {
+        do { x = 2; } while (x);
+    }
+    return (x);
+}
+"""
+
+#: Listing 3 = Listing 1 + barrier before F.
+LISTING3_SHAPE = """
+main() {
+    poly int x;
+    if (x) {
+        do { x = 1; } while (x);
+    } else {
+        do { x = 2; } while (x);
+    }
+    wait;
+    return (x);
+}
+"""
+
+#: An executable variant of the listing-1 control structure whose loops
+#: terminate and whose branch outcomes differ across PEs.
+LISTING1_RUNNABLE = """
+main() {
+    poly int x;
+    x = procnum % 3;
+    if (x) {
+        do { x = x - 1; } while (x);
+    } else {
+        do { x = x + 2; } while (x - 4);
+    }
+    return (x);
+}
+"""
+
+LISTING3_RUNNABLE = LISTING1_RUNNABLE.replace(
+    "return (x);", "wait;\n    return (x);"
+)
+
+#: Listing 2's recursive shape: main -> g, g -> g.
+RECURSIVE = """
+int g(int n) {
+    if (n < 2) { return (1); }
+    poly int r;
+    r = g(n - 1);
+    return (r * n);
+}
+main() {
+    poly int v;
+    v = g(procnum % 4 + 1);
+    return (v);
+}
+"""
+
+MUTUAL_RECURSIVE = """
+int is_odd(int n);
+int is_even(int n) {
+    if (n == 0) { return (1); }
+    poly int r; r = is_odd(n - 1); return (r);
+}
+int is_odd(int n) {
+    if (n == 0) { return (0); }
+    poly int r; r = is_even(n - 1); return (r);
+}
+main() {
+    poly int v;
+    v = is_even(procnum);
+    return (v);
+}
+"""
+
+SPAWN_WORKERS = """
+main() {
+    poly int x;
+    x = procnum;
+    if (procnum == 0) {
+        spawn(worker);
+    }
+    return (x);
+worker:
+    x = 100 + procnum;
+    halt;
+}
+"""
+
+ROUTER_ROTATE = """
+main() {
+    poly int x; poly int y;
+    x = procnum * 10;
+    wait;
+    y = x[[(procnum + 1) % nproc]];
+    return (y);
+}
+"""
+
+MONO_BROADCAST = """
+mono int total = 5;
+main() {
+    poly int x;
+    x = total * 2 + nproc;
+    total = 7;
+    return (x + total);
+}
+"""
+
+KITCHEN_SINK = """
+main() {
+    poly float f;
+    poly int i; poly int s;
+    s = 0;
+    for (i = 0; i < procnum + 2; i += 1) {
+        if (i == 3) { continue; }
+        if (i > 5) { break; }
+        s += i;
+    }
+    f = s * 1.5;
+    s = f > 4.0 ? s : -s;
+    return (s);
+}
+"""
+
+DIVERGE_3WAY = """
+main() {
+    poly int x; poly int r;
+    x = procnum % 3;
+    r = 0;
+    if (x == 0) { r = 10; }
+    else {
+        if (x == 1) { r = 20; }
+        else { r = 30; }
+    }
+    wait;
+    return (r + x);
+}
+"""
+
+NESTED_LOOPS = """
+main() {
+    poly int i; poly int j; poly int s;
+    s = 0;
+    i = 0;
+    while (i < procnum % 3 + 1) {
+        j = 0;
+        while (j < 3) {
+            s = s + i * j;
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    return (s);
+}
+"""
+
+FLOAT_MATH = """
+main() {
+    poly float a; poly float b;
+    a = procnum * 0.5 + 1.0;
+    b = a * a - a / 2.0;
+    if (b > 3.0) { b = b - 3.0; }
+    return (b * 4.0);
+}
+"""
+
+#: Everything that exercises the oracle (name, source).
+CORPUS: list[tuple[str, str]] = [
+    ("listing1", LISTING1_RUNNABLE),
+    ("listing3", LISTING3_RUNNABLE),
+    ("recursive", RECURSIVE),
+    ("mutual_recursive", MUTUAL_RECURSIVE),
+    ("router_rotate", ROUTER_ROTATE),
+    ("mono_broadcast", MONO_BROADCAST),
+    ("kitchen_sink", KITCHEN_SINK),
+    ("diverge_3way", DIVERGE_3WAY),
+    ("nested_loops", NESTED_LOOPS),
+    ("float_math", FLOAT_MATH),
+]
+
+#: Option sets exercised against the corpus.
+OPTION_MATRIX = [
+    ConversionOptions(),
+    ConversionOptions(compress=True),
+    ConversionOptions(time_split=True),
+    ConversionOptions(compress=True, time_split=True),
+]
+
+
+def run_all_machines(source: str, npes: int = 8, active: int | None = None,
+                     options: ConversionOptions = ConversionOptions(),
+                     max_steps: int = 200_000):
+    """Convert + execute on (SIMD meta-state, MIMD reference,
+    interpreter baseline). Returns (result, simd, mimd, interp)."""
+    result = convert_source(source, options)
+    simd = simulate_simd(result, npes=npes, active=active, max_steps=max_steps)
+    mimd = simulate_mimd(result, nprocs=npes, active=active, max_steps=max_steps)
+    interp = InterpreterMachine(npes=npes, costs=options.costs).run(
+        flatten_cfg(result.cfg), active=active, max_steps=max_steps
+    )
+    return result, simd, mimd, interp
+
+
+def assert_equivalent(simd, mimd, interp=None, *, check_poly: bool = True):
+    """The oracle: every machine computed identical results."""
+    np.testing.assert_array_equal(simd.returns, mimd.returns)
+    if check_poly:
+        np.testing.assert_array_equal(simd.poly, mimd.poly)
+        np.testing.assert_array_equal(simd.mono, mimd.mono)
+    if interp is not None:
+        np.testing.assert_array_equal(interp.returns, mimd.returns)
+        if check_poly:
+            np.testing.assert_array_equal(interp.poly, mimd.poly)

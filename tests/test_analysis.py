@@ -1,0 +1,128 @@
+"""Unit tests for the analysis package (stats, memory, utilization,
+comparison)."""
+
+import math
+
+import pytest
+
+from repro import ConversionOptions, convert_source
+from repro.analysis.compare import compare_msc_vs_interpreter, format_table
+from repro.analysis.memory import MASPAR_PE_BYTES, memory_comparison
+from repro.analysis.stats import (
+    graph_stats,
+    subset_state_bound,
+    successor_bound,
+    theoretical_state_bound,
+)
+from repro.analysis.utilization import (
+    meta_state_imbalance,
+    static_meta_utilization,
+)
+from repro.mimd.flatten import flatten_cfg
+
+from tests.helpers import LISTING1_RUNNABLE, LISTING1_SHAPE
+
+
+class TestBounds:
+    def test_paper_factorial_bound(self):
+        # S!/(S-N)!
+        assert theoretical_state_bound(5, 2) == 20
+        assert theoretical_state_bound(4, 4) == math.factorial(4)
+
+    def test_more_procs_than_states_saturates(self):
+        assert theoretical_state_bound(3, 10) == math.factorial(3)
+
+    def test_subset_bound(self):
+        assert subset_state_bound(4) == 15
+
+    def test_successor_bound(self):
+        assert successor_bound(0) == 1
+        assert successor_bound(2) == 9
+        assert successor_bound(4) == 81
+
+
+class TestGraphStats:
+    def test_listing1_stats(self):
+        r = convert_source(LISTING1_SHAPE)
+        s = graph_stats(r.cfg, r.graph)
+        assert s.num_mimd_states == 4
+        assert s.num_branch_states == 3
+        assert s.num_meta_states == 8
+        assert s.max_width == 3
+        assert s.num_meta_states <= s.subset_bound
+
+    def test_max_out_degree_within_bound(self):
+        r = convert_source(LISTING1_SHAPE)
+        s = graph_stats(r.cfg, r.graph)
+        assert s.max_out_degree <= s.successor_bound_worst
+
+    def test_compressed_stats_smaller(self):
+        base = convert_source(LISTING1_SHAPE)
+        comp = convert_source(LISTING1_SHAPE, ConversionOptions(compress=True))
+        sb = graph_stats(base.cfg, base.graph)
+        sc = graph_stats(comp.cfg, comp.graph)
+        assert sc.num_meta_states < sb.num_meta_states
+        assert sc.mean_width > sb.mean_width
+
+    def test_as_row(self):
+        r = convert_source(LISTING1_SHAPE)
+        row = graph_stats(r.cfg, r.graph).as_row()
+        assert row["meta states"] == 8
+
+
+class TestMemoryModel:
+    def test_msc_has_zero_pe_program_bytes(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        interp, msc = memory_comparison(flatten_cfg(r.cfg), r.simd_program())
+        assert msc.program_bytes_per_pe == 0
+        assert interp.program_bytes_per_pe > 0
+        assert msc.control_unit_bytes > 0
+
+    def test_pe_total_and_fit(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        interp, msc = memory_comparison(flatten_cfg(r.cfg), r.simd_program())
+        assert interp.pe_total > msc.pe_total
+        assert msc.fits_maspar_pe()
+        assert msc.pe_total < MASPAR_PE_BYTES
+
+
+class TestUtilization:
+    def test_imbalance_range(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        for m in r.graph.states:
+            assert 0 < meta_state_imbalance(r.cfg, m) <= 1.0
+
+    def test_static_utilization_range(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        u = static_meta_utilization(r.cfg, r.graph)
+        assert 0 < u <= 1.0
+
+    def test_balanced_graph_is_full_utilization(self):
+        r = convert_source("main() { poly int x; x = procnum; return (x); }")
+        assert static_meta_utilization(r.cfg, r.graph) == 1.0
+
+
+class TestComparison:
+    def test_comparison_row(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        row = compare_msc_vs_interpreter("listing1", r, npes=8)
+        assert row.outputs_match
+        assert row.speedup > 1.0          # interpretation is slower
+        assert row.interp_overhead > 0
+        assert row.msc_program_bytes_per_pe == 0
+        assert row.interp_program_bytes_per_pe > 0
+
+    def test_msc_overhead_below_interp_overhead(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        row = compare_msc_vs_interpreter("listing1", r, npes=8)
+        assert row.msc_overhead < row.interp_overhead
+
+    def test_table_formatting(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        row = compare_msc_vs_interpreter("listing1", r, npes=8)
+        text = format_table([row])
+        assert "listing1" in text
+        assert "speedup" in text
+
+    def test_empty_table(self):
+        assert "(no rows)" in format_table([])

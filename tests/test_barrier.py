@@ -1,0 +1,182 @@
+"""Unit tests for the barrier synchronization algorithm (section 2.6,
+Figure 6) and the runtime rules of section 3.2.4."""
+
+import pytest
+
+from repro import ConversionOptions, convert_source, simulate_mimd, simulate_simd
+from repro.core.convert import ConvertOptions, convert
+from repro.errors import ConversionError
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+from tests.helpers import LISTING3_RUNNABLE, LISTING3_SHAPE, assert_equivalent
+
+
+def lower(src: str):
+    return lower_program(analyze(parse(src)))
+
+
+class TestFigure6:
+    """Figure 6: barriers prune the Listing 3 graph to five meta states
+    {0},{2},{6},{2,6},{9} (ours: barrier block + F are separate until
+    meta-graph straightening merges them)."""
+
+    def test_barrier_ids_recorded(self):
+        cfg = lower(LISTING3_SHAPE)
+        graph = convert(cfg)
+        assert len(graph.barrier_ids) == 1
+
+    def test_five_straightened_states(self):
+        graph = convert(lower(LISTING3_SHAPE))
+        assert graph.num_straightened_states() == 5
+
+    def test_no_mixed_barrier_states(self):
+        # {2,9} / {6,9} style states must not exist: barrier states are
+        # removed from any meta state that still has active members.
+        graph = convert(lower(LISTING3_SHAPE))
+        for m in graph.states:
+            waits = m & graph.barrier_ids
+            assert waits == frozenset() or waits == m, set(m)
+
+    def test_fewer_states_than_unsynchronized(self):
+        barrier = convert(lower(LISTING3_SHAPE))
+        base = convert(lower(LISTING3_SHAPE.replace("wait;", "")))
+        assert barrier.num_states() < base.num_states()
+
+    def test_barrier_state_reached_from_all_loop_states(self):
+        cfg = lower(LISTING3_SHAPE)
+        graph = convert(cfg)
+        (wait_id,) = graph.barrier_ids
+        wait_meta = frozenset((wait_id,))
+        preds = graph.predecessors()[wait_meta]
+        # Every loop meta state can complete the barrier.
+        assert len(preds) >= 3
+
+    def test_transition_keys_mask_barriers(self):
+        cfg = lower(LISTING3_SHAPE)
+        graph = convert(cfg)
+        (wait_id,) = graph.barrier_ids
+        for m, tab in graph.table.items():
+            for key in tab:
+                if wait_id in key:
+                    # only the all-at-barrier entry carries the bit
+                    assert key <= graph.barrier_ids
+
+
+class TestBarrierSemantics:
+    def test_execution_matches_oracle(self):
+        r = convert_source(LISTING3_RUNNABLE)
+        simd = simulate_simd(r, npes=12)
+        mimd = simulate_mimd(r, nprocs=12)
+        assert_equivalent(simd, mimd)
+
+    def test_barrier_actually_synchronizes(self):
+        # After the barrier every PE must observe every other PE's
+        # pre-barrier value through the router.
+        src = """
+main() {
+    poly int x; poly int y; poly int i; poly int s;
+    x = procnum + 1;
+    if (procnum % 2) {
+        do { x = x * 2; i = i + 1; } while (i - procnum < 0);
+    } else {
+        x = x * 3;
+    }
+    wait;
+    s = 0;
+    i = 0;
+    do {
+        s = s + x[[i]];
+        i = i + 1;
+    } while (i < nproc);
+    return (s);
+}
+"""
+        r = convert_source(src)
+        simd = simulate_simd(r, npes=6)
+        mimd = simulate_mimd(r, nprocs=6)
+        assert_equivalent(simd, mimd)
+        # All PEs see the same global sum.
+        assert len(set(simd.returns.tolist())) == 1
+
+    def test_two_sequential_barriers(self):
+        src = """
+main() {
+    poly int x;
+    x = procnum % 2;
+    if (x) { x = x + 1; } else { x = x + 2; }
+    wait;
+    if (x - 2) { x = x * 10; } else { x = x * 100; }
+    wait;
+    return (x);
+}
+"""
+        r = convert_source(src)
+        simd = simulate_simd(r, npes=8)
+        mimd = simulate_mimd(r, nprocs=8)
+        assert_equivalent(simd, mimd)
+
+    def test_divergent_barriers_both_sides(self):
+        # Two distinct wait statements on the two sides of a branch:
+        # every PE reaches *a* barrier, not the same one.
+        src = """
+main() {
+    poly int x;
+    x = procnum % 2;
+    if (x) {
+        x = x + 10;
+        wait;
+        x = x + 1;
+    } else {
+        x = x + 20;
+        wait;
+        x = x + 2;
+    }
+    return (x);
+}
+"""
+        r = convert_source(src)
+        cfg = r.cfg
+        assert len(r.graph.barrier_ids) == 2
+        simd = simulate_simd(r, npes=8)
+        mimd = simulate_mimd(r, nprocs=8)
+        assert_equivalent(simd, mimd)
+
+    def test_barrier_with_compression(self):
+        r = convert_source(LISTING3_RUNNABLE, ConversionOptions(compress=True))
+        simd = simulate_simd(r, npes=8)
+        mimd = simulate_mimd(r, nprocs=8)
+        assert_equivalent(simd, mimd)
+
+    def test_parked_possible_tracked(self):
+        cfg = lower(LISTING3_SHAPE)
+        graph = convert(cfg)
+        (wait_id,) = graph.barrier_ids
+        # Loop states can have PEs parked at the barrier.
+        loop_states = [m for m in graph.states
+                       if m != graph.start and not (m & graph.barrier_ids)
+                       and any(cfg.blocks[b].is_branch for b in m)]
+        assert any(wait_id in graph.parked_possible[m] for m in loop_states)
+
+
+class TestBarrierEdgeCases:
+    def test_entry_barrier_rejected(self):
+        cfg = lower("main() { wait; return (0); }")
+        # The wait is the first *statement*, but lowering always places
+        # entry code (slot setup) before it, so this converts fine.
+        convert(cfg)
+
+    def test_barrier_as_first_block_raises(self):
+        cfg = lower("main() { wait; return (0); }")
+        cfg.blocks[cfg.entry].is_barrier_wait = True
+        with pytest.raises(ConversionError, match="barrier"):
+            convert(cfg)
+
+    def test_barrier_wait_block_costs_zero(self):
+        from repro.ir.timing import block_time
+
+        cfg = lower(LISTING3_SHAPE)
+        for b in cfg.blocks.values():
+            if b.is_barrier_wait:
+                assert block_time(cfg, b.bid) == 0

@@ -1,0 +1,95 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+SRC = """
+main() {
+    poly int x;
+    x = procnum % 3;
+    if (x) { do { x = x - 1; } while (x); }
+    else   { do { x = x + 2; } while (x - 4); }
+    return (x);
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.mimdc"
+    path.write_text(SRC)
+    return str(path)
+
+
+class TestCompile:
+    def test_summary(self, source_file, capsys):
+        assert main(["compile", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "meta states: 8" in out
+
+    def test_emit_mpl(self, source_file, capsys):
+        assert main(["compile", source_file, "--emit", "mpl"]) == 0
+        assert "globalor(pc)" in capsys.readouterr().out
+
+    def test_emit_graph(self, source_file, capsys):
+        assert main(["compile", source_file, "--emit", "graph"]) == 0
+        assert "ms_0" in capsys.readouterr().out
+
+    def test_emit_dot(self, source_file, capsys):
+        assert main(["compile", source_file, "--emit", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_emit_cfg(self, source_file, capsys):
+        assert main(["compile", source_file, "--emit", "cfg"]) == 0
+        assert "entry: 0" in capsys.readouterr().out
+
+    def test_emit_cfg_dot(self, source_file, capsys):
+        assert main(["compile", source_file, "--emit", "cfg-dot"]) == 0
+        assert "digraph mimd" in capsys.readouterr().out
+
+    def test_compress_flag(self, source_file, capsys):
+        assert main(["compile", source_file, "--compress"]) == 0
+        out = capsys.readouterr().out
+        assert "meta states: 3" in out
+
+    def test_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(SRC))
+        assert main(["compile", "-"]) == 0
+
+
+class TestRun:
+    def test_run_with_check(self, source_file, capsys):
+        assert main(["run", source_file, "--npes", "8", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "SIMD == MIMD reference" in out
+        assert "cycles:" in out
+
+    def test_run_active(self, source_file, capsys):
+        assert main(["run", source_file, "--npes", "8", "--active", "4"]) == 0
+
+
+class TestCompare:
+    def test_compare(self, source_file, capsys):
+        assert main(["compare", source_file, "--npes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent/x.mimdc"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_source(self, tmp_path, capsys):
+        path = tmp_path / "bad.mimdc"
+        path.write_text("main() { x = ; }")
+        assert main(["compile", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_state_cap(self, tmp_path, capsys):
+        path = tmp_path / "prog.mimdc"
+        path.write_text(SRC)
+        assert main(["compile", str(path), "--max-meta-states", "2"]) == 2

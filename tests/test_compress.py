@@ -1,0 +1,113 @@
+"""Unit tests for meta-state compression (section 2.5, Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro import ConversionOptions, convert_source, simulate_mimd, simulate_simd
+from repro.core.convert import ConvertOptions, convert
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+from tests.helpers import (
+    CORPUS,
+    LISTING1_RUNNABLE,
+    LISTING1_SHAPE,
+    assert_equivalent,
+)
+
+
+def lower(src: str):
+    return lower_program(analyze(parse(src)))
+
+
+class TestFigure5:
+    """Figure 5: the compressed graph of Listing 1 has two meta states
+    (after the meta-graph straightening of section 4.2 step 4)."""
+
+    def test_three_raw_states(self):
+        graph = convert(lower(LISTING1_SHAPE), ConvertOptions(compress=True))
+        assert graph.num_states() == 3
+
+    def test_two_straightened_states(self):
+        graph = convert(lower(LISTING1_SHAPE), ConvertOptions(compress=True))
+        assert graph.num_straightened_states() == 2
+
+    def test_compressed_vs_base_eight(self):
+        cfg = lower(LISTING1_SHAPE)
+        base = convert(cfg)
+        comp = convert(cfg, ConvertOptions(compress=True))
+        assert base.num_states() == 8
+        assert comp.num_states() < base.num_states()
+
+    def test_transitions_are_unconditional(self):
+        graph = convert(lower(LISTING1_SHAPE), ConvertOptions(compress=True))
+        for m in graph.states:
+            assert len(graph.successors(m)) <= 1
+
+    def test_compressed_flag_set(self):
+        graph = convert(lower(LISTING1_SHAPE), ConvertOptions(compress=True))
+        assert graph.compressed
+
+    def test_wide_state_contains_all_live_blocks(self):
+        cfg = lower(LISTING1_SHAPE)
+        graph = convert(cfg, ConvertOptions(compress=True))
+        widest = max(graph.states, key=len)
+        # Everything except the entry block lives in the big state.
+        assert widest == frozenset(set(cfg.blocks) - {cfg.entry})
+
+
+class TestCompressionProperties:
+    @pytest.mark.parametrize("name,src", CORPUS)
+    def test_never_more_states_than_base(self, name, src):
+        cfg = lower(src)
+        base = convert(cfg)
+        comp = convert(cfg, ConvertOptions(compress=True))
+        assert comp.num_states() <= base.num_states(), name
+
+    @pytest.mark.parametrize("name,src", CORPUS)
+    def test_states_linear_in_blocks(self, name, src):
+        # Compression makes growth linear: each meta state is produced
+        # by at most one union per state, so the count is bounded by a
+        # small multiple of the MIMD state count.
+        cfg = lower(src)
+        comp = convert(cfg, ConvertOptions(compress=True))
+        assert comp.num_states() <= 2 * len(cfg.blocks) + 2, name
+
+    def test_compressed_states_are_wider_on_average(self):
+        cfg = lower(LISTING1_SHAPE)
+        base = convert(cfg)
+        comp = convert(cfg, ConvertOptions(compress=True))
+        mean_base = sum(len(m) for m in base.states) / base.num_states()
+        mean_comp = sum(len(m) for m in comp.states) / comp.num_states()
+        assert mean_comp > mean_base
+
+    def test_exit_detection_marked(self):
+        # Compression loses the populated invariant: any state holding
+        # a terminal member must be exit-checked.
+        cfg = lower(LISTING1_SHAPE)
+        comp = convert(cfg, ConvertOptions(compress=True))
+        widest = max(comp.states, key=len)
+        assert widest in comp.can_exit
+
+
+class TestCompressedExecution:
+    def test_execution_matches_oracle(self):
+        r = convert_source(LISTING1_RUNNABLE, ConversionOptions(compress=True))
+        simd = simulate_simd(r, npes=16)
+        mimd = simulate_mimd(r, nprocs=16)
+        assert_equivalent(simd, mimd)
+
+    def test_compressed_visits_fewer_distinct_nodes(self):
+        base = convert_source(LISTING1_RUNNABLE)
+        comp = convert_source(LISTING1_RUNNABLE, ConversionOptions(compress=True))
+        sb = simulate_simd(base, npes=16)
+        sc = simulate_simd(comp, npes=16)
+        assert len(sc.node_visits) <= len(sb.node_visits)
+        np.testing.assert_array_equal(sb.returns, sc.returns)
+
+    def test_single_pe_still_works(self):
+        r = convert_source(LISTING1_RUNNABLE, ConversionOptions(compress=True))
+        simd = simulate_simd(r, npes=1)
+        mimd = simulate_mimd(r, nprocs=1)
+        assert_equivalent(simd, mimd)

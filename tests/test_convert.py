@@ -1,0 +1,178 @@
+"""Unit tests for the base meta-state conversion algorithm (section 2.3)."""
+
+import pytest
+
+from repro.core.convert import (
+    ConvertOptions,
+    candidate_unions,
+    convert,
+    member_choices,
+)
+from repro.core.metastate import format_members
+from repro.errors import ConversionError
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+from tests.helpers import LISTING1_SHAPE
+
+
+def lower(src: str):
+    return lower_program(analyze(parse(src)))
+
+
+@pytest.fixture
+def listing1_cfg():
+    return lower(LISTING1_SHAPE)
+
+
+class TestMemberChoices:
+    def test_branch_yields_three_choices(self, listing1_cfg):
+        cfg = listing1_cfg
+        choices = member_choices(cfg, cfg.entry, compress=False)
+        assert len(choices) == 3
+        t, f = cfg.blocks[cfg.entry].terminator.successors()
+        assert frozenset((t,)) in choices
+        assert frozenset((f,)) in choices
+        assert frozenset((t, f)) in choices
+
+    def test_branch_compressed_yields_both_only(self, listing1_cfg):
+        cfg = listing1_cfg
+        choices = member_choices(cfg, cfg.entry, compress=True)
+        assert len(choices) == 1
+
+    def test_return_yields_empty(self, listing1_cfg):
+        cfg = listing1_cfg
+        ret = next(b for b in cfg.blocks.values() if b.is_terminal)
+        assert member_choices(cfg, ret.bid, compress=False) == [frozenset()]
+
+    def test_self_loop_branch_with_equal_targets(self):
+        cfg = lower("main() { poly int x; do { x = 0; } while (x); return (x); }")
+        # A CondBr whose arms coincide degenerates to one choice.
+        for b in cfg.blocks.values():
+            if b.is_branch:
+                t = b.terminator
+                if t.on_true == t.on_false:
+                    assert len(member_choices(cfg, b.bid, False)) == 1
+
+
+class TestCandidateUnions:
+    def test_start_unions(self, listing1_cfg):
+        cfg = listing1_cfg
+        unions = candidate_unions(cfg, frozenset((cfg.entry,)), compress=False)
+        assert len(unions) == 3
+
+    def test_two_branch_members_give_five_distinct(self, listing1_cfg):
+        cfg = listing1_cfg
+        t, f = cfg.blocks[cfg.entry].terminator.successors()
+        unions = candidate_unions(cfg, frozenset((t, f)), compress=False)
+        # The paper's ms_2_6 switch has exactly 5 cases.
+        assert len(unions) == 5
+
+    def test_compressed_is_single(self, listing1_cfg):
+        cfg = listing1_cfg
+        t, f = cfg.blocks[cfg.entry].terminator.successors()
+        unions = candidate_unions(cfg, frozenset((t, f)), compress=True)
+        assert len(unions) == 1
+
+    def test_dedup_bounds_work(self, listing1_cfg):
+        cfg = listing1_cfg
+        members = frozenset(cfg.blocks)
+        unions = candidate_unions(cfg, members, compress=False)
+        branch_members = sum(1 for b in members if cfg.blocks[b].is_branch)
+        assert len(unions) <= 3 ** branch_members
+
+
+class TestFigure2:
+    """The paper's Figure 2: 8 meta states for Listing 1."""
+
+    def test_eight_meta_states(self, listing1_cfg):
+        graph = convert(listing1_cfg)
+        assert graph.num_states() == 8
+
+    def test_exact_state_set(self, listing1_cfg):
+        cfg = listing1_cfg
+        a = cfg.entry
+        b, d = cfg.blocks[a].terminator.successors()
+        (f_state,) = set(cfg.blocks[b].terminator.successors()) - {b}
+        graph = convert(cfg)
+        expected = {
+            frozenset((a,)),
+            frozenset((b,)), frozenset((d,)), frozenset((b, d)),
+            frozenset((f_state,)),
+            frozenset((b, f_state)), frozenset((d, f_state)),
+            frozenset((b, d, f_state)),
+        }
+        assert graph.states == expected
+
+    def test_start_state_is_entry_singleton(self, listing1_cfg):
+        graph = convert(listing1_cfg)
+        assert graph.start == frozenset((listing1_cfg.entry,))
+
+    def test_terminal_state_can_exit(self, listing1_cfg):
+        cfg = listing1_cfg
+        graph = convert(cfg)
+        ret = next(b.bid for b in cfg.blocks.values() if b.is_terminal)
+        assert frozenset((ret,)) in graph.can_exit
+
+    def test_widest_state_has_five_successors(self, listing1_cfg):
+        graph = convert(listing1_cfg)
+        widest = max(graph.states, key=len)
+        assert len(graph.successors(widest)) == 5
+
+    def test_transition_keys_equal_targets_without_barriers(self, listing1_cfg):
+        graph = convert(listing1_cfg)
+        for m, tab in graph.table.items():
+            for key, target in tab.items():
+                assert key == target
+
+
+class TestInvariants:
+    def test_verify_passes(self, listing1_cfg):
+        graph = convert(listing1_cfg)
+        graph.verify(valid_blocks=set(listing1_cfg.blocks))
+
+    def test_members_are_valid_blocks(self, listing1_cfg):
+        graph = convert(listing1_cfg)
+        for m in graph.states:
+            assert m <= set(listing1_cfg.blocks)
+            assert m  # non-empty
+
+    def test_successor_count_bound(self, listing1_cfg):
+        cfg = listing1_cfg
+        graph = convert(cfg)
+        for m in graph.states:
+            branches = sum(1 for b in m if cfg.blocks[b].is_branch)
+            assert len(graph.successors(m)) <= 3 ** branches
+
+    def test_reachability_closure(self, listing1_cfg):
+        graph = convert(listing1_cfg)
+        seen = {graph.start}
+        work = [graph.start]
+        while work:
+            m = work.pop()
+            for t in graph.successors(m):
+                if t not in seen:
+                    seen.add(t)
+                    work.append(t)
+        assert seen == graph.states
+
+
+class TestStateSpaceCap:
+    def test_cap_raises(self, listing1_cfg):
+        with pytest.raises(ConversionError, match="exceeded"):
+            convert(listing1_cfg, ConvertOptions(max_meta_states=3))
+
+    def test_cap_not_hit_when_large_enough(self, listing1_cfg):
+        convert(listing1_cfg, ConvertOptions(max_meta_states=8))
+
+
+class TestFormatting:
+    def test_format_members(self):
+        assert format_members(frozenset((2, 6))) == "ms_2_6"
+        assert format_members(frozenset()) == "ms_exit"
+
+    def test_graph_str(self, listing1_cfg):
+        text = str(convert(listing1_cfg))
+        assert "8 states" in text
+        assert "ms_0" in text

@@ -1,0 +1,206 @@
+"""Unit tests for common subexpression induction (section 3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csi.bounds import lower_bound_cost, mobility, operation_classes
+from repro.csi.dag import ThreadCode, build_guarded_dag, dag_shared_ops
+from repro.csi.schedule import (
+    Schedule,
+    csi_schedule,
+    greedy_schedule,
+    improve_schedule,
+    pairwise_schedule,
+    serial_schedule,
+    verify_schedule,
+)
+from repro.ir.instr import DEFAULT_COSTS, Instr, Op
+
+
+def t(thread, *ops):
+    return ThreadCode.of(thread, [o if isinstance(o, Instr) else Instr(*o) for o in ops])
+
+
+PUSH1 = Instr(Op.PUSH, 1)
+PUSH2 = Instr(Op.PUSH, 2)
+ST0 = Instr(Op.ST, 0)
+LD0 = Instr(Op.LD, 0)
+ADD = Instr(Op.ADD)
+MUL = Instr(Op.MUL)
+
+
+class TestGuardedDag:
+    def test_identical_threads_fully_merge(self):
+        threads = [t(2, PUSH1, ST0, LD0), t(6, PUSH1, ST0, LD0)]
+        dag = build_guarded_dag(threads)
+        assert len(dag) == 3
+        assert all(n.guards == frozenset((2, 6)) for n in dag)
+
+    def test_listing5_ms_2_6_shape(self):
+        """The paper's ms_2_6: Push(1)/Push(2) differ, the rest is
+        factored into a shared guarded region."""
+        threads = [
+            t(2, PUSH1, ST0, LD0),
+            t(6, PUSH2, ST0, LD0),
+        ]
+        dag = build_guarded_dag(threads)
+        shared = dag_shared_ops(dag)
+        assert shared == 2  # ST0, LD0
+        assert len(dag) == 4  # two pushes + two shared
+
+    def test_disjoint_threads_no_merge(self):
+        threads = [t(1, PUSH1, ADD), t(2, PUSH2, MUL)]
+        dag = build_guarded_dag(threads)
+        assert dag_shared_ops(dag) == 0
+        assert len(dag) == 4
+
+    def test_positions_recorded(self):
+        threads = [t(1, PUSH1, ST0), t(2, PUSH1, ST0)]
+        dag = build_guarded_dag(threads)
+        assert dag[0].positions == {1: 0, 2: 0}
+
+
+class TestBounds:
+    def test_operation_classes(self):
+        threads = [t(1, PUSH1, ST0), t(2, PUSH1, ADD)]
+        classes = operation_classes(threads)
+        assert len(classes[PUSH1]) == 2
+        assert len(classes[ST0]) == 1
+
+    def test_mobility_ranges(self):
+        threads = [t(1, PUSH1, ST0, LD0)]
+        mob = mobility(threads, schedule_len=5)
+        assert mob[(1, 0)] == (1, 3)
+        assert mob[(1, 2)] == (3, 5)
+
+    def test_lower_bound_critical_thread(self):
+        threads = [t(1, PUSH1), t(2, PUSH2, ST0, LD0, ADD)]
+        lb = lower_bound_cost(threads)
+        t2_cost = sum(DEFAULT_COSTS.cost(i) for i in threads[1].code)
+        assert lb >= t2_cost
+
+    def test_lower_bound_class_occupancy(self):
+        # Threads are short but every one needs its own distinct op.
+        threads = [t(1, PUSH1, PUSH2), t(2, ST0, LD0)]
+        lb = lower_bound_cost(threads)
+        total = sum(DEFAULT_COSTS.cost(i)
+                    for th in threads for i in th.code)
+        assert lb == total  # nothing shareable
+
+    def test_lower_bound_identical_threads(self):
+        threads = [t(1, PUSH1, ST0), t(2, PUSH1, ST0)]
+        one = sum(DEFAULT_COSTS.cost(i) for i in threads[0].code)
+        assert lower_bound_cost(threads) == one
+
+    def test_empty(self):
+        assert lower_bound_cost([]) == 0
+
+
+class TestSchedules:
+    def check(self, threads):
+        s = csi_schedule(threads)
+        verify_schedule(threads, s)
+        assert s.lower_bound <= s.cost <= s.serial_cost
+        return s
+
+    def test_identical_threads_cost_one_copy(self):
+        threads = [t(1, PUSH1, ST0, LD0), t(2, PUSH1, ST0, LD0)]
+        s = self.check(threads)
+        assert s.cost == s.lower_bound
+        assert len(s.entries) == 3
+
+    def test_listing5_sharing(self):
+        threads = [t(2, PUSH1, ST0, LD0), t(6, PUSH2, ST0, LD0)]
+        s = self.check(threads)
+        assert s.shared_slots() == 2
+        assert s.cost < s.serial_cost
+
+    def test_single_thread_is_serial(self):
+        threads = [t(1, PUSH1, ADD, ST0)]
+        s = csi_schedule(threads)
+        assert [e.instr for e in s.entries] == list(threads[0].code)
+
+    def test_empty_threads_skipped(self):
+        s = csi_schedule([ThreadCode.of(1, []), t(2, PUSH1)])
+        assert len(s.entries) == 1
+
+    def test_no_threads(self):
+        assert csi_schedule([]).entries == []
+
+    def test_interleaved_shared_suffix(self):
+        # Different prefixes, common suffix of 3 ops.
+        suffix = [ST0, LD0, ADD]
+        threads = [
+            ThreadCode.of(1, [PUSH1] + suffix),
+            ThreadCode.of(2, [PUSH2, MUL] + suffix),
+        ]
+        s = self.check(threads)
+        assert s.shared_slots() >= 3
+
+    def test_three_threads(self):
+        threads = [
+            t(1, PUSH1, ST0, LD0),
+            t(2, PUSH2, ST0, LD0),
+            t(3, PUSH1, ST0, ADD),
+        ]
+        s = self.check(threads)
+        assert s.cost < s.serial_cost
+
+    def test_pairwise_dp_optimal_for_two(self):
+        threads = [t(1, PUSH1, ST0, LD0), t(2, PUSH2, ST0, LD0)]
+        s = pairwise_schedule(threads)
+        # Optimal weighted SCS: Push(1), Push(2) separate; St, Ld shared.
+        want = (DEFAULT_COSTS.cost(PUSH1) * 2 + DEFAULT_COSTS.cost(ST0)
+                + DEFAULT_COSTS.cost(LD0))
+        assert s.cost == want
+
+    def test_greedy_never_corrupts(self):
+        threads = [t(1, ST0, PUSH1, ST0), t(2, PUSH1, ST0, PUSH1)]
+        s = greedy_schedule(threads)
+        verify_schedule(threads, s)
+
+    def test_improvement_never_worse(self):
+        threads = [
+            t(1, PUSH1, MUL, ST0, LD0),
+            t(2, ST0, PUSH1, MUL, LD0),
+        ]
+        base = serial_schedule(threads)
+        improved = improve_schedule(base)
+        verify_schedule(threads, improved)
+        assert improved.cost <= base.cost
+
+
+class TestScheduleProperties:
+    ops_pool = [PUSH1, PUSH2, ST0, LD0, ADD, MUL, Instr(Op.DUP), Instr(Op.NEG)]
+
+    @given(
+        codes=st.lists(
+            st.lists(st.sampled_from(range(8)), min_size=0, max_size=8),
+            min_size=1, max_size=4,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_threads_schedule_correctly(self, codes):
+        threads = [
+            ThreadCode.of(tid, [self.ops_pool[i] for i in code])
+            for tid, code in enumerate(codes)
+        ]
+        live = [th for th in threads if th.code]
+        s = csi_schedule(threads)
+        verify_schedule(live, s)
+        if live:
+            assert s.lower_bound <= s.cost <= max(s.serial_cost, s.cost)
+            serial = serial_schedule(live)
+            assert s.cost <= serial.cost
+
+    @given(
+        code=st.lists(st.sampled_from(range(8)), min_size=1, max_size=10),
+        k=st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_k_identical_threads_cost_one(self, code, k):
+        base = [self.ops_pool[i] for i in code]
+        threads = [ThreadCode.of(tid, base) for tid in range(k)]
+        s = csi_schedule(threads)
+        assert s.cost == sum(DEFAULT_COSTS.cost(i) for i in base)

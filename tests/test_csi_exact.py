@@ -1,0 +1,121 @@
+"""Exact CSI (A* weighted-SCS) and certification of the heuristic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csi.dag import ThreadCode
+from repro.csi.exact import csi_schedule_exact
+from repro.csi.schedule import csi_schedule, pairwise_schedule, verify_schedule
+from repro.errors import ConversionError
+from repro.ir.instr import DEFAULT_COSTS, Instr, Op
+
+OPS = [Instr(Op.PUSH, 1), Instr(Op.PUSH, 2), Instr(Op.ST, 0),
+       Instr(Op.LD, 0), Instr(Op.ADD), Instr(Op.MUL)]
+
+
+def t(tid, *idx):
+    return ThreadCode.of(tid, [OPS[i] for i in idx])
+
+
+class TestExactBasics:
+    def test_identical_threads(self):
+        s = csi_schedule_exact([t(1, 0, 2, 3), t(2, 0, 2, 3)])
+        assert s.cost == sum(DEFAULT_COSTS.cost(OPS[i]) for i in (0, 2, 3))
+        verify_schedule([t(1, 0, 2, 3), t(2, 0, 2, 3)], s)
+
+    def test_disjoint_threads(self):
+        threads = [t(1, 0, 4), t(2, 1, 5)]
+        s = csi_schedule_exact(threads)
+        verify_schedule(threads, s)
+        assert s.cost == sum(DEFAULT_COSTS.cost(OPS[i]) for i in (0, 4, 1, 5))
+
+    def test_single_thread(self):
+        threads = [t(1, 0, 1, 2)]
+        s = csi_schedule_exact(threads)
+        assert [e.instr for e in s.entries] == list(threads[0].code)
+
+    def test_empty(self):
+        assert csi_schedule_exact([]).entries == []
+
+    def test_matches_pairwise_dp_for_two_threads(self):
+        # The pairwise DP is optimal for two threads; exact must agree.
+        threads = [t(1, 0, 2, 3, 4), t(2, 1, 2, 3, 5)]
+        assert csi_schedule_exact(threads).cost == pairwise_schedule(
+            threads
+        ).cost
+
+    def test_budget_enforced(self):
+        threads = [
+            ThreadCode.of(k, [OPS[(i * (k + 2)) % 6] for i in range(14)])
+            for k in range(5)
+        ]
+        with pytest.raises(ConversionError, match="exceeded"):
+            csi_schedule_exact(threads, max_states=10)
+
+
+class TestHeuristicCertification:
+    @given(
+        codes=st.lists(
+            st.lists(st.integers(min_value=0, max_value=5),
+                     min_size=1, max_size=6),
+            min_size=2, max_size=3,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_heuristic_never_beats_exact_and_stays_close(self, codes):
+        threads = [
+            ThreadCode.of(tid, [OPS[i] for i in code])
+            for tid, code in enumerate(codes)
+        ]
+        exact = csi_schedule_exact(threads)
+        heur = csi_schedule(threads)
+        verify_schedule(threads, exact)
+        assert exact.cost <= heur.cost          # exact is optimal
+        assert heur.cost <= exact.cost * 1.5    # heuristic stays close
+        assert exact.cost >= heur.lower_bound   # bound is admissible
+
+    @given(
+        a=st.lists(st.integers(min_value=0, max_value=5), min_size=1,
+                   max_size=8),
+        b=st.lists(st.integers(min_value=0, max_value=5), min_size=1,
+                   max_size=8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_two_thread_heuristic_is_optimal(self, a, b):
+        # With two threads the pairwise DP runs inside csi_schedule, so
+        # the heuristic result must be exactly optimal.
+        threads = [
+            ThreadCode.of(1, [OPS[i] for i in a]),
+            ThreadCode.of(2, [OPS[i] for i in b]),
+        ]
+        assert csi_schedule(threads).cost == csi_schedule_exact(threads).cost
+
+
+class TestExactOnRealMetaStates:
+    def test_real_meta_states_scheduled_optimally(self):
+        from repro import convert_source
+
+        src = """
+main() {
+    poly int x; poly int y;
+    x = procnum % 3;
+    if (x) { do { y = y + x; x = x - 1; } while (x); }
+    else   { do { y = y + 2; x = x + 1; } while (x - 3); }
+    return (y);
+}
+"""
+        result = convert_source(src)
+        checked = 0
+        for m in result.graph.states:
+            if len(m) < 2:
+                continue
+            threads = [
+                ThreadCode.of(b, result.cfg.blocks[b].code)
+                for b in sorted(m)
+            ]
+            exact = csi_schedule_exact(threads)
+            heur = csi_schedule(threads)
+            assert exact.cost <= heur.cost
+            checked += 1
+        assert checked >= 3

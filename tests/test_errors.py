@@ -1,0 +1,46 @@
+"""Unit tests for the error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConversionError,
+    LexError,
+    MachineError,
+    MscError,
+    ParseError,
+    SemanticError,
+    SourceError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("cls", [
+        SourceError, LexError, ParseError, SemanticError,
+        ConversionError, MachineError,
+    ])
+    def test_all_derive_from_msc_error(self, cls):
+        assert issubclass(cls, MscError)
+
+    def test_front_end_errors_are_source_errors(self):
+        for cls in (LexError, ParseError, SemanticError):
+            assert issubclass(cls, SourceError)
+
+
+class TestSourceError:
+    def test_position_in_message(self):
+        e = SourceError("bad thing", line=3, col=9)
+        assert "line 3:9" in str(e)
+        assert e.line == 3 and e.col == 9
+
+    def test_position_optional(self):
+        e = SourceError("bad thing")
+        assert str(e) == "bad thing"
+        assert e.line is None
+
+    def test_line_without_col(self):
+        e = SourceError("oops", line=2)
+        assert "line 2" in str(e)
+
+    def test_attributes_preserved(self):
+        e = ParseError("unexpected", line=7, col=1)
+        assert e.message == "unexpected"

@@ -1,0 +1,152 @@
+"""Unit tests for multiway branch encoding (section 3.2.3, [Die92a])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConversionError
+from repro.hashenc.search import (
+    BranchEncoding,
+    HashFn,
+    encode_branch,
+    find_hash,
+    key_of_members,
+)
+
+
+class TestKeyEncoding:
+    def test_bit_per_block(self):
+        assert key_of_members(frozenset((2, 6))) == (1 << 2) | (1 << 6)
+
+    def test_empty(self):
+        assert key_of_members(frozenset()) == 0
+
+    def test_wide_blocks(self):
+        # Block ids beyond 64 bits: Python ints handle the width.
+        assert key_of_members(frozenset((100,))) == 1 << 100
+
+
+class TestFindHash:
+    def test_single_key_is_const(self):
+        fn = find_hash([0b100])
+        assert fn.kind == "const"
+        assert fn.table_size == 1
+
+    def test_listing5_ms0_keys(self):
+        """ms_0's successors {2},{6},{2,6}: a small family member must
+        separate the aggregates into a <=4-entry table."""
+        keys = [key_of_members(frozenset(m)) for m in ((2,), (6,), (2, 6))]
+        fn = find_hash(keys)
+        assert fn.table_size <= 4
+        assert len({fn.apply(k) for k in keys}) == 3
+
+    def test_listing5_ms_2_6_keys(self):
+        """The five-case switch of ms_2_6."""
+        cases = [(2, 6), (2, 9), (6, 9), (9,), (2, 6, 9)]
+        keys = [key_of_members(frozenset(m)) for m in cases]
+        fn = find_hash(keys)
+        assert fn.table_size <= 16
+        assert len({fn.apply(k) for k in keys}) == 5
+
+    def test_injective_always(self):
+        keys = [0b0110, 0b1010, 0b1100, 0b0011]
+        fn = find_hash(keys)
+        assert len({fn.apply(k) for k in keys}) == len(keys)
+
+    def test_dense_sequential_keys(self):
+        keys = list(range(1, 9))
+        fn = find_hash(keys)
+        assert fn.table_size <= 16
+
+    def test_no_keys_raises(self):
+        with pytest.raises(ConversionError):
+            find_hash([])
+
+    def test_fallback_mod_hash(self):
+        # Adversarial keys that defeat the mask family within the table
+        # budget still get an injective (division) hash.
+        keys = [1 << i | 1 for i in range(3, 40, 7)]
+        fn = find_hash(keys)
+        hashes = {fn.apply(k) for k in keys}
+        assert len(hashes) == len(keys)
+
+    @given(st.sets(st.integers(min_value=1, max_value=2**40), min_size=1,
+                   max_size=24))
+    @settings(max_examples=100, deadline=None)
+    def test_property_injective_and_bounded(self, keyset):
+        keys = sorted(keyset)
+        fn = find_hash(keys)
+        hashes = [fn.apply(k) for k in keys]
+        assert len(set(hashes)) == len(keys)
+        assert all(0 <= h < fn.table_size for h in hashes)
+
+
+class TestHashFnRendering:
+    def test_c_expressions(self):
+        assert HashFn("mask", s=2, mask=3).c_expr() == "((apc >> 2) & 3)"
+        assert "~apc" in HashFn("notmask", s=5, mask=3).c_expr()
+        assert "^" in HashFn("xor", s=6, mask=15).c_expr()
+        assert "%" in HashFn("mod", mod=7).c_expr()
+        assert HashFn("const").c_expr() == "0"
+
+    def test_notmask_matches_fixed_width_not(self):
+        fn = HashFn("notmask", s=0, mask=0xFF, width=16)
+        assert fn.apply(0x0001) == (0xFFFE & 0xFF)
+
+    def test_eval_cost_ordering(self):
+        assert HashFn("mask", s=0, mask=1).eval_cost < HashFn(
+            "mod", mod=3
+        ).eval_cost
+
+
+class TestBranchEncoding:
+    def test_lookup_round_trip(self):
+        cases = {0b0010: "a", 0b0100: "b", 0b0110: "c"}
+        enc = encode_branch(cases)
+        for k, v in cases.items():
+            assert enc.lookup(k) == v
+
+    def test_unknown_key_raises(self):
+        enc = encode_branch({0b0010: "a", 0b0100: "b"})
+        # find a key hashing outside the used entries
+        bad_keys = [k for k in range(1, 2**10)
+                    if k not in enc.cases]
+        for k in bad_keys:
+            h = enc.fn.apply(k)
+            if h >= len(enc.table) or enc.table[h] is None:
+                with pytest.raises(ConversionError):
+                    enc.lookup(k)
+                return
+        pytest.skip("every probe aliased onto a valid entry")
+
+    def test_load_factor(self):
+        enc = encode_branch({1: "x", 2: "y", 3: "z", 4: "w"})
+        assert 0 < enc.load_factor <= 1.0
+
+    def test_table_size_reported(self):
+        enc = encode_branch({1: "x"})
+        assert enc.table_size == 1
+
+    @given(st.dictionaries(st.integers(min_value=1, max_value=2**30),
+                           st.integers(), min_size=1, max_size=16))
+    @settings(max_examples=60, deadline=None)
+    def test_property_every_case_dispatches(self, cases):
+        enc = encode_branch(cases)
+        for k, v in cases.items():
+            assert enc.lookup(k) == v
+
+
+class TestRealTransitionTables:
+    def test_all_corpus_transition_tables_encode(self):
+        from repro import convert_source
+        from tests.helpers import CORPUS
+
+        for name, src in CORPUS:
+            result = convert_source(src)
+            prog = result.simd_program()
+            for node in prog.nodes.values():
+                if node.encoding is None:
+                    continue
+                enc = node.encoding
+                for key, target in enc.cases.items():
+                    assert enc.lookup(key) == target, name

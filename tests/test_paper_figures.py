@@ -1,0 +1,162 @@
+"""Reproduction checks for every figure and listing in the paper.
+
+Each test regenerates an artifact and asserts its *shape* matches what
+the paper shows. EXPERIMENTS.md records the side-by-side numbers; the
+benchmarks under ``benchmarks/`` print them.
+"""
+
+import re
+
+from repro import ConversionOptions, convert_source
+from repro.analysis.stats import graph_stats
+from repro.core.timesplit import convert_with_time_splitting
+from repro.ir.block import CondBr, Fall, Return
+
+from tests.helpers import LISTING1_SHAPE, LISTING3_SHAPE
+
+
+class TestFigure1:
+    """Figure 1: the MIMD state graph for Listing 1 — four states
+    (A | B;C | D;E | F) after straightening and empty-node removal."""
+
+    def test_state_count_and_shape(self):
+        cfg = convert_source(LISTING1_SHAPE).cfg
+        assert len(cfg.blocks) == 4
+        kinds = sorted(type(b.terminator).__name__ for b in cfg.blocks.values())
+        assert kinds == ["CondBr", "CondBr", "CondBr", "Return"]
+
+    def test_loops_self_reference(self):
+        cfg = convert_source(LISTING1_SHAPE).cfg
+        self_loops = [
+            b.bid for b in cfg.blocks.values()
+            if isinstance(b.terminator, CondBr)
+            and b.bid in b.terminator.successors()
+        ]
+        assert len(self_loops) == 2  # the B;C and D;E states
+
+
+class TestFigure2:
+    """Figure 2: the base meta-state graph for Listing 1 — eight meta
+    states {0},{2},{6},{2,6},{9},{2,9},{6,9},{2,6,9}."""
+
+    def test_eight_states(self):
+        graph = convert_source(LISTING1_SHAPE).graph
+        assert graph.num_states() == 8
+
+    def test_width_histogram(self):
+        graph = convert_source(LISTING1_SHAPE).graph
+        hist = sorted(len(m) for m in graph.states)
+        assert hist == [1, 1, 1, 1, 2, 2, 2, 3]
+
+
+class TestFigures3And4:
+    """Figures 3-4: time splitting turns alpha || beta (t_a << t_b)
+    into alpha || beta0 -> beta' with no introduced idle time."""
+
+    def test_split_shape(self):
+        src = """
+main() {
+    poly int x; poly int a; poly int b; poly int c;
+    x = procnum % 2;
+    if (x) {
+        x = x + 1;
+    } else {
+        a = 1 + 2 * 3; b = a * a + 7; c = b / 3 + a * b; x = a + b + c;
+    }
+    return (x);
+}
+"""
+        r0 = convert_source(src)
+        r1 = convert_source(src, ConversionOptions(time_split=True))
+        # beta was split: more MIMD states, and a Fall-chained tail.
+        assert len(r1.cfg.blocks) > len(r0.cfg.blocks)
+        tails = [
+            b for b in r1.cfg.blocks.values()
+            if isinstance(b.terminator, Fall) and not b.is_barrier_wait
+        ]
+        assert tails
+
+
+class TestFigure5:
+    """Figure 5: the compressed graph has two meta states (after the
+    meta-graph straightening the prototype applies on output)."""
+
+    def test_two_states(self):
+        r = convert_source(LISTING1_SHAPE, ConversionOptions(compress=True))
+        assert r.graph.num_straightened_states() == 2
+        assert r.simd_program().node_count() == 2
+
+    def test_entries_unconditional(self):
+        r = convert_source(LISTING1_SHAPE, ConversionOptions(compress=True))
+        for node in r.simd_program().nodes.values():
+            assert node.encoding is None
+
+
+class TestFigure6:
+    """Figure 6: Listing 3 (barrier) — five meta states
+    {0},{2},{6},{2,6},{9}; the {2,9}-style mixed states are gone."""
+
+    def test_five_straightened_states(self):
+        r = convert_source(LISTING3_SHAPE)
+        assert r.graph.num_straightened_states() == 5
+        assert r.simd_program().node_count() == 5
+
+    def test_no_mixed_barrier_states(self):
+        r = convert_source(LISTING3_SHAPE)
+        for m in r.graph.states:
+            waits = m & r.graph.barrier_ids
+            assert waits in (frozenset(), m)
+
+    def test_fewer_states_than_figure2_pattern(self):
+        with_barrier = convert_source(LISTING3_SHAPE).graph.num_states()
+        without = convert_source(LISTING1_SHAPE).graph.num_states()
+        assert with_barrier < without + 1
+
+
+class TestListing5:
+    """Listing 5: the generated MPL code for Listing 4."""
+
+    def test_eight_labeled_states(self):
+        text = convert_source(LISTING1_SHAPE).mpl_text()
+        labels = re.findall(r"^(ms_[0-9_]+):", text, re.M)
+        assert len(labels) == 8
+
+    def test_each_dispatch_is_a_hash_switch(self):
+        text = convert_source(LISTING1_SHAPE).mpl_text()
+        switches = re.findall(r"switch \((.+)\) \{", text)
+        assert len(switches) == 7  # all but the terminal ms_3
+        for expr in switches:
+            assert "apc" in expr
+            assert "&" in expr  # masked into a dense table
+
+    def test_guarded_bodies_and_shared_regions(self):
+        text = convert_source(LISTING1_SHAPE).mpl_text()
+        assert "if (pc & BIT(" in text
+        # The widest state shares code across at least two threads.
+        assert re.search(r"if \(pc & \(BIT\(\d+\) \| BIT\(\d+\)", text)
+
+    def test_widest_switch_has_five_cases(self):
+        text = convert_source(LISTING1_SHAPE).mpl_text()
+        blocks = re.split(r"^ms_", text, flags=re.M)
+        widest = next(b for b in blocks if b.startswith("1_2_3:"))
+        assert widest.count("case ") == 5
+
+    def test_stack_macros_present(self):
+        text = convert_source(LISTING1_SHAPE).mpl_text()
+        for macro in ("Push(", "Ld(", "St(", "JumpF(", "Ret"):
+            assert macro in text
+
+
+class TestSection13Bounds:
+    """Section 1.3: state-space growth claims."""
+
+    def test_meta_states_within_subset_bound(self):
+        for src in (LISTING1_SHAPE, LISTING3_SHAPE):
+            r = convert_source(src)
+            s = graph_stats(r.cfg, r.graph)
+            assert s.num_meta_states <= s.subset_bound
+
+    def test_out_degree_within_3_to_n(self):
+        r = convert_source(LISTING1_SHAPE)
+        s = graph_stats(r.cfg, r.graph)
+        assert s.max_out_degree <= s.successor_bound_worst

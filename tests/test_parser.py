@@ -1,0 +1,216 @@
+"""Unit tests for the MIMDC parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse
+
+
+def main_body(src: str) -> list:
+    return parse(src).function("main").body.body
+
+
+class TestTopLevel:
+    def test_minimal_main(self):
+        prog = parse("main() { return (0); }")
+        assert prog.function("main") is not None
+
+    def test_missing_main_raises(self):
+        with pytest.raises(ParseError, match="main"):
+            parse("int f() { return (0); }")
+
+    def test_globals(self):
+        prog = parse("mono int a = 1; poly float b;\nmain() { return (0); }")
+        assert [g.name for g in prog.globals] == ["a", "b"]
+        assert prog.globals[0].storage == "mono"
+        assert prog.globals[1].ctype == "float"
+
+    def test_global_comma_list(self):
+        prog = parse("poly int a, b = 2, c;\nmain() { return (0); }")
+        assert [g.name for g in prog.globals] == ["a", "b", "c"]
+        assert prog.globals[1].init.value == 2
+
+    def test_function_with_params(self):
+        prog = parse("int f(int a, mono float b) { return (a); }"
+                     "main() { return (0); }")
+        f = prog.function("f")
+        assert [p.name for p in f.params] == ["a", "b"]
+        assert f.params[1].storage == "mono"
+        assert f.params[1].ctype == "float"
+
+    def test_void_function(self):
+        prog = parse("void f() { return; } main() { f(); return (0); }")
+        assert prog.function("f").ret_ctype is None
+
+    def test_prototype_is_discarded(self):
+        prog = parse("int f(int n);\nint f(int n) { return (n); }\n"
+                     "main() { return (0); }")
+        assert len([g for g in prog.functions if g.name == "f"]) == 1
+
+    def test_default_return_type_is_poly_int(self):
+        f = parse("main() { return (0); }").function("main")
+        assert f.ret_storage == "poly"
+        assert f.ret_ctype == "int"
+
+    def test_redefined_function_allowed_by_parser(self):
+        # The parser accepts it; sema rejects it.
+        prog = parse("int f() { return (1); } int f() { return (2); }"
+                     "main() { return (0); }")
+        assert len(prog.functions) == 3
+
+
+class TestStatements:
+    def test_if_else(self):
+        (s,) = main_body("main() { if (1) { ; } else { ; } }")
+        assert isinstance(s, ast.If)
+        assert s.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        (s,) = main_body("main() { if (1) if (2) ; else ; }")
+        assert s.otherwise is None
+        assert s.then.otherwise is not None
+
+    def test_while(self):
+        (s,) = main_body("main() { while (x) { ; } }")
+        assert isinstance(s, ast.While)
+
+    def test_do_while(self):
+        (s,) = main_body("main() { do { ; } while (x); }")
+        assert isinstance(s, ast.DoWhile)
+
+    def test_for_full(self):
+        (s,) = main_body("main() { for (i = 0; i < 3; i += 1) ; }")
+        assert isinstance(s, ast.For)
+        assert s.init is not None and s.cond is not None and s.update is not None
+
+    def test_for_empty_clauses(self):
+        (s,) = main_body("main() { for (;;) break; }")
+        assert s.init is None and s.cond is None and s.update is None
+
+    def test_wait_spawn_halt(self):
+        body = main_body("main() { wait; spawn(w); halt; w: ; }")
+        assert isinstance(body[0], ast.WaitStmt)
+        assert isinstance(body[1], ast.SpawnStmt)
+        assert body[1].target == "w"
+        assert isinstance(body[2], ast.HaltStmt)
+        assert isinstance(body[3], ast.LabeledStmt)
+
+    def test_return_value_optional(self):
+        body = main_body("main() { return; }")
+        assert body[0].value is None
+
+    def test_local_declarations(self):
+        body = main_body("main() { poly int x = 1; float y; }")
+        assert body[0].name == "x"
+        assert body[0].init.value == 1
+        assert body[1].ctype == "float"
+        assert body[1].storage == "poly"  # default
+
+    def test_label_vs_ternary_disambiguation(self):
+        body = main_body("main() { x = a ? b : c; lab: ; }")
+        assert isinstance(body[0], ast.ExprStmt)
+        assert isinstance(body[0].expr.value, ast.Ternary)
+        assert isinstance(body[1], ast.LabeledStmt)
+
+
+class TestExpressions:
+    def expr(self, text: str) -> ast.Expr:
+        (s,) = main_body(f"main() {{ {text}; }}")
+        return s.expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("x = a + b * c")
+        assert e.value.op == "+"
+        assert e.value.right.op == "*"
+
+    def test_precedence_comparison_over_logic(self):
+        e = self.expr("x = a < b && c > d")
+        assert e.value.op == "&&"
+
+    def test_left_associativity(self):
+        e = self.expr("x = a - b - c")
+        assert e.value.op == "-"
+        assert e.value.left.op == "-"
+
+    def test_unary_chain(self):
+        e = self.expr("x = !-~a")
+        assert e.value.op == "!"
+        assert e.value.operand.op == "-"
+        assert e.value.operand.operand.op == "~"
+
+    def test_unary_plus_is_identity(self):
+        e = self.expr("x = +a")
+        assert isinstance(e.value, ast.Name)
+
+    def test_parenthesized(self):
+        e = self.expr("x = (a + b) * c")
+        assert e.value.op == "*"
+        assert e.value.left.op == "+"
+
+    def test_call_with_args(self):
+        e = self.expr("f(1, a + 2)")
+        assert isinstance(e, ast.Call)
+        assert len(e.args) == 2
+
+    def test_parallel_ref(self):
+        e = self.expr("x = y[[i + 1]]")
+        assert isinstance(e.value, ast.ParallelRef)
+        assert e.value.name == "y"
+        assert e.value.index.op == "+"
+
+    def test_parallel_ref_as_target(self):
+        e = self.expr("y[[i]] = 4")
+        assert isinstance(e.target, ast.ParallelRef)
+
+    def test_compound_assignment(self):
+        e = self.expr("x += 2")
+        assert e.op == "+="
+
+    def test_assignment_right_associative(self):
+        e = self.expr("x = y = 1")
+        assert isinstance(e.value, ast.Assign)
+
+    def test_procnum_nproc(self):
+        e = self.expr("x = procnum % nproc")
+        assert isinstance(e.value.left, ast.ProcNum)
+        assert isinstance(e.value.right, ast.NProc)
+
+    def test_bitwise_precedence(self):
+        e = self.expr("x = a | b ^ c & d")
+        assert e.value.op == "|"
+        assert e.value.right.op == "^"
+        assert e.value.right.right.op == "&"
+
+    def test_shift(self):
+        e = self.expr("x = a << 2 >> 1")
+        assert e.value.op == ">>"
+
+    def test_nested_ternary(self):
+        e = self.expr("x = a ? b : c ? d : e")
+        assert isinstance(e.value.if_false, ast.Ternary)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("src", [
+        "main() { if (1) }",
+        "main() { x = ; }",
+        "main() { do ; while 1; }",
+        "main() { spawn(); }",
+        "main() { 1 = x; }",
+        "main() { x = y[[1]; }",
+        "main() {",
+        "main() { wait }",
+    ])
+    def test_malformed_raises(self, src):
+        with pytest.raises(ParseError):
+            parse(src)
+
+    def test_error_position(self):
+        with pytest.raises(ParseError) as e:
+            parse("main() {\n  x = ;\n}")
+        assert e.value.line == 2
+
+    def test_assignment_target_must_be_lvalue(self):
+        with pytest.raises(ParseError, match="target"):
+            parse("main() { (a + b) = 1; }")

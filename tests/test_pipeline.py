@@ -1,0 +1,128 @@
+"""Unit tests for the high-level pipeline API."""
+
+import pytest
+
+from repro import (
+    ConversionOptions,
+    ConversionResult,
+    MscError,
+    convert_source,
+    simulate_mimd,
+    simulate_simd,
+)
+from repro.errors import (
+    ConversionError,
+    LexError,
+    ParseError,
+    SemanticError,
+)
+
+from tests.helpers import LISTING1_RUNNABLE
+
+
+class TestConvertSource:
+    def test_returns_result_bundle(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        assert isinstance(r, ConversionResult)
+        assert r.source == LISTING1_RUNNABLE
+        assert r.cfg.blocks
+        assert r.graph.states
+
+    def test_program_built_lazily_and_cached(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        assert r._program is None
+        p1 = r.simd_program()
+        p2 = r.simd_program()
+        assert p1 is p2
+
+    def test_options_threaded_through(self):
+        r = convert_source(LISTING1_RUNNABLE, ConversionOptions(compress=True))
+        assert r.graph.compressed
+        assert r.simd_program().compressed
+
+    def test_custom_cost_model(self):
+        from repro.ir.instr import CostModel
+
+        costs = CostModel(globalor_cost=1, dispatch_cost=1)
+        r = convert_source(LISTING1_RUNNABLE, ConversionOptions(costs=costs))
+        assert r.simd_program().costs.globalor_cost == 1
+
+    def test_mpl_text_nonempty(self):
+        assert "ms_" in convert_source(LISTING1_RUNNABLE).mpl_text()
+
+
+class TestErrorSurface:
+    def test_lex_error(self):
+        with pytest.raises(LexError):
+            convert_source("main() { $ }")
+
+    def test_parse_error(self):
+        with pytest.raises(ParseError):
+            convert_source("main() { if }")
+
+    def test_semantic_error(self):
+        with pytest.raises(SemanticError):
+            convert_source("main() { x = 1; }")
+
+    def test_conversion_error(self):
+        src = """
+main() {
+    poly int a; poly int b; poly int c; poly int d;
+    a = procnum % 2; b = procnum % 3; c = procnum % 5; d = procnum % 7;
+    if (a) { do { a = a - 1; } while (a); } else { do { a = a + 1; } while (a - 2); }
+    if (b) { do { b = b - 1; } while (b); } else { do { b = b + 1; } while (b - 2); }
+    if (c) { do { c = c - 1; } while (c); } else { do { c = c + 1; } while (c - 2); }
+    if (d) { do { d = d - 1; } while (d); } else { do { d = d + 1; } while (d - 2); }
+    return (a + b + c + d);
+}
+"""
+        with pytest.raises(ConversionError):
+            convert_source(src, ConversionOptions(max_meta_states=16))
+
+    def test_all_errors_are_msc_errors(self):
+        for bad in ("main() { $ }", "main() { if }", "main() { x = 1; }"):
+            with pytest.raises(MscError):
+                convert_source(bad)
+
+
+class TestSimulateHelpers:
+    def test_simulate_simd_defaults(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        res = simulate_simd(r, npes=4)
+        assert res.npes == 4
+
+    def test_simulate_mimd_defaults(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        res = simulate_mimd(r, nprocs=4)
+        assert res.nprocs == 4
+
+    def test_max_steps_forwarded(self):
+        from repro.errors import MachineError
+
+        r = convert_source(
+            "main() { poly int x; do { x = 1; } while (x); return (x); }"
+        )
+        with pytest.raises(MachineError):
+            simulate_simd(r, npes=2, max_steps=10)
+        with pytest.raises(MachineError):
+            simulate_mimd(r, nprocs=2, max_steps=10)
+
+    def test_active_forwarded(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        import numpy as np
+
+        res = simulate_simd(r, npes=8, active=3)
+        assert np.isnan(res.returns[3:]).all()
+
+
+class TestPublicApi:
+    def test_dunder_all_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

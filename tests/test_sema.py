@@ -1,0 +1,205 @@
+"""Unit tests for semantic analysis (mono/poly typing, calls, labels)."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+
+def sema(src: str):
+    return analyze(parse(src))
+
+
+class TestStorageInference:
+    def get_assign(self, src):
+        prog = parse(src)
+        analyze(prog)
+        main = prog.function("main")
+        for s in main.body.body:
+            if hasattr(s, "expr"):
+                return s.expr
+        raise AssertionError("no expression statement found")
+
+    def test_literal_is_mono(self):
+        e = self.get_assign("main() { poly int x; x = 1; }")
+        assert e.value.storage == "mono"
+
+    def test_procnum_is_poly(self):
+        e = self.get_assign("main() { poly int x; x = procnum; }")
+        assert e.value.storage == "poly"
+
+    def test_nproc_is_mono(self):
+        e = self.get_assign("main() { poly int x; x = nproc; }")
+        assert e.value.storage == "mono"
+
+    def test_poly_propagates_through_binary(self):
+        e = self.get_assign("main() { poly int x; x = 1 + procnum * 2; }")
+        assert e.value.storage == "poly"
+
+    def test_mono_op_mono_is_mono(self):
+        e = self.get_assign("mono int a; main() { poly int x; x = a + 1; }")
+        assert e.value.storage == "mono"
+
+    def test_comparison_yields_int(self):
+        e = self.get_assign("main() { poly int x; x = 1.5 < 2.5; }")
+        assert e.value.ctype == "int"
+
+    def test_float_propagates(self):
+        e = self.get_assign("main() { poly float x; x = 1 + 2.0; }")
+        assert e.value.ctype == "float"
+
+    def test_parallel_ref_is_poly(self):
+        e = self.get_assign("main() { poly int x; poly int y; x = y[[0]]; }")
+        assert e.value.storage == "poly"
+
+
+class TestMonoPolyRules:
+    def test_poly_to_mono_assignment_rejected(self):
+        with pytest.raises(SemanticError, match="mono"):
+            sema("mono int a; main() { a = procnum; }")
+
+    def test_poly_init_of_mono_rejected(self):
+        with pytest.raises(SemanticError, match="mono"):
+            sema("main() { mono int a = procnum; }")
+
+    def test_mono_to_poly_is_fine(self):
+        sema("mono int a; main() { poly int x; x = a; }")
+
+    def test_parallel_subscript_of_mono_rejected(self):
+        with pytest.raises(SemanticError, match="poly"):
+            sema("mono int a; main() { poly int x; x = a[[0]]; }")
+
+    def test_poly_condition_allowed(self):
+        sema("main() { if (procnum) { ; } }")
+
+
+class TestNamesAndScopes:
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            sema("main() { x = 1; }")
+
+    def test_redeclared_local(self):
+        with pytest.raises(SemanticError, match="redeclared"):
+            sema("main() { poly int x; poly int x; }")
+
+    def test_shadowing_in_inner_block_allowed(self):
+        sema("main() { poly int x; { poly int x; x = 1; } }")
+
+    def test_global_shadowed_by_local(self):
+        info = sema("mono int x; main() { poly int x; x = procnum; }")
+        assert len(info.functions["main"].locals) == 1
+
+    def test_redeclared_global(self):
+        with pytest.raises(SemanticError, match="redeclared"):
+            sema("mono int a; mono int a; main() { ; }")
+
+    def test_global_init_must_be_literal(self):
+        with pytest.raises(SemanticError, match="literal"):
+            sema("mono int a = 1 + 2; main() { ; }")
+
+    def test_param_visible_in_body(self):
+        sema("int f(int n) { return (n + 1); } main() { poly int v; v = f(1); }")
+
+
+class TestCalls:
+    def test_undefined_function(self):
+        with pytest.raises(SemanticError, match="undefined"):
+            sema("main() { f(); }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SemanticError, match="argument"):
+            sema("int f(int a) { return (a); } main() { poly int v; v = f(); }")
+
+    def test_call_in_expression_rejected(self):
+        with pytest.raises(SemanticError, match="calls may only appear"):
+            sema("int f() { return (1); } main() { poly int v; v = f() + 1; }")
+
+    def test_call_as_statement_ok(self):
+        sema("void f() { return; } main() { f(); }")
+
+    def test_call_as_plain_rhs_ok(self):
+        sema("int f() { return (1); } main() { poly int v; v = f(); }")
+
+    def test_call_in_compound_assignment_rejected(self):
+        with pytest.raises(SemanticError, match="calls may only appear"):
+            sema("int f() { return (1); } main() { poly int v; v += f(); }")
+
+    def test_redefined_function(self):
+        with pytest.raises(SemanticError, match="redefined"):
+            sema("int f() { return (1); } int f() { return (2); } main() { ; }")
+
+    def test_main_with_params_rejected(self):
+        with pytest.raises(SemanticError, match="main"):
+            sema("main(int a) { return (a); }")
+
+    def test_void_return_with_value_rejected(self):
+        with pytest.raises(SemanticError, match="void"):
+            sema("void f() { return (1); } main() { f(); }")
+
+    def test_nonvoid_return_without_value_rejected(self):
+        with pytest.raises(SemanticError, match="no value"):
+            sema("int f() { return; } main() { f(); }")
+
+
+class TestCallGraph:
+    def test_recursive_function_detected(self):
+        info = sema("int g(int n) { poly int r; if (n) { r = g(n-1); } "
+                    "return (r); } main() { poly int v; v = g(2); }")
+        assert "g" in info.recursive_functions()
+        assert "main" not in info.recursive_functions()
+
+    def test_mutual_recursion_detected(self):
+        info = sema(
+            "int a(int n); "
+            "int b(int n) { poly int r; r = a(n); return (r); } "
+            "int a(int n) { poly int r; r = b(n); return (r); } "
+            "main() { poly int v; v = a(1); }"
+        )
+        assert {"a", "b"} <= info.recursive_functions()
+
+    def test_non_recursive_chain(self):
+        info = sema(
+            "int c() { return (1); } "
+            "int b() { poly int r; r = c(); return (r); } "
+            "main() { poly int v; v = b(); }"
+        )
+        assert info.recursive_functions() == set()
+
+
+class TestLabelsAndControl:
+    def test_spawn_unknown_label(self):
+        with pytest.raises(SemanticError, match="label"):
+            sema("main() { spawn(nowhere); }")
+
+    def test_spawn_known_label(self):
+        sema("main() { spawn(w); return (0); w: halt; }")
+
+    def test_duplicate_label(self):
+        with pytest.raises(SemanticError, match="duplicate"):
+            sema("main() { a: ; a: ; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError, match="break"):
+            sema("main() { break; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemanticError, match="continue"):
+            sema("main() { continue; }")
+
+    def test_break_in_loop_ok(self):
+        sema("main() { while (1) { break; } }")
+
+
+class TestTypeRules:
+    def test_mod_on_float_rejected(self):
+        with pytest.raises(SemanticError, match="int"):
+            sema("main() { poly float f; f = 1.5 % 2.0; }")
+
+    def test_shift_on_float_rejected(self):
+        with pytest.raises(SemanticError, match="int"):
+            sema("main() { poly int x; x = 1.5 << 2; }")
+
+    def test_bitand_on_float_rejected(self):
+        with pytest.raises(SemanticError, match="int"):
+            sema("main() { poly int x; x = 1.0 & 3; }")

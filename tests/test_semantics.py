@@ -1,0 +1,214 @@
+"""Scalar vs vectorized semantics: the two machines must agree exactly.
+
+Property-based: for random operand pairs, the scalar helper
+(:mod:`repro.ir.semantics`, used by the MIMD machine) and the vector
+helper (:mod:`repro.simd.vecops`, used by the SIMD machines) must
+produce identical results — this equivalence is what makes the
+cross-machine oracle exact.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.ir import semantics
+from repro.ir.instr import BINARY_OPS, UNARY_OPS, Instr, Op
+from repro.simd import vecops
+
+# Operands that stay well inside int64 when combined.
+ints = st.integers(min_value=-10**6, max_value=10**6)
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   width=64).map(lambda x: float(np.float64(x)))
+
+INT_ONLY = {Op.IDIV, Op.MOD, Op.BAND, Op.BOR, Op.BXOR, Op.SHL, Op.SHR}
+
+
+def vec_binary(op: Op, a: float, b: float) -> float:
+    st_ = vecops.PeState(1, 1, 0)
+    idx = np.array([0])
+    st_.stack[0, 0] = a
+    st_.stack[1, 0] = b
+    st_.sp[:] = 2
+    vecops.exec_instr(Instr(op), idx, st_)
+    return float(st_.stack[0, 0])
+
+
+def vec_unary(op: Op, a: float) -> float:
+    st_ = vecops.PeState(1, 1, 0)
+    idx = np.array([0])
+    st_.stack[0, 0] = a
+    st_.sp[:] = 1
+    vecops.exec_instr(Instr(op), idx, st_)
+    return float(st_.stack[0, 0])
+
+
+class TestScalarVectorAgreement:
+    @pytest.mark.parametrize("op", sorted(BINARY_OPS, key=lambda o: o.value))
+    @given(a=ints, b=ints)
+    @settings(max_examples=60, deadline=None)
+    def test_binary_int_operands(self, op, a, b):
+        if b == 0 and op in (Op.DIV, Op.IDIV, Op.MOD):
+            return
+        scalar = semantics.binary(op, float(a), float(b))
+        vector = vec_binary(op, float(a), float(b))
+        assert scalar == vector
+
+    @pytest.mark.parametrize(
+        "op", sorted(BINARY_OPS - INT_ONLY, key=lambda o: o.value)
+    )
+    @given(a=floats, b=floats)
+    @settings(max_examples=40, deadline=None)
+    def test_binary_float_operands(self, op, a, b):
+        if b == 0 and op is Op.DIV:
+            return
+        assert semantics.binary(op, a, b) == vec_binary(op, a, b)
+
+    @pytest.mark.parametrize("op", sorted(UNARY_OPS, key=lambda o: o.value))
+    @given(a=floats)
+    @settings(max_examples=40, deadline=None)
+    def test_unary(self, op, a):
+        assert semantics.unary(op, a) == vec_unary(op, a)
+
+
+class TestCSemantics:
+    """Spot checks of the C-style corner rules."""
+
+    def test_truncating_division_toward_zero(self):
+        assert semantics.binary(Op.IDIV, -7.0, 2.0) == -3.0
+        assert semantics.binary(Op.IDIV, 7.0, -2.0) == -3.0
+        assert semantics.binary(Op.IDIV, -7.0, -2.0) == 3.0
+
+    def test_mod_sign_follows_dividend(self):
+        assert semantics.binary(Op.MOD, -7.0, 2.0) == -1.0
+        assert semantics.binary(Op.MOD, 7.0, -2.0) == 1.0
+
+    def test_division_identity(self):
+        for a in (-9, -1, 0, 5, 13):
+            for b in (-4, -1, 1, 3):
+                q = semantics.binary(Op.IDIV, float(a), float(b))
+                r = semantics.binary(Op.MOD, float(a), float(b))
+                assert q * b + r == a
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(MachineError):
+            semantics.binary(Op.IDIV, 1.0, 0.0)
+        with pytest.raises(MachineError):
+            semantics.binary(Op.DIV, 1.0, 0.0)
+        with pytest.raises(MachineError):
+            vec_binary(Op.MOD, 1.0, 0.0)
+
+    def test_logical_ops_normalize(self):
+        assert semantics.binary(Op.LAND, 5.0, -3.0) == 1.0
+        assert semantics.binary(Op.LAND, 5.0, 0.0) == 0.0
+        assert semantics.binary(Op.LOR, 0.0, 0.0) == 0.0
+        assert semantics.unary(Op.NOT, 0.0) == 1.0
+        assert semantics.unary(Op.NOT, 2.5) == 0.0
+
+    def test_shift_count_masked(self):
+        assert semantics.binary(Op.SHL, 1.0, 64.0) == 1.0  # 64 & 63 == 0
+        assert semantics.binary(Op.SHL, 1.0, 3.0) == 8.0
+
+    def test_trunc(self):
+        assert semantics.unary(Op.TRUNC, 2.9) == 2.0
+        assert semantics.unary(Op.TRUNC, -2.9) == -2.0
+
+    def test_bnot(self):
+        assert semantics.binary(Op.BXOR, 12.0, 10.0) == 6.0
+        assert semantics.unary(Op.BNOT, 0.0) == -1.0
+
+
+class TestVectorStackOps:
+    def test_sel(self):
+        st_ = vecops.PeState(3, 1, 0)
+        idx = np.arange(3)
+        st_.stack[0] = [1, 0, 2]   # c
+        st_.stack[1] = [10, 10, 10]  # a
+        st_.stack[2] = [20, 20, 20]  # b
+        st_.sp[:] = 3
+        vecops.exec_instr(Instr(Op.SEL), idx, st_)
+        np.testing.assert_array_equal(st_.stack[0], [10, 20, 10])
+        assert (st_.sp == 1).all()
+
+    def test_dup_pop(self):
+        st_ = vecops.PeState(2, 1, 0)
+        idx = np.arange(2)
+        vecops.exec_instr(Instr(Op.PUSH, 7), idx, st_)
+        vecops.exec_instr(Instr(Op.DUP), idx, st_)
+        assert (st_.sp == 2).all()
+        vecops.exec_instr(Instr(Op.POP, 2), idx, st_)
+        assert (st_.sp == 0).all()
+
+    def test_ldr_gather(self):
+        st_ = vecops.PeState(4, 1, 0)
+        idx = np.arange(4)
+        st_.poly[0] = [100, 200, 300, 400]
+        vecops.exec_instr(Instr(Op.PROCNUM), idx, st_)
+        vecops.exec_instr(Instr(Op.PUSH, 1), idx, st_)
+        vecops.exec_instr(Instr(Op.ADD), idx, st_)
+        vecops.exec_instr(Instr(Op.PUSH, 4), idx, st_)
+        vecops.exec_instr(Instr(Op.MOD), idx, st_)
+        vecops.exec_instr(Instr(Op.LDR, 0), idx, st_)
+        np.testing.assert_array_equal(st_.stack[0], [200, 300, 400, 100])
+
+    def test_ldr_out_of_range_raises(self):
+        st_ = vecops.PeState(2, 1, 0)
+        idx = np.arange(2)
+        vecops.exec_instr(Instr(Op.PUSH, 9), idx, st_)
+        with pytest.raises(MachineError):
+            vecops.exec_instr(Instr(Op.LDR, 0), idx, st_)
+
+    def test_str_conflict_highest_pe_wins(self):
+        st_ = vecops.PeState(3, 1, 0)
+        idx = np.arange(3)
+        vecops.exec_instr(Instr(Op.PROCNUM), idx, st_)  # value = pid
+        vecops.exec_instr(Instr(Op.PUSH, 0), idx, st_)  # all target PE 0
+        vecops.exec_instr(Instr(Op.STR, 0), idx, st_)
+        assert st_.poly[0, 0] == 2.0
+
+    def test_stm_broadcast_highest_pe_wins(self):
+        st_ = vecops.PeState(3, 0, 1)
+        idx = np.arange(3)
+        vecops.exec_instr(Instr(Op.PROCNUM), idx, st_)
+        vecops.exec_instr(Instr(Op.STM, 0), idx, st_)
+        assert st_.mono[0] == 2.0
+
+    def test_stack_underflow_raises(self):
+        st_ = vecops.PeState(1, 1, 0)
+        with pytest.raises(MachineError):
+            vecops.exec_instr(Instr(Op.ADD), np.array([0]), st_)
+
+    def test_stack_overflow_raises(self):
+        st_ = vecops.PeState(1, 1, 0, stack_depth=2)
+        idx = np.array([0])
+        vecops.exec_instr(Instr(Op.PUSH, 1), idx, st_)
+        vecops.exec_instr(Instr(Op.PUSH, 1), idx, st_)
+        with pytest.raises(MachineError):
+            vecops.exec_instr(Instr(Op.PUSH, 1), idx, st_)
+
+    def test_rpush_rpop_round_trip(self):
+        st_ = vecops.PeState(2, 1, 0)
+        idx = np.arange(2)
+        vecops.exec_instr(Instr(Op.RPUSH, 42), idx, st_)
+        vecops.exec_instr(Instr(Op.RPOP), idx, st_)
+        np.testing.assert_array_equal(st_.stack[0], [42, 42])
+
+    def test_rpop_underflow_raises(self):
+        st_ = vecops.PeState(1, 1, 0)
+        with pytest.raises(MachineError):
+            vecops.exec_instr(Instr(Op.RPOP), np.array([0]), st_)
+
+    def test_empty_index_set_is_noop(self):
+        st_ = vecops.PeState(2, 1, 0)
+        vecops.exec_instr(Instr(Op.ADD), np.array([], dtype=np.int64), st_)
+        assert (st_.sp == 0).all()
+
+    def test_disabled_pes_untouched(self):
+        st_ = vecops.PeState(4, 1, 0)
+        idx = np.array([1, 3])
+        vecops.exec_instr(Instr(Op.PUSH, 5), idx, st_)
+        np.testing.assert_array_equal(st_.sp, [0, 1, 0, 1])
+        np.testing.assert_array_equal(st_.stack[0], [0, 5, 0, 5])

@@ -1,0 +1,125 @@
+"""Unit tests for restricted dynamic process creation (section 3.2.5)."""
+
+import numpy as np
+import pytest
+
+from repro import ConversionOptions, convert_source, simulate_mimd, simulate_simd
+from repro.core.convert import convert, member_choices
+from repro.errors import MachineError
+from repro.ir.block import SpawnT
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+from tests.helpers import SPAWN_WORKERS, assert_equivalent
+
+
+def lower(src: str):
+    return lower_program(analyze(parse(src)))
+
+
+class TestSpawnConversion:
+    def test_spawn_always_takes_both_exits(self):
+        cfg = lower(SPAWN_WORKERS)
+        spawn_bid = next(b.bid for b in cfg.blocks.values()
+                         if isinstance(b.terminator, SpawnT))
+        # "This restricted type of spawn instruction looks just like a
+        # conditional jump, except ... both paths must be taken (the
+        # compressed meta state transition rule)."
+        for compress in (False, True):
+            choices = member_choices(cfg, spawn_bid, compress)
+            assert len(choices) == 1
+            assert len(choices[0]) == 2
+
+    def test_spawn_meta_state_contains_child_and_cont(self):
+        cfg = lower(SPAWN_WORKERS)
+        graph = convert(cfg)
+        spawn_bid = next(b.bid for b in cfg.blocks.values()
+                         if isinstance(b.terminator, SpawnT))
+        term = cfg.blocks[spawn_bid].terminator
+        both = frozenset((term.child, term.cont))
+        spawn_meta = frozenset((spawn_bid,))
+        if spawn_meta in graph.states:
+            assert both in graph.successors(spawn_meta)
+
+
+class TestSpawnExecution:
+    def test_matches_oracle(self):
+        r = convert_source(SPAWN_WORKERS)
+        simd = simulate_simd(r, npes=8, active=4)
+        mimd = simulate_mimd(r, nprocs=8, active=4)
+        assert_equivalent(simd, mimd)
+
+    def test_children_inherit_parent_memory(self):
+        src = """
+main() {
+    poly int x; poly int seen;
+    x = procnum * 7 + 3;
+    spawn(child);
+    return (x);
+child:
+    seen = x;
+    halt;
+}
+"""
+        r = convert_source(src)
+        simd = simulate_simd(r, npes=8, active=4)
+        mimd = simulate_mimd(r, nprocs=8, active=4)
+        assert_equivalent(simd, mimd)
+        # Children 4..7 copied x from parents 0..3 (x = pid*7+3 of parent).
+        seen_slot = next(s.index for s in r.cfg.poly_slots
+                         if s.name.endswith("seen"))
+        got = sorted(simd.poly[seen_slot, 4:].tolist())
+        assert got == sorted((np.arange(4) * 7 + 3).tolist())
+
+    def test_halt_returns_pe_to_pool(self):
+        # Two sequential spawns can reuse PEs that halted.
+        src = """
+main() {
+    poly int x;
+    x = 1;
+    spawn(w1);
+    wait;
+    spawn(w2);
+    return (x);
+w1: x = 10; halt;
+w2: x = 20; halt;
+}
+"""
+        r = convert_source(src)
+        # 2 active starters + 2 concurrent spawn waves of 2 each; after
+        # wave 1 halts, wave 2 reuses the same PEs: 4 PEs suffice.
+        simd = simulate_simd(r, npes=4, active=2)
+        mimd = simulate_mimd(r, nprocs=4, active=2)
+        assert_equivalent(simd, mimd)
+
+    def test_spawn_exhaustion_raises(self):
+        r = convert_source(SPAWN_WORKERS)
+        with pytest.raises(MachineError, match="spawn"):
+            simulate_simd(r, npes=4, active=4)  # no free PEs at all
+        with pytest.raises(MachineError, match="spawn"):
+            simulate_mimd(r, nprocs=4, active=4)
+
+    def test_spawned_pe_count_equals_arrivals(self):
+        # 3 of 8 PEs spawn => exactly 3 idle PEs activated.
+        src = """
+main() {
+    poly int x;
+    x = procnum;
+    if (procnum < 3) { spawn(w); }
+    return (x);
+w:  x = 1000 + procnum; halt;
+}
+"""
+        r = convert_source(src)
+        simd = simulate_simd(r, npes=16, active=8)
+        x_slot = next(s.index for s in r.cfg.poly_slots
+                      if s.name.endswith(".x"))
+        ran_worker = (simd.poly[x_slot] >= 1000).sum()
+        assert ran_worker == 3
+
+    def test_compressed_spawn(self):
+        r = convert_source(SPAWN_WORKERS, ConversionOptions(compress=True))
+        simd = simulate_simd(r, npes=8, active=4)
+        mimd = simulate_mimd(r, nprocs=8, active=4)
+        assert_equivalent(simd, mimd)

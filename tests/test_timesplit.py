@@ -1,0 +1,192 @@
+"""Unit tests for MIMD state time splitting (section 2.4, Figures 3-4)."""
+
+import pytest
+
+from repro import ConversionOptions, convert_source, simulate_mimd, simulate_simd
+from repro.analysis.utilization import meta_state_imbalance, static_meta_utilization
+from repro.core.convert import convert
+from repro.core.timesplit import (
+    TimeSplitOptions,
+    convert_with_time_splitting,
+    split_block,
+    time_split_state,
+)
+from repro.ir.block import CondBr, Fall
+from repro.ir.cfg import Cfg
+from repro.ir.instr import DEFAULT_COSTS, Instr, Op
+from repro.ir.lowering import lower_program
+from repro.ir.timing import block_time
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+from tests.helpers import assert_equivalent
+
+
+def lower(src: str):
+    return lower_program(analyze(parse(src)))
+
+
+def figure3_cfg(alpha_ops: int = 2, beta_ops: int = 40) -> Cfg:
+    """The paper's Figure 3 shape: a branch whose arms alpha / beta
+    have very different costs, joining at gamma."""
+    cfg = Cfg()
+    head = cfg.new_block("head")
+    alpha = cfg.new_block("alpha")
+    beta = cfg.new_block("beta")
+    gamma = cfg.new_block("gamma")
+    from repro.ir.cfg import SlotInfo
+    cfg.poly_slots = [SlotInfo("x", 0, "poly", "int")]
+    head.code = [Instr(Op.PROCNUM), Instr(Op.PUSH, 2), Instr(Op.MOD)]
+    head.terminator = CondBr(alpha.bid, beta.bid)
+    alpha.code = [Instr(Op.PUSH, 1)] * (alpha_ops - 1) + [Instr(Op.POP, alpha_ops - 1)]
+    alpha.terminator = Fall(gamma.bid)
+    beta.code = [Instr(Op.PUSH, 1)] * (beta_ops - 1) + [Instr(Op.POP, beta_ops - 1)]
+    beta.terminator = Fall(gamma.bid)
+    gamma.code = [Instr(Op.PUSH, 0), Instr(Op.ST, 0)]
+    from repro.ir.block import Return
+    gamma.terminator = Return()
+    cfg.entry = head.bid
+    cfg.ret_slot = 0
+    cfg.verify()
+    return cfg
+
+
+class TestSplitBlock:
+    def test_figure4_shape(self):
+        """Splitting beta yields beta0 -> beta' with beta0 ~ alpha."""
+        cfg = figure3_cfg()
+        t_alpha = block_time(cfg, 1)
+        t_beta_before = block_time(cfg, 2)
+        tail = split_block(cfg, 2, head_cost=t_alpha)
+        assert tail is not None
+        # Head is unconditionally followed by the tail.
+        assert cfg.blocks[2].terminator == Fall(tail)
+        # Total cost is conserved (minus nothing: the branch cost moves
+        # to the tail, the head gains one).
+        t_head = block_time(cfg, 2)
+        t_tail = block_time(cfg, tail)
+        assert t_head + t_tail == t_beta_before + DEFAULT_COSTS.branch_cost
+        # The head is close to alpha's cost.
+        assert abs(t_head - t_alpha) <= t_alpha
+
+    def test_tail_inherits_terminator(self):
+        cfg = figure3_cfg()
+        orig_term = cfg.blocks[2].terminator
+        tail = split_block(cfg, 2, head_cost=3)
+        assert cfg.blocks[tail].terminator == orig_term
+
+    def test_single_instruction_block_cannot_split(self):
+        cfg = figure3_cfg()
+        cfg.blocks[1].code = [Instr(Op.PUSH, 1)]
+        assert split_block(cfg, 1, head_cost=1) is None
+
+    def test_barrier_never_split(self):
+        cfg = figure3_cfg()
+        cfg.blocks[2].is_barrier_wait = True
+        assert split_block(cfg, 2, head_cost=3) is None
+
+    def test_split_preserves_verification(self):
+        cfg = figure3_cfg()
+        split_block(cfg, 2, head_cost=5)
+        cfg.verify()
+
+
+class TestTimeSplitState:
+    def test_imbalanced_state_is_split(self):
+        cfg = figure3_cfg()
+        members = frozenset((1, 2))
+        assert meta_state_imbalance(cfg, members) < 0.5
+        assert time_split_state(cfg, members)
+
+    def test_balanced_state_not_split(self):
+        cfg = figure3_cfg(alpha_ops=40, beta_ops=40)
+        assert not time_split_state(cfg, frozenset((1, 2)))
+
+    def test_delta_threshold(self):
+        cfg = figure3_cfg(alpha_ops=10, beta_ops=12)
+        opts = TimeSplitOptions(split_delta=10, split_percent=99)
+        assert not time_split_state(cfg, frozenset((1, 2)), opts)
+
+    def test_percent_threshold(self):
+        # min > split_percent% of max -> acceptable utilization, no split.
+        cfg = figure3_cfg(alpha_ops=30, beta_ops=40)
+        opts = TimeSplitOptions(split_delta=1, split_percent=50)
+        assert not time_split_state(cfg, frozenset((1, 2)), opts)
+
+    def test_zero_time_members_ignored(self):
+        cfg = figure3_cfg()
+        wait = cfg.new_block()
+        wait.is_barrier_wait = True
+        wait.terminator = Fall(3)
+        assert not time_split_state(cfg, frozenset((wait.bid, 2)))
+
+    def test_singleton_state_not_split(self):
+        cfg = figure3_cfg()
+        assert not time_split_state(cfg, frozenset((2,)))
+
+
+class TestConvertWithSplitting:
+    def test_splitting_restarts_until_balanced(self):
+        cfg = figure3_cfg(alpha_ops=2, beta_ops=40)
+        before = static_meta_utilization(cfg, convert(cfg))
+        graph, cfg2, restarts = convert_with_time_splitting(cfg)
+        after = static_meta_utilization(cfg2, graph)
+        assert restarts >= 1
+        assert after > before
+
+    def test_more_states_after_splitting(self):
+        cfg = figure3_cfg()
+        base_states = convert(figure3_cfg()).num_states()
+        graph, _, _ = convert_with_time_splitting(cfg)
+        assert graph.num_states() >= base_states
+
+    def test_restart_cap_respected(self):
+        cfg = figure3_cfg(alpha_ops=2, beta_ops=400)
+        opts = TimeSplitOptions(max_restarts=2)
+        _, _, restarts = convert_with_time_splitting(cfg, split_options=opts)
+        assert restarts <= 2
+
+
+class TestEndToEnd:
+    SRC = """
+main() {
+    poly int x; poly int i;
+    x = procnum % 2;
+    if (x) {
+        x = x + 1;
+    } else {
+        for (i = 0; i < 10; i += 1) { x = x + i * i - x / 3; }
+    }
+    return (x);
+}
+"""
+
+    def test_semantics_preserved(self):
+        r = convert_source(self.SRC, ConversionOptions(time_split=True))
+        simd = simulate_simd(r, npes=8)
+        mimd = simulate_mimd(r, nprocs=8)
+        assert_equivalent(simd, mimd)
+
+    def test_splitting_reported(self):
+        r = convert_source(self.SRC, ConversionOptions(time_split=True))
+        r0 = convert_source(self.SRC)
+        assert len(r.cfg.blocks) > len(r0.cfg.blocks)
+        assert r.restarts >= 1
+
+    def test_static_utilization_improves(self):
+        r0 = convert_source(self.SRC)
+        r1 = convert_source(self.SRC, ConversionOptions(time_split=True))
+        u0 = static_meta_utilization(r0.cfg, r0.graph)
+        u1 = static_meta_utilization(r1.cfg, r1.graph)
+        assert u1 >= u0
+
+    def test_paper_95_percent_example(self):
+        """A 5-cycle block sharing a meta state with a 100-cycle block
+        wastes ~95% of the machine; splitting recovers it."""
+        cfg = figure3_cfg(alpha_ops=3, beta_ops=60)
+        members = frozenset((1, 2))
+        t = [block_time(cfg, b) for b in members]
+        waste = 1 - min(t) / max(t)
+        assert waste > 0.9
+        graph, cfg2, _ = convert_with_time_splitting(cfg)
+        assert static_meta_utilization(cfg2, graph) > 0.5

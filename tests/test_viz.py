@@ -1,0 +1,59 @@
+"""Unit tests for the graph renderers."""
+
+from repro import ConversionOptions, convert_source
+from repro.viz.dot import ascii_graph, cfg_to_dot, meta_graph_to_dot
+
+from tests.helpers import LISTING1_SHAPE, LISTING3_SHAPE, SPAWN_WORKERS
+
+
+class TestCfgDot:
+    def test_nodes_and_edges(self):
+        r = convert_source(LISTING1_SHAPE)
+        dot = cfg_to_dot(r.cfg)
+        assert dot.startswith("digraph")
+        for bid in r.cfg.blocks:
+            assert f"b{bid}" in dot
+        assert '[label="T"]' in dot
+        assert '[label="F"]' in dot
+
+    def test_barrier_rendered_as_box(self):
+        dot = cfg_to_dot(convert_source(LISTING3_SHAPE).cfg)
+        assert "shape=box" in dot
+        assert "wait" in dot
+
+    def test_spawn_dashed(self):
+        dot = cfg_to_dot(convert_source(SPAWN_WORKERS).cfg)
+        assert "spawn" in dot
+        assert "style=dashed" in dot
+
+    def test_terminal_double_circle(self):
+        dot = cfg_to_dot(convert_source(LISTING1_SHAPE).cfg)
+        assert "doublecircle" in dot
+
+
+class TestMetaDot:
+    def test_states_and_arcs(self):
+        r = convert_source(LISTING1_SHAPE)
+        dot = meta_graph_to_dot(r.graph)
+        assert dot.count("->") == r.graph.num_arcs()
+        assert "penwidth=2" in dot        # start marked
+        assert "peripheries=2" in dot     # exit marked
+
+    def test_compressed_barrier_arc_labeled(self):
+        r = convert_source(LISTING3_SHAPE, ConversionOptions(compress=True))
+        dot = meta_graph_to_dot(r.graph)
+        if r.graph.barrier_entry:
+            assert "all-at-barrier" in dot
+
+    def test_title_escaped(self):
+        r = convert_source(LISTING1_SHAPE)
+        dot = meta_graph_to_dot(r.graph, title='say "hi"')
+        assert '\\"hi\\"' in dot
+
+
+class TestAscii:
+    def test_every_state_listed(self):
+        r = convert_source(LISTING1_SHAPE)
+        text = ascii_graph(r.graph)
+        assert text.count("ms_") >= r.graph.num_states()
+        assert "(start" in text or "start" in text

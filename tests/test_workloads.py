@@ -1,0 +1,115 @@
+"""The workload library: every kernel converts, runs, and passes the
+cross-machine oracle (and its domain-specific postconditions)."""
+
+import numpy as np
+import pytest
+
+from repro import ConversionOptions, convert_source, simulate_mimd, simulate_simd
+from repro import workloads
+
+from tests.helpers import assert_equivalent
+
+
+def run(src: str, npes: int = 8, active=None, **opt):
+    result = convert_source(src, ConversionOptions(**opt))
+    simd = simulate_simd(result, npes=npes, active=active, max_steps=2_000_000)
+    mimd = simulate_mimd(result, nprocs=npes, active=active,
+                         max_steps=2_000_000)
+    assert_equivalent(simd, mimd)
+    return result, simd
+
+
+class TestStandardSet:
+    @pytest.mark.parametrize("name", sorted(workloads.STANDARD))
+    def test_oracle(self, name):
+        src = workloads.STANDARD[name]()
+        active = 4 if name == "spawn_waves" else None
+        run(src, npes=8, active=active)
+
+    @pytest.mark.parametrize("name", sorted(workloads.STANDARD))
+    def test_oracle_compressed(self, name):
+        src = workloads.STANDARD[name]()
+        active = 4 if name == "spawn_waves" else None
+        run(src, npes=8, active=active, compress=True)
+
+
+class TestPostconditions:
+    def test_sort_really_sorts(self):
+        _, simd = run(workloads.odd_even_sort(), npes=16)
+        values = simd.returns.astype(int).tolist()
+        assert values == sorted(values)
+        assert sorted(values) == sorted(
+            (p * 7 + 3) % 23 for p in range(16)
+        )
+
+    def test_reduction_value(self):
+        _, simd = run(workloads.tree_reduction(), npes=16)
+        assert int(simd.returns[0]) == sum(
+            (p * p % 13) + 1 for p in range(16)
+        )
+        assert len(set(simd.returns.tolist())) == 1
+
+    def test_collatz_depths(self):
+        def depth(n):
+            d = 0
+            while n > 1:
+                n = 3 * n + 1 if n % 2 else n // 2
+                d += 1
+            return d
+
+        _, simd = run(workloads.collatz_depth(10), npes=10)
+        expected = [depth(p % 10 + 1) for p in range(10)]
+        np.testing.assert_array_equal(simd.returns, expected)
+
+    def test_mandelbrot_divergence(self):
+        _, simd = run(workloads.mandelbrot(16), npes=16)
+        iters = simd.returns
+        assert iters.min() >= 1
+        assert iters.max() <= 16
+        assert len(set(iters.tolist())) > 2  # genuinely divergent
+
+    def test_spawn_waves_results(self):
+        _, simd = run(workloads.spawn_waves(2), npes=16, active=8)
+        expected = (np.arange(8) * 10 + 1) ** 2
+        np.testing.assert_array_equal(simd.returns[:8], expected)
+
+
+class TestParameters:
+    def test_phase_scaling_is_monotone(self):
+        counts = []
+        for k in (1, 2, 3):
+            r = convert_source(workloads.divergent_phases(k),
+                               ConversionOptions(max_meta_states=300_000))
+            counts.append(r.graph.num_states())
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_barrier_variant_shrinks(self):
+        base = convert_source(workloads.divergent_phases(3),
+                              ConversionOptions(max_meta_states=300_000))
+        barr = convert_source(workloads.divergent_phases(3, barrier=True))
+        assert barr.graph.num_states() < base.graph.num_states()
+
+    def test_divergent_loops_ways(self):
+        for ways in (2, 3, 4):
+            run(workloads.divergent_loops(ways), npes=ways * 3)
+
+    def test_ways_validated(self):
+        with pytest.raises(ValueError):
+            workloads.divergent_loops(1)
+
+    def test_imbalance_grows_with_ops(self):
+        from repro.analysis.utilization import meta_state_imbalance
+
+        worst = []
+        for heavy in (4, 16, 48):
+            r = convert_source(workloads.imbalanced_branch(heavy))
+            worst.append(min(
+                meta_state_imbalance(r.cfg, m) for m in r.graph.states
+            ))
+        assert worst[0] > worst[1] > worst[2]
+
+    def test_barrier_density(self):
+        for n in (0, 2, 5):
+            src = workloads.barrier_phases(n)
+            r, _ = run(src, npes=6)
+            assert len(r.graph.barrier_ids) == n
