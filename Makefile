@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: test bench examples props all coverage
+.PHONY: test bench bench-smoke examples props all coverage
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -12,6 +12,11 @@ props:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q -s
+
+# The three fastest benchmark files (marked smoke), under a hard time
+# budget — the CI sanity check that the benches still run.
+bench-smoke:
+	timeout 300 $(PY) -m pytest benchmarks/ -m smoke -q
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; echo "all examples ran"

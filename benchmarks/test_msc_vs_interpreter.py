@@ -12,6 +12,8 @@ import pytest
 from repro import convert_source
 from repro.analysis.compare import compare_msc_vs_interpreter, format_table
 
+pytestmark = pytest.mark.smoke
+
 WORKLOADS = {
     "divergent-loops": """
 main() {

@@ -31,12 +31,23 @@ def test_simulator_scaling(benchmark, paper_report):
         res = simulate_simd(result, npes=npes)
         dt = time.perf_counter() - t0
         rows.append((npes, dt, res.meta_transitions))
+    # The plan-compiled executor vs the interpretive reference, same
+    # program, same accounting (see repro/codegen/plan.py).
+    t0 = time.perf_counter()
+    ref = simulate_simd(result, npes=16384, use_plans=False)
+    ref_dt = time.perf_counter() - t0
+    res16 = simulate_simd(result, npes=16384)
+    assert res16.cycles == ref.cycles
+    assert res16.utilization == ref.utilization
     paper_report(
         "Simulator scaling (MasPar MP-1 = 16K PEs)",
         [
             (f"{npes} PEs", "sub-linear wall",
              f"{dt * 1e3:7.1f} ms, {steps} meta steps")
             for npes, dt, steps in rows
+        ] + [
+            ("plan speedup", ">= 1x",
+             f"{ref_dt / rows[-1][1]:.1f}x vs interpretive executor"),
         ],
     )
     # 1024x more PEs must cost far less than 1024x the time.

@@ -6,8 +6,11 @@ Benchmarks a master/worker wave pattern and checks the claims.
 """
 
 import numpy as np
+import pytest
 
 from repro import convert_source, simulate_mimd, simulate_simd
+
+pytestmark = pytest.mark.smoke
 
 SRC = """
 main() {

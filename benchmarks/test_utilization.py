@@ -5,8 +5,12 @@ its recovery by time splitting, swept over the cost ratio.
 simply waiting for the transition to the next meta state."
 """
 
+import pytest
+
 from repro import ConversionOptions, convert_source, simulate_simd
 from repro.analysis.utilization import static_meta_utilization
+
+pytestmark = pytest.mark.smoke
 
 
 def program(work: int) -> str:

@@ -93,6 +93,20 @@ class SimdProgram:
     ret_slot: int | None
     compressed: bool
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+    #: Compiled execution plan (see :mod:`repro.codegen.plan`), built
+    #: once per program and cached; pure derived data.
+    _plan: object = field(default=None, repr=False, compare=False)
+
+    def plan(self):
+        """The precompiled :class:`~repro.codegen.plan.ProgramPlan` for
+        this program — dense guard/terminator/bit-weight tables that
+        the SIMD machine's hot path executes. Compiled on first use and
+        cached (the program is immutable once emitted)."""
+        if self._plan is None:
+            from repro.codegen.plan import compile_plan
+
+            self._plan = compile_plan(self)
+        return self._plan
 
     def node_count(self) -> int:
         return len(self.nodes)

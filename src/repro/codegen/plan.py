@@ -1,0 +1,206 @@
+"""Precompiled execution plans for the SIMD machine hot path.
+
+A :class:`~repro.codegen.emit.SimdProgram` is fixed once emitted — the
+guard of every schedule entry, the terminator of every member, the
+operand-stack depth at every point of every block body, and the bit
+weight of every ``pc`` value are all compile-time constants. The plan
+layer lowers that structure into dense tables once per program so the
+per-meta-step work of the simulator becomes array gathers instead of
+per-entry ``np.isin`` calls and per-member ``isinstance`` chains (the
+same fixed-transition-structure observation data-parallel automata
+runners exploit):
+
+- **entry sources** — each schedule entry is classified as
+  single-member, all-members, or a guard row (a ``pc``-indexed uint8
+  mask); at run time the enabled index set is reused from the
+  per-member lane lists for the first two (the overwhelmingly common
+  cases) and is one small-table gather for the third;
+- **static depths** — the operand-stack depth of every guard member at
+  every entry is precompiled relative to the segment entry, so body
+  execution never reads or scatters the per-PE stack pointers;
+  they are written back once per member at the segment boundary
+  (:func:`repro.simd.vecops.exec_instr_at` is the sp-free twin of
+  ``exec_instr``);
+- **terminator tables** — per-member (kind code, on_true, on_false)
+  triples replacing the ``isinstance`` dispatch;
+- **bit weights** — the ``bid -> 1 << bid`` table (object dtype once
+  ids exceed an int64 word) making ``globalor`` one
+  ``bitwise_or.reduce`` over the live lanes.
+
+Plans change *nothing* about the simulated cost model: the machine
+charges exactly the same cycles per entry and per terminator; only the
+host-side bookkeeping gets cheaper. ``SimdMachine(use_plans=False)``
+keeps the original interpretive executor as a differential oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ir.block import CondBr, Fall, Halt, Return, SpawnT
+
+#: Terminator kind codes. ``K_FALL`` covers barrier waits too —
+#: executing the barrier state means everyone arrived, so it proceeds
+#: through its single exit.
+K_FALL = 1
+K_COND = 2
+K_RET = 3
+K_HALT = 4
+K_SPAWN = 5
+
+#: Entry-source codes: where the enabled lane set of a schedule entry
+#: comes from.
+SRC_SINGLE = 0   # one member: reuse its lane list
+SRC_ALL = 1      # every member: reuse the segment's live-lane list
+SRC_SUBSET = 2   # a strict subset: gather the guard row by pc
+
+
+@dataclass
+class SegmentPlan:
+    """Dense tables for one emitted segment.
+
+    Member-indexed fields are aligned with ``member_bids`` (sorted).
+    Entry-indexed fields are aligned with the schedule entries.
+    """
+
+    member_bids: tuple          # sorted member block ids
+    instrs: tuple               # schedule entries' instructions, in order
+    src_modes: tuple            # per entry: SRC_SINGLE / SRC_ALL / SRC_SUBSET
+    src_args: tuple             # per entry: member index | None | uint8 guard row
+    guard_members: tuple        # per entry: member indices in its guard
+    rel_depths: tuple           # per entry: depth before it, per guard member,
+                                # relative to the member's segment-entry depth
+    total_delta: tuple          # per member: net body stack delta
+    kinds: tuple                # per member: terminator kind code
+    on_true: tuple              # per member: Fall target / CondBr on_true / spawn child
+    on_false: tuple             # per member: CondBr on_false / spawn cont
+
+
+@dataclass
+class NodePlan:
+    """Plans for the segments of one emitted node, index-aligned with
+    ``MetaNode.segments``."""
+
+    segments: list
+
+
+@dataclass
+class ProgramPlan:
+    """The compiled plan of a whole program."""
+
+    n_bids: int                     # block ids span 0 .. n_bids - 1
+    bit_weights: np.ndarray         # (n_bids,) 1 << bid; object dtype when wide
+    nodes: dict = field(default_factory=dict)  # entry meta state -> NodePlan
+
+
+def compile_plan(prog) -> ProgramPlan:
+    """Compile ``prog`` (a :class:`~repro.codegen.emit.SimdProgram`)
+    into a :class:`ProgramPlan`. Pure structure lowering — no cost
+    model involved."""
+    n_bids = _max_bid(prog) + 1
+    if n_bids <= 63:
+        weights = np.array([1 << b for b in range(n_bids)], dtype=np.int64)
+    else:
+        # Aggregates wider than a machine word: keep exact Python ints.
+        weights = np.array([1 << b for b in range(n_bids)], dtype=object)
+    plan = ProgramPlan(n_bids=n_bids, bit_weights=weights)
+    for key, node in prog.nodes.items():
+        plan.nodes[key] = NodePlan(
+            segments=[_compile_segment(seg, n_bids) for seg in node.segments]
+        )
+    return plan
+
+
+def _compile_segment(seg, n_bids: int) -> SegmentPlan:
+    members = tuple(sorted(seg.members))
+    index_of = {bid: j for j, bid in enumerate(members)}
+    all_set = frozenset(members)
+
+    src_modes = []
+    src_args = []
+    guard_members = []
+    rel_depths = []
+    depth = {bid: 0 for bid in members}
+    for entry in seg.schedule.entries:
+        guards = sorted(entry.guards)
+        if len(guards) == 1:
+            src_modes.append(SRC_SINGLE)
+            src_args.append(index_of[guards[0]])
+        elif entry.guards == all_set:
+            src_modes.append(SRC_ALL)
+            src_args.append(None)
+        else:
+            row = np.zeros(n_bids + 1, dtype=np.uint8)
+            row[list(guards)] = 1
+            src_modes.append(SRC_SUBSET)
+            src_args.append(row)
+        guard_members.append(tuple(index_of[b] for b in guards))
+        rel_depths.append(tuple(depth[b] for b in guards))
+        delta = entry.instr.stack_delta()
+        for b in guards:
+            depth[b] += delta
+
+    kinds = []
+    on_true = []
+    on_false = []
+    for bid in members:
+        term, is_barrier = seg.terminators[bid]
+        if is_barrier:
+            # Executing the barrier state itself = everyone arrived;
+            # proceed through its single exit.
+            assert isinstance(term, Fall)
+            kinds.append(K_FALL)
+            on_true.append(term.target)
+            on_false.append(0)
+        elif isinstance(term, Fall):
+            kinds.append(K_FALL)
+            on_true.append(term.target)
+            on_false.append(0)
+        elif isinstance(term, CondBr):
+            kinds.append(K_COND)
+            on_true.append(term.on_true)
+            on_false.append(term.on_false)
+        elif isinstance(term, Return):
+            kinds.append(K_RET)
+            on_true.append(0)
+            on_false.append(0)
+        elif isinstance(term, Halt):
+            kinds.append(K_HALT)
+            on_true.append(0)
+            on_false.append(0)
+        elif isinstance(term, SpawnT):
+            kinds.append(K_SPAWN)
+            on_true.append(term.child)
+            on_false.append(term.cont)
+        else:
+            raise AssertionError(f"unknown terminator {term!r}")
+
+    return SegmentPlan(
+        member_bids=members,
+        instrs=tuple(e.instr for e in seg.schedule.entries),
+        src_modes=tuple(src_modes),
+        src_args=tuple(src_args),
+        guard_members=tuple(guard_members),
+        rel_depths=tuple(rel_depths),
+        total_delta=tuple(depth[bid] for bid in members),
+        kinds=tuple(kinds),
+        on_true=tuple(on_true),
+        on_false=tuple(on_false),
+    )
+
+
+def _max_bid(prog) -> int:
+    """Largest block id mentioned anywhere in the program (members and
+    transition targets; the latter are always members of some node, but
+    scanning both keeps the bound robust)."""
+    top = 0
+    for node in prog.nodes.values():
+        for seg in node.segments:
+            top = max(top, max(seg.members))
+            for bid, (term, _) in seg.terminators.items():
+                top = max(top, bid, *term.successors(), 0)
+    for members in prog.nodes:
+        top = max(top, max(members))
+    return top

@@ -100,6 +100,38 @@ def candidate_unions(cfg: Cfg, members: frozenset, compress: bool) -> set[frozen
     return acc
 
 
+class _ConvertMemo:
+    """Per-conversion memo of :func:`member_choices` and
+    :func:`candidate_unions`, keyed on ``(bid, compress)`` and
+    ``(members, compress)``. The worklist fixpoint revisits a meta state
+    whenever its parked set grows, but choices and unions depend only on
+    the CFG — recomputing them was the conversion-time hot spot on large
+    graphs."""
+
+    def __init__(self, cfg: Cfg):
+        self.cfg = cfg
+        self._choices: dict[tuple[int, bool], list[frozenset]] = {}
+        self._unions: dict[tuple[frozenset, bool], set[frozenset]] = {}
+
+    def choices(self, bid: int, compress: bool) -> list[frozenset]:
+        key = (bid, compress)
+        got = self._choices.get(key)
+        if got is None:
+            got = self._choices[key] = member_choices(self.cfg, bid, compress)
+        return got
+
+    def unions(self, members: frozenset, compress: bool) -> set[frozenset]:
+        key = (members, compress)
+        got = self._unions.get(key)
+        if got is None:
+            acc: set[frozenset] = {frozenset()}
+            for bid in sorted(members):
+                choices = self.choices(bid, compress)
+                acc = {u | c for u in acc for c in choices}
+            got = self._unions[key] = acc
+        return got
+
+
 def convert(cfg: Cfg, options: ConvertOptions = ConvertOptions()) -> MetaStateGraph:
     """Build the meta-state automaton for ``cfg``.
 
@@ -131,6 +163,7 @@ def convert(cfg: Cfg, options: ConvertOptions = ConvertOptions()) -> MetaStateGr
     # that can expose new all-at-barrier targets (monotone fixpoint).
     work: list[frozenset] = [start]
     processed_with: dict[frozenset, frozenset] = {}
+    memo = _ConvertMemo(cfg)
 
     while work:
         m = work.pop()
@@ -141,14 +174,15 @@ def convert(cfg: Cfg, options: ConvertOptions = ConvertOptions()) -> MetaStateGr
 
         if options.compress:
             self_exits = _convert_compressed_state(cfg, graph, work, m,
-                                                   parked, barrier_ids, options)
+                                                   parked, barrier_ids,
+                                                   options, memo)
             if self_exits:
                 graph.can_exit.add(m)
             continue
 
         table: dict[frozenset, frozenset] = {}
         exits = False
-        for union in candidate_unions(cfg, m, options.compress):
+        for union in memo.unions(m, options.compress):
             if not union:
                 # Every member finished simultaneously. If no PE can be
                 # parked at a barrier the aggregate is empty and
@@ -156,6 +190,11 @@ def convert(cfg: Cfg, options: ConvertOptions = ConvertOptions()) -> MetaStateGr
                 # now the only live ones — they are all at barriers, so
                 # the transition enters the all-at-barrier meta state.
                 exits = True
+                if len(parked) > options.max_parked:
+                    raise ConversionError(
+                        f"more than {options.max_parked} simultaneously "
+                        "parked barrier states"
+                    )
                 for extra in _subsets(parked):
                     if extra:
                         _enter(graph, work, extra, frozenset(), options)
@@ -197,7 +236,7 @@ def convert(cfg: Cfg, options: ConvertOptions = ConvertOptions()) -> MetaStateGr
 
 
 def _convert_compressed_state(cfg, graph, work, m, parked, barrier_ids,
-                              options) -> bool:
+                              options, memo) -> bool:
     """Successor computation under meta-state compression.
 
     With both successors always taken, each meta state has exactly one
@@ -212,7 +251,7 @@ def _convert_compressed_state(cfg, graph, work, m, parked, barrier_ids,
     """
     from repro.ir.block import Halt, Return
 
-    (union,) = candidate_unions(cfg, m, compress=True)
+    (union,) = memo.unions(m, compress=True)
     can_exit = any(
         isinstance(cfg.blocks[b].terminator, (Return, Halt)) for b in m
     )

@@ -176,8 +176,15 @@ def _find_hash_uncached(keys: list[int], *, width: int | None = None,
     uniq = sorted(set(keys))
     if not uniq:
         raise ConversionError("no keys to encode")
+    need = max(uniq).bit_length()
     if width is None:
-        width = max(64, max(uniq).bit_length())
+        width = max(64, need)
+    elif width < need:
+        # A too-narrow width would make apply() truncate keys into
+        # silent collisions (block ids >= width all alias).
+        raise ConversionError(
+            f"hash width {width} narrower than the {need}-bit key set"
+        )
     if len(uniq) == 1:
         return HashFn(kind="const", width=width)
 
@@ -234,19 +241,23 @@ def _search_vectorized(uniq, width, min_bits, max_bits, max_shift):
         # Pass 1: single shift; prefer cheap kinds, then small s.
         for kind in _KIND_ORDER:
             ok = _rows_injective(variants[kind] & mask)
-            hit = np.flatnonzero(ok)
-            if hit.size:
-                return HashFn(kind=kind, s=int(hit[0]), mask=int(mask),
-                              width=width)
+            for s in np.flatnonzero(ok):
+                fn = HashFn(kind=kind, s=int(s), mask=int(mask), width=width)
+                # Confirm with exact arithmetic: "add" carries out of
+                # bit 63 wrap in uint64 but not in apply(), so a
+                # matrix-injective row can still collide for real.
+                if _injective(fn, uniq):
+                    return fn
         # Pass 2: second shift t applied before masking.
         for t in range(1, max_shift + 1):
             tt = np.uint64(t)
             for kind in ("notmask", "xor", "add"):
                 ok = _rows_injective((variants[kind] >> tt) & mask)
-                hit = np.flatnonzero(ok)
-                if hit.size:
-                    return HashFn(kind=kind, s=int(hit[0]), t=t,
-                                  mask=int(mask), width=width)
+                for s in np.flatnonzero(ok):
+                    fn = HashFn(kind=kind, s=int(s), t=t, mask=int(mask),
+                                width=width)
+                    if _injective(fn, uniq):
+                        return fn
     return None
 
 
@@ -282,6 +293,15 @@ def encode_branch(cases: dict[int, object], *, width: int | None = None) -> Bran
     """Encode a multiway branch given ``{aggregate key: payload}``."""
     fn = find_hash(list(cases), width=width)
     table: list = [None] * fn.table_size
+    taken: dict[int, int] = {}
     for key, payload in cases.items():
-        table[fn.apply(key)] = payload
+        h = fn.apply(key)
+        if h in taken:
+            # A collision here would silently overwrite the earlier
+            # case and misdirect dispatch at runtime.
+            raise ConversionError(
+                f"hash {fn.kind} collides keys {taken[h]:#x} and {key:#x}"
+            )
+        taken[h] = key
+        table[h] = payload
     return BranchEncoding(fn=fn, table=table, cases=dict(cases))

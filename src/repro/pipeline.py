@@ -39,6 +39,10 @@ class ConversionOptions:
         :class:`repro.core.timesplit.TimeSplitOptions`).
     max_meta_states:
         State-space cap for the conversion.
+    max_parked:
+        Cap on simultaneously parked barrier states (the all-at-barrier
+        closure enumerates subsets of this set — see
+        :class:`repro.core.convert.ConvertOptions`).
     use_csi:
         Schedule meta-state bodies with common subexpression induction
         (section 3.1); ``False`` serializes the threads — the ablation
@@ -53,6 +57,7 @@ class ConversionOptions:
     split_delta: int = 4
     split_percent: int = 50
     max_meta_states: int = 100_000
+    max_parked: int = 8
     use_csi: bool = True
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
 
@@ -105,7 +110,8 @@ def convert_source(
     sema = analyze(parse(source))
     cfg = lower_program(sema)
     convert_options = ConvertOptions(
-        compress=options.compress, max_meta_states=options.max_meta_states
+        compress=options.compress, max_meta_states=options.max_meta_states,
+        max_parked=options.max_parked,
     )
     if options.time_split:
         split_options = TimeSplitOptions(
@@ -124,15 +130,19 @@ def convert_source(
 
 
 def simulate_simd(result: ConversionResult, npes: int, *,
-                  active: int | None = None, max_steps: int = 1_000_000):
+                  active: int | None = None, max_steps: int = 1_000_000,
+                  use_plans: bool = True):
     """Execute the converted program on the SIMD machine simulator.
 
     ``active`` limits how many PEs start in ``main`` (the rest sit in
-    the free pool for ``spawn`` to claim); default all.
+    the free pool for ``spawn`` to claim); default all. ``use_plans``
+    selects the plan-compiled executor (default) or the interpretive
+    reference one — identical results either way.
     """
     from repro.simd.machine import SimdMachine
 
-    machine = SimdMachine(npes=npes, costs=result.options.costs)
+    machine = SimdMachine(npes=npes, costs=result.options.costs,
+                          use_plans=use_plans)
     return machine.run(result.simd_program(), active=active, max_steps=max_steps)
 
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.codegen.emit import SimdProgram
+from repro.codegen import plan as planmod
 from repro.errors import MachineError
 from repro.hashenc.search import key_of_members
 from repro.ir.block import CondBr, Fall, Halt, Return, SpawnT
@@ -87,11 +88,16 @@ class SimdMachine:
         the transitions).
     stack_depth / rstack_depth:
         Operand and return-selector stack sizes per PE.
+    use_plans:
+        Execute via the precompiled tables of
+        :mod:`repro.codegen.plan` (the fast path, default). ``False``
+        keeps the original interpretive executor — same semantics and
+        cycle accounting, kept as the differential oracle.
     """
 
     def __init__(self, npes: int, costs: CostModel = DEFAULT_COSTS,
                  stack_depth: int = 64, rstack_depth: int = 256,
-                 trace: bool = False):
+                 trace: bool = False, use_plans: bool = True):
         if npes < 1:
             raise MachineError("need at least one PE")
         self.npes = npes
@@ -99,6 +105,7 @@ class SimdMachine:
         self.stack_depth = stack_depth
         self.rstack_depth = rstack_depth
         self.trace_enabled = trace
+        self.use_plans = use_plans
 
     # ------------------------------------------------------------------
     def run(self, prog: SimdProgram, active: int | None = None,
@@ -126,6 +133,7 @@ class SimdMachine:
         visits: dict = {}
         trace: dict = {p: [] for p in range(self.npes)} if self.trace_enabled else None
         barrier_mask = key_of_members(prog.barrier_ids)
+        plan = prog.plan() if self.use_plans else None
 
         current = prog.start
         steps = 0
@@ -135,10 +143,15 @@ class SimdMachine:
                 raise MachineError(f"SIMD run exceeded {max_steps} meta steps")
             node = prog.nodes[current]
             visits[node.entry_members] = visits.get(node.entry_members, 0) + 1
+            nplan = plan.nodes[current] if plan is not None else None
 
             exited = False
-            for seg in node.segments:
-                c, e = self._exec_segment(seg, pc, st, trace, steps)
+            for i, seg in enumerate(node.segments):
+                if nplan is not None:
+                    c, e = self._exec_segment_plan(nplan.segments[i], pc, st,
+                                                   trace, steps)
+                else:
+                    c, e = self._exec_segment(seg, pc, st, trace, steps)
                 cycles += c
                 body_cycles += c
                 enabled_pe_cycles += e
@@ -155,7 +168,7 @@ class SimdMachine:
             if node.barrier_target is not None:
                 # Compressed graphs: the all-at-barrier entry is a
                 # runtime check on the aggregate (section 3.2.4).
-                apc = self._globalor(pc)
+                apc = self._globalor(pc, plan)
                 cycles += self.costs.globalor_cost
                 transition_cycles += self.costs.globalor_cost
                 if apc == 0:
@@ -164,7 +177,7 @@ class SimdMachine:
                     current = node.barrier_target
                     continue
             if node.encoding is not None:
-                apc = self._globalor(pc)
+                apc = self._globalor(pc, plan)
                 cost = self.costs.globalor_cost + self.costs.dispatch_cost
                 cycles += cost
                 transition_cycles += cost
@@ -205,12 +218,139 @@ class SimdMachine:
         )
 
     # ------------------------------------------------------------------
-    def _globalor(self, pc: np.ndarray) -> int:
-        """The hardware ``globalor``: OR of ``1 << pc`` over live PEs."""
+    def _globalor(self, pc: np.ndarray, plan=None) -> int:
+        """The hardware ``globalor``: OR of ``1 << pc`` over live PEs.
+
+        With a compiled plan this is one gather through the
+        precomputed bit-weight table plus a ``bitwise_or`` reduction;
+        the pre-plan path stays as the slow reference."""
+        live = pc[pc >= 0]
+        if live.size == 0:
+            return 0
+        if plan is not None:
+            return int(np.bitwise_or.reduce(plan.bit_weights[live]))
         apc = 0
-        for bid in np.unique(pc[pc >= 0]):
+        for bid in np.unique(live):
             apc |= 1 << int(bid)
         return apc
+
+    def _exec_segment_plan(self, sp: planmod.SegmentPlan, pc: np.ndarray,
+                           st: vecops.PeState, trace: dict | None = None,
+                           step: int = 0) -> tuple[int, int]:
+        """Plan-compiled segment execution: identical semantics and
+        cycle accounting to :meth:`_exec_segment`, but enable sets are
+        reused from per-member lane lists, body stack depths come from
+        the precompiled tables (no per-instruction ``sp`` traffic), and
+        terminators dispatch on precompiled kind codes."""
+        cycles = 0
+        enabled = 0
+        members = sp.member_bids
+        lanes = [np.flatnonzero(pc == bid) for bid in members]
+        if trace is not None:
+            for j, bid in enumerate(members):
+                for pe in lanes[j]:
+                    trace[int(pe)].append((bid, step))
+        # Operand-stack depth of each member at segment entry: every
+        # lane of a member shares it (CFG-verified invariant).
+        base = [int(st.sp[l[0]]) if l.size else 0 for l in lanes]
+
+        # Body: each schedule entry runs once, on the PEs whose pc bit
+        # is in its guard.
+        if sp.instrs:
+            all_lanes = None
+            for e, instr in enumerate(sp.instrs):
+                mode = sp.src_modes[e]
+                if mode == planmod.SRC_SINGLE:
+                    idxs = lanes[sp.src_args[e]]
+                elif mode == planmod.SRC_ALL:
+                    if all_lanes is None:
+                        all_lanes = self._live_member_lanes(pc, lanes)
+                    idxs = all_lanes
+                else:
+                    row = sp.src_args[e]
+                    live = np.where(pc >= 0, pc, row.shape[0] - 1)
+                    idxs = np.flatnonzero(row[live])
+                c = self.costs.cost(instr)
+                cycles += c
+                enabled += c * idxs.size
+                if idxs.size == 0:
+                    continue
+                gm = sp.guard_members[e]
+                rel = sp.rel_depths[e]
+                depths = {base[j] + rel[k] for k, j in enumerate(gm)
+                          if lanes[j].size}
+                if len(depths) == 1:
+                    depth = depths.pop()
+                else:
+                    # Members at different depths share this entry
+                    # (possible for dispatch chains): per-lane depths
+                    # via a small per-bid table.
+                    table = np.zeros(max(members) + 1, dtype=np.int64)
+                    for k, j in enumerate(gm):
+                        table[members[j]] = base[j] + rel[k]
+                    depth = table[pc[idxs]]
+                vecops.exec_instr_at(instr, idxs, st, depth)
+
+        # Terminators, one guarded group per member.
+        c = self.costs.branch_cost
+        cycles += c * len(members)
+        new_pc = pc.copy()
+        spawn_requests: list[tuple[np.ndarray, int]] = []
+        for j, bid in enumerate(members):
+            l = lanes[j]
+            enabled += c * l.size
+            if l.size == 0:
+                continue
+            kind = sp.kinds[j]
+            fin = base[j] + sp.total_delta[j]
+            if kind == planmod.K_FALL:
+                new_pc[l] = sp.on_true[j]
+                if fin != base[j]:
+                    st.sp[l] = fin
+            elif kind == planmod.K_COND:
+                if fin < 1:
+                    raise MachineError("branch on empty stack")
+                cond = st.stack[fin - 1, l]
+                st.sp[l] = fin - 1
+                new_pc[l] = np.where(cond != 0, sp.on_true[j],
+                                     sp.on_false[j])
+            elif kind == planmod.K_RET:
+                new_pc[l] = PC_DONE
+            elif kind == planmod.K_HALT:
+                new_pc[l] = PC_IDLE
+                st.reset_pes(l)
+            else:  # K_SPAWN
+                spawn_requests.append((l, sp.on_true[j]))
+                new_pc[l] = sp.on_false[j]
+                if fin != base[j]:
+                    st.sp[l] = fin
+
+        # Spawns activate idle PEs after all pc updates are staged, so a
+        # child cannot be re-claimed within the same segment.
+        for idxs, child in spawn_requests:
+            free = np.flatnonzero(new_pc == PC_IDLE)
+            if free.size < idxs.size:
+                raise MachineError(
+                    "spawn: not enough free PEs (section 3.2.5 requires "
+                    "spawns not to exceed the number of processors)"
+                )
+            children = free[: idxs.size]
+            st.poly[:, children] = st.poly[:, idxs]
+            st.reset_pes(children)
+            new_pc[children] = child
+        pc[:] = new_pc
+        return cycles, enabled
+
+    @staticmethod
+    def _live_member_lanes(pc: np.ndarray,
+                           lanes: list[np.ndarray]) -> np.ndarray:
+        """Ascending union of the (disjoint, sorted) member lane lists."""
+        if len(lanes) == 1:
+            return lanes[0]
+        mask = np.zeros(pc.shape[0], dtype=bool)
+        for l in lanes:
+            mask[l] = True
+        return np.flatnonzero(mask)
 
     def _exec_segment(self, seg, pc: np.ndarray, st: vecops.PeState,
                       trace: dict | None = None,

@@ -128,105 +128,145 @@ def exec_instr(instr: Instr, idxs: np.ndarray, st: PeState) -> None:
     Mutates ``st`` in place. Raises
     :class:`~repro.errors.MachineError` on stack overflow/underflow,
     router range errors, or division by zero.
+
+    The per-PE stack pointers are gathered once; when every enabled PE
+    sits at the same depth (always true inside a meta-state guarded
+    group, and the common case for the interpreter) stack rows are
+    addressed by a scalar, turning the two-array fancy index into a
+    plain row gather.
     """
     if idxs.size == 0:
         return
     op = instr.op
     sp = st.sp
     stack = st.stack
+    spi = sp[idxs]
+    lo = int(spi.min())
+    hi = int(spi.max())
+
+    def row(off):
+        """Stack row index for depth ``sp + off``: a scalar when the
+        enabled PEs agree on the depth, else a per-PE vector."""
+        return lo + off if lo == hi else spi + off
+
+    def _under():
+        raise MachineError(f"operand stack underflow executing {op.value}")
+
+    def _over(room):
+        if hi + room > stack.shape[0]:
+            raise MachineError(
+                f"operand stack overflow executing {op.value}"
+            )
 
     if op in BINARY_OPS:
-        _check_under(sp, idxs, 2, op)
-        b = stack[sp[idxs] - 1, idxs]
-        a = stack[sp[idxs] - 2, idxs]
+        if lo < 2:
+            _under()
+        r2 = row(-2)
+        b = stack[row(-1), idxs]
+        a = stack[r2, idxs]
         # Python scalar float arithmetic silently produces inf/nan at
         # the IEEE edges; match it (the scalar/vector agreement is what
         # the cross-machine oracle rests on).
         with np.errstate(over="ignore", invalid="ignore"):
-            stack[sp[idxs] - 2, idxs] = _binary(op, a, b)
-        sp[idxs] -= 1
+            stack[r2, idxs] = _binary(op, a, b)
+        sp[idxs] = spi - 1
         return
     if op in UNARY_OPS:
-        _check_under(sp, idxs, 1, op)
+        if lo < 1:
+            _under()
+        r1 = row(-1)
         with np.errstate(over="ignore", invalid="ignore"):
-            stack[sp[idxs] - 1, idxs] = _unary(op, stack[sp[idxs] - 1, idxs])
+            stack[r1, idxs] = _unary(op, stack[r1, idxs])
         return
     if op is Op.PUSH:
-        _check_over(st, idxs, 1, op)
-        stack[sp[idxs], idxs] = float(instr.arg)
-        sp[idxs] += 1
+        _over(1)
+        stack[row(0), idxs] = float(instr.arg)
+        sp[idxs] = spi + 1
         return
     if op is Op.POP:
         n = int(instr.arg)
-        _check_under(sp, idxs, n, op)
-        sp[idxs] -= n
+        if lo < n:
+            _under()
+        sp[idxs] = spi - n
         return
     if op is Op.SWAP:
-        _check_under(sp, idxs, 2, op)
-        a = stack[sp[idxs] - 1, idxs].copy()
-        stack[sp[idxs] - 1, idxs] = stack[sp[idxs] - 2, idxs]
-        stack[sp[idxs] - 2, idxs] = a
+        if lo < 2:
+            _under()
+        r1 = row(-1)
+        r2 = row(-2)
+        a = stack[r1, idxs]
+        stack[r1, idxs] = stack[r2, idxs]
+        stack[r2, idxs] = a
         return
     if op is Op.DUP:
-        _check_under(sp, idxs, 1, op)
-        _check_over(st, idxs, 1, op)
-        stack[sp[idxs], idxs] = stack[sp[idxs] - 1, idxs]
-        sp[idxs] += 1
+        if lo < 1:
+            _under()
+        _over(1)
+        stack[row(0), idxs] = stack[row(-1), idxs]
+        sp[idxs] = spi + 1
         return
     if op is Op.LD:
-        _check_over(st, idxs, 1, op)
-        stack[sp[idxs], idxs] = st.poly[int(instr.arg), idxs]
-        sp[idxs] += 1
+        _over(1)
+        stack[row(0), idxs] = st.poly[int(instr.arg), idxs]
+        sp[idxs] = spi + 1
         return
     if op is Op.ST:
-        _check_under(sp, idxs, 1, op)
-        st.poly[int(instr.arg), idxs] = stack[sp[idxs] - 1, idxs]
-        sp[idxs] -= 1
+        if lo < 1:
+            _under()
+        st.poly[int(instr.arg), idxs] = stack[row(-1), idxs]
+        sp[idxs] = spi - 1
         return
     if op is Op.LDM:
-        _check_over(st, idxs, 1, op)
-        stack[sp[idxs], idxs] = st.mono[int(instr.arg)]
-        sp[idxs] += 1
+        _over(1)
+        stack[row(0), idxs] = st.mono[int(instr.arg)]
+        sp[idxs] = spi + 1
         return
     if op is Op.STM:
-        _check_under(sp, idxs, 1, op)
-        values = stack[sp[idxs] - 1, idxs]
+        if lo < 1:
+            _under()
+        values = stack[row(-1), idxs]
         # A mono store broadcasts; with several enabled writers the
         # highest-indexed PE's value wins (deterministic rule).
         st.mono[int(instr.arg)] = values[-1]
-        sp[idxs] -= 1
+        sp[idxs] = spi - 1
         return
     if op is Op.LDR:
-        _check_under(sp, idxs, 1, op)
-        targets = stack[sp[idxs] - 1, idxs].astype(np.int64)
+        if lo < 1:
+            _under()
+        r1 = row(-1)
+        targets = stack[r1, idxs].astype(np.int64)
         if np.any((targets < 0) | (targets >= st.npes)):
             raise MachineError("parallel read from out-of-range PE")
-        stack[sp[idxs] - 1, idxs] = st.poly[int(instr.arg), targets]
+        stack[r1, idxs] = st.poly[int(instr.arg), targets]
         return
     if op is Op.STR:
-        _check_under(sp, idxs, 2, op)
-        targets = stack[sp[idxs] - 1, idxs].astype(np.int64)
-        values = stack[sp[idxs] - 2, idxs]
+        if lo < 2:
+            _under()
+        targets = stack[row(-1), idxs].astype(np.int64)
+        values = stack[row(-2), idxs]
         if np.any((targets < 0) | (targets >= st.npes)):
             raise MachineError("parallel write to out-of-range PE")
         st.poly[int(instr.arg), targets] = values
-        sp[idxs] -= 2
+        sp[idxs] = spi - 2
         return
     if op in (Op.LDI, Op.LDMI):
-        _check_under(sp, idxs, 1, op)
-        eidx = stack[sp[idxs] - 1, idxs].astype(np.int64)
+        if lo < 1:
+            _under()
+        r1 = row(-1)
+        eidx = stack[r1, idxs].astype(np.int64)
         _check_bounds(eidx, instr)
         base = int(instr.arg)
         if op is Op.LDI:
-            stack[sp[idxs] - 1, idxs] = st.poly[base + eidx, idxs]
+            stack[r1, idxs] = st.poly[base + eidx, idxs]
         else:
-            stack[sp[idxs] - 1, idxs] = st.mono[base + eidx]
+            stack[r1, idxs] = st.mono[base + eidx]
         return
     if op in (Op.STI, Op.STMI):
-        _check_under(sp, idxs, 2, op)
-        eidx = stack[sp[idxs] - 1, idxs].astype(np.int64)
+        if lo < 2:
+            _under()
+        eidx = stack[row(-1), idxs].astype(np.int64)
         _check_bounds(eidx, instr)
-        values = stack[sp[idxs] - 2, idxs]
+        values = stack[row(-2), idxs]
         base = int(instr.arg)
         if op is Op.STI:
             st.poly[base + eidx, idxs] = values
@@ -234,39 +274,209 @@ def exec_instr(instr: Instr, idxs: np.ndarray, st: PeState) -> None:
             # Broadcast store; colliding elements resolve to the
             # highest-indexed writer (fancy-assignment order).
             st.mono[base + eidx] = values
-        sp[idxs] -= 2
+        sp[idxs] = spi - 2
         return
     if op is Op.PROCNUM:
-        _check_over(st, idxs, 1, op)
-        stack[sp[idxs], idxs] = st.pids[idxs]
-        sp[idxs] += 1
+        _over(1)
+        stack[row(0), idxs] = st.pids[idxs]
+        sp[idxs] = spi + 1
         return
     if op is Op.NPROC:
-        _check_over(st, idxs, 1, op)
-        stack[sp[idxs], idxs] = float(st.npes)
-        sp[idxs] += 1
+        _over(1)
+        stack[row(0), idxs] = float(st.npes)
+        sp[idxs] = spi + 1
         return
     if op is Op.SEL:
-        _check_under(sp, idxs, 3, op)
-        b = stack[sp[idxs] - 1, idxs]
-        a = stack[sp[idxs] - 2, idxs]
-        c = stack[sp[idxs] - 3, idxs]
-        stack[sp[idxs] - 3, idxs] = np.where(c != 0, a, b)
-        sp[idxs] -= 2
+        if lo < 3:
+            _under()
+        r3 = row(-3)
+        b = stack[row(-1), idxs]
+        a = stack[row(-2), idxs]
+        c = stack[r3, idxs]
+        stack[r3, idxs] = np.where(c != 0, a, b)
+        sp[idxs] = spi - 2
         return
     if op is Op.RPUSH:
-        if np.any(st.rsp[idxs] >= st.rstack.shape[0]):
+        rspi = st.rsp[idxs]
+        if int(rspi.max()) >= st.rstack.shape[0]:
             raise MachineError("return-selector stack overflow")
-        st.rstack[st.rsp[idxs], idxs] = float(instr.arg)
-        st.rsp[idxs] += 1
+        st.rstack[rspi, idxs] = float(instr.arg)
+        st.rsp[idxs] = rspi + 1
         return
     if op is Op.RPOP:
-        if np.any(st.rsp[idxs] < 1):
+        rspi = st.rsp[idxs]
+        if int(rspi.min()) < 1:
             raise MachineError("return-selector stack underflow")
-        _check_over(st, idxs, 1, op)
-        st.rsp[idxs] -= 1
-        stack[sp[idxs], idxs] = st.rstack[st.rsp[idxs], idxs]
-        sp[idxs] += 1
+        _over(1)
+        rspi = rspi - 1
+        st.rsp[idxs] = rspi
+        stack[row(0), idxs] = st.rstack[rspi, idxs]
+        sp[idxs] = spi + 1
+        return
+    raise AssertionError(f"unhandled opcode {op}")
+
+
+def exec_instr_at(instr: Instr, idxs: np.ndarray, st: PeState,
+                  depth) -> None:
+    """Execute ``instr`` on the PEs in ``idxs`` whose operand-stack
+    depth *before* the instruction is ``depth`` — a Python int when the
+    enabled group shares one depth (the common case), else a per-PE
+    vector aligned with ``idxs``.
+
+    Unlike :func:`exec_instr` this never reads or writes ``st.sp``:
+    plan-compiled execution tracks depths statically (they are
+    compile-time constants of the schedule) and writes the stack
+    pointers back once per segment. Semantics, determinism rules, and
+    error conditions are identical.
+    """
+    if idxs.size == 0:
+        return
+    op = instr.op
+    stack = st.stack
+    if isinstance(depth, np.ndarray):
+        lo = int(depth.min())
+        hi = int(depth.max())
+    else:
+        lo = hi = depth
+
+    def _under():
+        raise MachineError(f"operand stack underflow executing {op.value}")
+
+    def _over(room):
+        if hi + room > stack.shape[0]:
+            raise MachineError(
+                f"operand stack overflow executing {op.value}"
+            )
+
+    if op in BINARY_OPS:
+        if lo < 2:
+            _under()
+        b = stack[depth - 1, idxs]
+        a = stack[depth - 2, idxs]
+        with np.errstate(over="ignore", invalid="ignore"):
+            stack[depth - 2, idxs] = _binary(op, a, b)
+        return
+    if op in UNARY_OPS:
+        if lo < 1:
+            _under()
+        with np.errstate(over="ignore", invalid="ignore"):
+            stack[depth - 1, idxs] = _unary(op, stack[depth - 1, idxs])
+        return
+    if op is Op.PUSH:
+        _over(1)
+        stack[depth, idxs] = float(instr.arg)
+        return
+    if op is Op.POP:
+        if lo < int(instr.arg):
+            _under()
+        return
+    if op is Op.SWAP:
+        if lo < 2:
+            _under()
+        a = stack[depth - 1, idxs]
+        stack[depth - 1, idxs] = stack[depth - 2, idxs]
+        stack[depth - 2, idxs] = a
+        return
+    if op is Op.DUP:
+        if lo < 1:
+            _under()
+        _over(1)
+        stack[depth, idxs] = stack[depth - 1, idxs]
+        return
+    if op is Op.LD:
+        _over(1)
+        stack[depth, idxs] = st.poly[int(instr.arg), idxs]
+        return
+    if op is Op.ST:
+        if lo < 1:
+            _under()
+        st.poly[int(instr.arg), idxs] = stack[depth - 1, idxs]
+        return
+    if op is Op.LDM:
+        _over(1)
+        stack[depth, idxs] = st.mono[int(instr.arg)]
+        return
+    if op is Op.STM:
+        if lo < 1:
+            _under()
+        values = stack[depth - 1, idxs]
+        # A mono store broadcasts; with several enabled writers the
+        # highest-indexed PE's value wins (deterministic rule).
+        st.mono[int(instr.arg)] = values[-1]
+        return
+    if op is Op.LDR:
+        if lo < 1:
+            _under()
+        targets = stack[depth - 1, idxs].astype(np.int64)
+        if np.any((targets < 0) | (targets >= st.npes)):
+            raise MachineError("parallel read from out-of-range PE")
+        stack[depth - 1, idxs] = st.poly[int(instr.arg), targets]
+        return
+    if op is Op.STR:
+        if lo < 2:
+            _under()
+        targets = stack[depth - 1, idxs].astype(np.int64)
+        values = stack[depth - 2, idxs]
+        if np.any((targets < 0) | (targets >= st.npes)):
+            raise MachineError("parallel write to out-of-range PE")
+        st.poly[int(instr.arg), targets] = values
+        return
+    if op in (Op.LDI, Op.LDMI):
+        if lo < 1:
+            _under()
+        eidx = stack[depth - 1, idxs].astype(np.int64)
+        _check_bounds(eidx, instr)
+        base = int(instr.arg)
+        if op is Op.LDI:
+            stack[depth - 1, idxs] = st.poly[base + eidx, idxs]
+        else:
+            stack[depth - 1, idxs] = st.mono[base + eidx]
+        return
+    if op in (Op.STI, Op.STMI):
+        if lo < 2:
+            _under()
+        eidx = stack[depth - 1, idxs].astype(np.int64)
+        _check_bounds(eidx, instr)
+        values = stack[depth - 2, idxs]
+        base = int(instr.arg)
+        if op is Op.STI:
+            st.poly[base + eidx, idxs] = values
+        else:
+            # Broadcast store; colliding elements resolve to the
+            # highest-indexed writer (fancy-assignment order).
+            st.mono[base + eidx] = values
+        return
+    if op is Op.PROCNUM:
+        _over(1)
+        stack[depth, idxs] = st.pids[idxs]
+        return
+    if op is Op.NPROC:
+        _over(1)
+        stack[depth, idxs] = float(st.npes)
+        return
+    if op is Op.SEL:
+        if lo < 3:
+            _under()
+        b = stack[depth - 1, idxs]
+        a = stack[depth - 2, idxs]
+        c = stack[depth - 3, idxs]
+        stack[depth - 3, idxs] = np.where(c != 0, a, b)
+        return
+    if op is Op.RPUSH:
+        rspi = st.rsp[idxs]
+        if int(rspi.max()) >= st.rstack.shape[0]:
+            raise MachineError("return-selector stack overflow")
+        st.rstack[rspi, idxs] = float(instr.arg)
+        st.rsp[idxs] = rspi + 1
+        return
+    if op is Op.RPOP:
+        rspi = st.rsp[idxs]
+        if int(rspi.min()) < 1:
+            raise MachineError("return-selector stack underflow")
+        _over(1)
+        rspi = rspi - 1
+        st.rsp[idxs] = rspi
+        stack[depth, idxs] = st.rstack[rspi, idxs]
         return
     raise AssertionError(f"unhandled opcode {op}")
 
@@ -277,13 +487,3 @@ def _check_bounds(eidx: np.ndarray, instr: Instr) -> None:
         raise MachineError(
             f"array index out of range 0..{size - 1} in {instr}"
         )
-
-
-def _check_under(sp: np.ndarray, idxs: np.ndarray, need: int, op: Op) -> None:
-    if np.any(sp[idxs] < need):
-        raise MachineError(f"operand stack underflow executing {op.value}")
-
-
-def _check_over(st: PeState, idxs: np.ndarray, room: int, op: Op) -> None:
-    if np.any(st.sp[idxs] + room > st.stack.shape[0]):
-        raise MachineError(f"operand stack overflow executing {op.value}")

@@ -176,3 +176,42 @@ class TestFormatting:
         text = str(convert(listing1_cfg))
         assert "8 states" in text
         assert "ms_0" in text
+
+
+#: PEs split three ways: two park at distinct barriers while the third
+#: way returns — the empty-union exit sees parked = {wait1, wait2}.
+TWO_BARRIER_SPLIT = """
+main() {
+    poly int x;
+    x = procnum % 3;
+    if (x == 0) {
+        wait;
+    } else {
+        if (x == 1) {
+            wait;
+        }
+    }
+    return (x);
+}
+"""
+
+
+class TestMaxParkedCap:
+    def test_empty_union_branch_respects_cap(self):
+        # Regression: the empty-union exit branch used to enumerate
+        # _subsets(parked) uncapped — exponential in the number of
+        # distinct barriers — while the all-at-barrier branch raised.
+        cfg = lower(TWO_BARRIER_SPLIT)
+        with pytest.raises(ConversionError, match="parked"):
+            convert(cfg, ConvertOptions(max_parked=1))
+
+    def test_default_cap_admits_small_barrier_sets(self):
+        graph = convert(lower(TWO_BARRIER_SPLIT))
+        assert graph.states
+
+    def test_pipeline_passes_cap_through(self):
+        from repro.pipeline import ConversionOptions, convert_source
+
+        with pytest.raises(ConversionError, match="parked"):
+            convert_source(TWO_BARRIER_SPLIT, ConversionOptions(max_parked=1))
+        convert_source(TWO_BARRIER_SPLIT, ConversionOptions(max_parked=2))

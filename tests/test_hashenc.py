@@ -150,3 +150,53 @@ class TestRealTransitionTables:
                 enc = node.encoding
                 for key, target in enc.cases.items():
                     assert enc.lookup(key) == target, name
+
+
+class TestWideKeys:
+    """Regression: block ids >= 64 produce keys wider than a machine
+    word. Width must be derived from the key set (a fixed 64 makes
+    apply() truncate distinct keys into silent collisions)."""
+
+    def test_find_hash_derives_width_past_64(self):
+        keys = [key_of_members(frozenset(m))
+                for m in ((70,), (85,), (70, 85), (3, 90))]
+        fn = find_hash(keys)
+        assert fn.width >= 91
+        assert len({fn.apply(k) for k in keys}) == len(keys)
+
+    def test_colliding_truncations_stay_distinct(self):
+        # These keys are identical in their low 64 bits; a 64-bit
+        # truncation would alias all three.
+        base = 1 << 5
+        keys = [base, base | (1 << 64), base | (1 << 80)]
+        fn = find_hash(keys)
+        assert len({fn.apply(k) for k in keys}) == 3
+
+    def test_explicit_narrow_width_raises(self):
+        keys = [1 << 5, 1 << 70]
+        with pytest.raises(ConversionError, match="width"):
+            find_hash(keys, width=64)
+
+    def test_encode_branch_round_trips_wide_keys(self):
+        cases = {key_of_members(frozenset(m)): i
+                 for i, m in enumerate(((66,), (67,), (66, 67), (2, 99)))}
+        enc = encode_branch(cases)
+        for k, v in cases.items():
+            assert enc.lookup(k) == v
+
+    def test_program_with_more_than_64_blocks(self):
+        import numpy as np
+
+        from repro import convert_source, simulate_mimd, simulate_simd
+        from repro.workloads import barrier_phases
+
+        result = convert_source(barrier_phases(6, n_phases=22))
+        assert max(result.cfg.blocks) >= 64
+        prog = result.simd_program()
+        assert any(
+            node.encoding is not None and node.encoding.fn.width > 64
+            for node in prog.nodes.values()
+        )
+        simd = simulate_simd(result, npes=8)
+        mimd = simulate_mimd(result, nprocs=8)
+        assert np.array_equal(simd.returns, mimd.returns, equal_nan=True)

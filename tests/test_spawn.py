@@ -123,3 +123,58 @@ w:  x = 1000 + procnum; halt;
         simd = simulate_simd(r, npes=8, active=4)
         mimd = simulate_mimd(r, nprocs=8, active=4)
         assert_equivalent(simd, mimd)
+
+
+class TestSpawnRegisterCopyOrdering:
+    """Pin the spawn staging order: parent poly registers are copied to
+    the children *before* ``reset_pes`` runs, and reset touches only the
+    stacks — the paper's spawn semantics hand the child its parent's
+    context with clean stacks."""
+
+    def test_reset_preserves_copied_poly(self):
+        from repro.simd import vecops
+
+        st = vecops.PeState(npes=4, n_poly=2, n_mono=1,
+                            stack_depth=8, rstack_depth=8)
+        parents = np.array([0, 1])
+        children = np.array([2, 3])
+        st.poly[:, parents] = [[11.0, 22.0], [33.0, 44.0]]
+        st.sp[:] = 5
+        st.rsp[:] = 3
+        st.stack[:5, :] = 9.0
+        # The machine's spawn sequence:
+        st.poly[:, children] = st.poly[:, parents]
+        st.reset_pes(children)
+        assert np.array_equal(st.poly[:, children], st.poly[:, parents])
+        assert (st.sp[children] == 0).all()
+        assert (st.rsp[children] == 0).all()
+        # Parents untouched.
+        assert (st.sp[parents] == 5).all()
+        assert (st.rsp[parents] == 3).all()
+
+    def test_children_start_with_clean_stacks_machine_level(self):
+        # A child that underflows unless its stacks were reset would
+        # crash; a child that lost the copied registers would compute
+        # garbage. This worker reads the inherited register right away.
+        src = """
+main() {
+    poly int x; poly int seen;
+    x = procnum + 100;
+    spawn(child);
+    return (x);
+child:
+    seen = x * 2;
+    halt;
+}
+"""
+        r = convert_source(src)
+        for use_plans in (False, True):
+            from repro.simd.machine import SimdMachine
+
+            m = SimdMachine(npes=8, costs=r.options.costs,
+                            use_plans=use_plans)
+            res = m.run(r.simd_program(), active=4)
+            seen_slot = next(s.index for s in r.cfg.poly_slots
+                             if s.name.endswith("seen"))
+            got = sorted(res.poly[seen_slot, 4:].tolist())
+            assert got == [2 * (p + 100) for p in range(4)]
