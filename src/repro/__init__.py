@@ -56,6 +56,7 @@ from repro.pipeline import (
     simulate_mimd,
     simulate_simd,
 )
+from repro.stages import CompileCache, StageReport, compile_key
 from repro.errors import (
     MscError,
     LexError,
@@ -73,6 +74,9 @@ __all__ = [
     "convert_source",
     "simulate_mimd",
     "simulate_simd",
+    "CompileCache",
+    "StageReport",
+    "compile_key",
     "MscError",
     "LexError",
     "ParseError",

@@ -7,13 +7,21 @@ Subcommands mirror the prototype tool chain of section 4:
 - ``run``      : convert and execute on the SIMD machine (optionally
   cross-checking against the MIMD reference).
 - ``compare``  : the section-1 duel — MSC vs the interpreter baseline.
+- ``cache``    : inspect or clear the compile cache.
+
+Compiles go through the stage pipeline and (unless ``--no-cache``) the
+content-addressed compile cache, so a repeated ``compile``/``run`` of
+an unchanged source skips parse-through-plan. ``--timings`` prints the
+per-stage table; ``--report-json PATH`` writes it machine-readably.
 
 Examples::
 
     python -m repro compile prog.mimdc --emit mpl
     python -m repro compile prog.mimdc --compress --emit graph
+    python -m repro compile prog.mimdc --timings --report-json stages.json
     python -m repro run prog.mimdc --npes 64 --check
     python -m repro compare prog.mimdc --npes 1024
+    python -m repro cache info
 """
 
 from __future__ import annotations
@@ -25,7 +33,9 @@ import numpy as np
 
 from repro import ConversionOptions, convert_source, simulate_mimd, simulate_simd
 from repro.analysis.compare import compare_msc_vs_interpreter, format_table
+from repro.analysis.stagetime import format_stage_table
 from repro.errors import MscError
+from repro.stages.cache import CompileCache, default_cache_root
 from repro.viz.dot import ascii_graph, cfg_to_dot, meta_graph_to_dot
 
 
@@ -33,9 +43,20 @@ def _options(args: argparse.Namespace) -> ConversionOptions:
     return ConversionOptions(
         compress=args.compress,
         time_split=args.time_split,
+        split_delta=args.split_delta,
+        split_percent=args.split_percent,
         max_meta_states=args.max_meta_states,
+        max_parked=args.max_parked,
         use_csi=not getattr(args, "no_csi", False),
     )
+
+
+def _cache(args: argparse.Namespace):
+    if args.no_cache:
+        return None
+    if args.cache_dir:
+        return CompileCache(root=args.cache_dir)
+    return CompileCache()
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -44,9 +65,24 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="meta-state compression (section 2.5)")
     p.add_argument("--time-split", action="store_true",
                    help="MIMD state time splitting (section 2.4)")
+    p.add_argument("--split-delta", type=int, default=4,
+                   help="time-splitting noise threshold (cycles)")
+    p.add_argument("--split-percent", type=int, default=50,
+                   help="time-splitting acceptable-utilization percent")
     p.add_argument("--no-csi", action="store_true",
                    help="serialize meta-state bodies (CSI ablation)")
     p.add_argument("--max-meta-states", type=int, default=100_000)
+    p.add_argument("--max-parked", type=int, default=8,
+                   help="cap on simultaneously parked barrier states")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the compile cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="compile-cache root (default ~/.cache/repro-msc "
+                        "or $REPRO_MSC_CACHE)")
+    p.add_argument("--timings", action="store_true",
+                   help="print the per-stage compile-time table")
+    p.add_argument("--report-json", metavar="PATH", default=None,
+                   help="write the stage report as JSON to PATH")
 
 
 def _read(path: str) -> str:
@@ -56,8 +92,21 @@ def _read(path: str) -> str:
         return fh.read()
 
 
+def _convert(args: argparse.Namespace):
+    result = convert_source(_read(args.source), _options(args),
+                            cache=_cache(args))
+    return result
+
+
+def _emit_report(args: argparse.Namespace, result) -> None:
+    if args.timings:
+        print(format_stage_table(result.report))
+    if args.report_json:
+        result.report.write_json(args.report_json)
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
-    result = convert_source(_read(args.source), _options(args))
+    result = _convert(args)
     if args.emit == "mpl":
         print(result.mpl_text())
     elif args.emit == "graph":
@@ -74,18 +123,21 @@ def cmd_compile(args: argparse.Namespace) -> int:
         stats = graph_stats(result.cfg, result.graph)
         for key, value in stats.as_row().items():
             print(f"{key:>16}: {value}")
+    _emit_report(args, result)
     return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    result = convert_source(_read(args.source), _options(args))
+    result = _convert(args)
     simd = simulate_simd(result, npes=args.npes, active=args.active,
-                         max_steps=args.max_steps)
+                         max_steps=args.max_steps,
+                         use_plans=not args.no_plans)
     print(f"returns: {simd.returns}")
     print(f"cycles: {simd.cycles} (body {simd.body_cycles}, "
           f"transitions {simd.transition_cycles})")
     print(f"utilization: {simd.utilization:.1%}; "
           f"meta transitions: {simd.meta_transitions}")
+    _emit_report(args, result)
     if args.check:
         mimd = simulate_mimd(result, nprocs=args.npes, active=args.active,
                              max_steps=args.max_steps)
@@ -99,10 +151,26 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    result = convert_source(_read(args.source), _options(args))
+    result = _convert(args)
     row = compare_msc_vs_interpreter(args.source, result, npes=args.npes,
-                                     active=args.active)
+                                     active=args.active,
+                                     use_plans=not args.no_plans)
     print(format_table([row]))
+    _emit_report(args, result)
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = CompileCache(root=args.cache_dir) if args.cache_dir \
+        else CompileCache()
+    if args.action == "dir":
+        print(cache.root)
+    elif args.action == "info":
+        print(f"root: {cache.root}")
+        print(f"version: v{cache.version}")
+        print(f"entries: {cache.entry_count()}")
+    else:  # clear
+        print(f"removed {cache.clear()} entries from {cache.root}")
     return 0
 
 
@@ -124,6 +192,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--npes", type=int, default=16)
     p.add_argument("--active", type=int, default=None)
     p.add_argument("--max-steps", type=int, default=1_000_000)
+    p.add_argument("--no-plans", action="store_true",
+                   help="use the interpretive executor instead of the "
+                        "precompiled plan (differential oracle)")
     p.add_argument("--check", action="store_true",
                    help="cross-check against the MIMD reference machine")
     p.set_defaults(func=cmd_run)
@@ -132,7 +203,16 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(p)
     p.add_argument("--npes", type=int, default=16)
     p.add_argument("--active", type=int, default=None)
+    p.add_argument("--no-plans", action="store_true",
+                   help="use the interpretive executor instead of the "
+                        "precompiled plan")
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("cache", help="inspect or clear the compile cache")
+    p.add_argument("action", choices=["info", "clear", "dir"])
+    p.add_argument("--cache-dir", default=None,
+                   help=f"cache root (default {default_cache_root()})")
+    p.set_defaults(func=cmd_cache)
 
     args = parser.parse_args(argv)
     try:

@@ -14,6 +14,7 @@ from repro.analysis.utilization import (
     meta_state_imbalance,
 )
 from repro.analysis.compare import ComparisonRow, compare_msc_vs_interpreter
+from repro.analysis.stagetime import aggregate_reports, format_stage_table
 from repro.analysis.traces import (
     TraceComparison,
     assert_same_paths,
@@ -31,6 +32,8 @@ __all__ = [
     "meta_state_imbalance",
     "ComparisonRow",
     "compare_msc_vs_interpreter",
+    "aggregate_reports",
+    "format_stage_table",
     "TraceComparison",
     "assert_same_paths",
     "compare_traces",

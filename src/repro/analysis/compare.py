@@ -57,12 +57,14 @@ class ComparisonRow:
 
 def compare_msc_vs_interpreter(name: str, result: ConversionResult,
                                npes: int, active: int | None = None,
-                               max_steps: int = 1_000_000) -> ComparisonRow:
+                               max_steps: int = 1_000_000,
+                               use_plans: bool = True) -> ComparisonRow:
     """Execute ``result`` under both schemes and compare against the
     MIMD oracle. Raises :class:`~repro.errors.MscError` if either
     scheme diverges from the oracle — a comparison of wrong answers is
     worthless."""
-    simd = simulate_simd(result, npes=npes, active=active, max_steps=max_steps)
+    simd = simulate_simd(result, npes=npes, active=active, max_steps=max_steps,
+                         use_plans=use_plans)
     mimd = simulate_mimd(result, nprocs=npes, active=active, max_steps=max_steps)
     flat = flatten_cfg(result.cfg)
     interp = InterpreterMachine(npes=npes, costs=result.options.costs).run(

@@ -1,0 +1,85 @@
+"""Where does compile time go? Formatting and aggregation of
+:class:`~repro.stages.report.StageReport` records.
+
+``format_stage_table`` renders one compile's report as the aligned
+table ``repro compile --timings`` prints; ``aggregate_reports`` folds
+many reports (a benchmark sweep, a workload library warm-up) into
+per-stage totals so regressions show up per stage, not as one opaque
+wall-clock number.
+"""
+
+from __future__ import annotations
+
+from repro.stages.report import StageReport
+
+
+def format_stage_table(report: StageReport, *, counters: bool = True) -> str:
+    """An aligned per-stage table: time, share, cache flag, counters."""
+    total = report.total_seconds
+    rows: list[tuple[str, str, str, str, str]] = []
+    for rec in report.records:
+        share = (rec.seconds / total) if total > 0 else 0.0
+        shown = ""
+        if counters and rec.counters:
+            shown = ", ".join(f"{k}={v}" for k, v in rec.counters.items())
+        rows.append((
+            rec.name,
+            f"{rec.seconds * 1e3:.2f}",
+            f"{share:.1%}",
+            "hit" if rec.cached else "run",
+            shown,
+        ))
+    if report.cache != "off":
+        if report.load_seconds:
+            rows.append(("cache load", f"{report.load_seconds * 1e3:.2f}",
+                         "", "", ""))
+        if report.store_seconds:
+            rows.append(("cache store", f"{report.store_seconds * 1e3:.2f}",
+                         "", "", ""))
+    header = ("stage", "ms", "share", "cache", "counters")
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) if rows
+              else len(header[i]) for i in range(5)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
+    lines.append(f"total {total * 1e3:.2f} ms  "
+                 f"(cache: {report.cache}"
+                 + (f", key {report.key[:12]}" if report.key else "")
+                 + ")")
+    return "\n".join(lines)
+
+
+def aggregate_reports(reports) -> dict:
+    """Fold many reports into per-stage aggregate rows.
+
+    Returns ``{"stages": {name: {"seconds", "runs", "cached"}},
+    "compiles", "cache_hits", "cache_misses", "total_seconds"}`` —
+    the shape the CI compile-cache job and sweep harnesses consume.
+    """
+    stages: dict = {}
+    compiles = hits = misses = 0
+    total = 0.0
+    for report in reports:
+        compiles += 1
+        if report.cache == "hit":
+            hits += 1
+        elif report.cache == "miss":
+            misses += 1
+        total += report.total_seconds
+        for rec in report.records:
+            row = stages.setdefault(
+                rec.name, {"seconds": 0.0, "runs": 0, "cached": 0}
+            )
+            row["seconds"] += rec.seconds
+            if rec.cached:
+                row["cached"] += 1
+            else:
+                row["runs"] += 1
+    return {
+        "stages": stages,
+        "compiles": compiles,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "total_seconds": total,
+    }

@@ -121,6 +121,21 @@ class SimdProgram:
             total += 1  # the transition switch / jump
         return total
 
+    def hash_stats(self) -> dict:
+        """Multiway-branch encoding statistics: how many nodes dispatch
+        through a hash, total and worst-case jump-table slots, and how
+        many fell back to the division hash (section 3.2.3's quality
+        measure — the stage report surfaces these per compile)."""
+        encoded = [n.encoding for n in self.nodes.values()
+                   if n.encoding is not None]
+        return {
+            "hash_branches": len(encoded),
+            "hash_table_slots": sum(e.table_size for e in encoded),
+            "hash_max_table": max((e.table_size for e in encoded), default=0),
+            "hash_mod_fallbacks": sum(1 for e in encoded
+                                      if e.fn.kind == "mod"),
+        }
+
     def csi_totals(self) -> tuple[int, int, int]:
         """(scheduled cost, serialized cost, lower bound) summed over
         all multi-member segments — the CSI win."""

@@ -94,6 +94,18 @@ class ProgramPlan:
     bit_weights: np.ndarray         # (n_bids,) 1 << bid; object dtype when wide
     nodes: dict = field(default_factory=dict)  # entry meta state -> NodePlan
 
+    def stats(self) -> dict:
+        """Plan-size counters for the stage report."""
+        segments = [sp for np_ in self.nodes.values() for sp in np_.segments]
+        return {
+            "plan_nodes": len(self.nodes),
+            "plan_segments": len(segments),
+            "plan_entries": sum(len(sp.instrs) for sp in segments),
+            "plan_guard_rows": sum(
+                1 for sp in segments for m in sp.src_modes if m == SRC_SUBSET
+            ),
+        }
+
 
 def compile_plan(prog) -> ProgramPlan:
     """Compile ``prog`` (a :class:`~repro.codegen.emit.SimdProgram`)

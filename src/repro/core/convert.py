@@ -164,6 +164,7 @@ def convert(cfg: Cfg, options: ConvertOptions = ConvertOptions()) -> MetaStateGr
     work: list[frozenset] = [start]
     processed_with: dict[frozenset, frozenset] = {}
     memo = _ConvertMemo(cfg)
+    passes = 0
 
     while work:
         m = work.pop()
@@ -171,6 +172,7 @@ def convert(cfg: Cfg, options: ConvertOptions = ConvertOptions()) -> MetaStateGr
         if processed_with.get(m) == parked:
             continue
         processed_with[m] = parked
+        passes += 1
 
         if options.compress:
             self_exits = _convert_compressed_state(cfg, graph, work, m,
@@ -231,6 +233,7 @@ def convert(cfg: Cfg, options: ConvertOptions = ConvertOptions()) -> MetaStateGr
         if exits:
             graph.can_exit.add(m)
 
+    graph.stats["worklist_passes"] = passes
     graph.verify(valid_blocks=set(cfg.blocks))
     return graph
 

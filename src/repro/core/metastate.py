@@ -67,6 +67,10 @@ class MetaStateGraph:
     #: barrier entry cannot be enumerated per exact aggregate; instead
     #: the machine branches here whenever the aggregate is all-barrier.
     barrier_entry: dict = field(default_factory=dict)
+    #: Construction counters filled by :func:`repro.core.convert.convert`
+    #: (worklist passes, candidate unions); excluded from comparison —
+    #: two automata are equal by structure, not by how they were built.
+    stats: dict = field(default_factory=dict, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     def successors(self, m: MetaId) -> set:

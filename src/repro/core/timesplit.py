@@ -106,28 +106,37 @@ def time_split_state(cfg: Cfg, members: frozenset,
 
 def convert_with_time_splitting(cfg: Cfg, convert_options=None,
                                 split_options: TimeSplitOptions = TimeSplitOptions(),
-                                costs: CostModel = DEFAULT_COSTS):
+                                costs: CostModel = DEFAULT_COSTS,
+                                stats: dict | None = None):
     """Run conversion, splitting imbalanced MIMD states and restarting
     until the automaton is balanced or ``max_restarts`` is reached.
 
     Returns ``(graph, cfg, restarts)``. The CFG is mutated in place by
-    the splits.
+    the splits. ``stats``, when given, receives ``blocks_split`` (total
+    new tail blocks) and ``aborted_restart`` (1 when a split round blew
+    the state-space cap and the previous automaton was kept).
     """
     from repro.core.convert import ConvertOptions, convert
     from repro.errors import ConversionError
 
     if convert_options is None:
         convert_options = ConvertOptions()
+    if stats is None:
+        stats = {}
+    stats["blocks_split"] = 0
+    stats["aborted_restart"] = 0
     restarts = 0
     graph = convert(cfg, convert_options)
     while True:
         snapshot = cfg.clone()
+        before = len(cfg.blocks)
         any_split = False
         for m in sorted(graph.states, key=lambda s: sorted(s)):
             if time_split_state(cfg, m, split_options, costs):
                 any_split = True
         if not any_split:
             return graph, cfg, restarts
+        stats["blocks_split"] += len(cfg.blocks) - before
         restarts += 1
         try:
             new_graph = convert(cfg, convert_options)
@@ -136,6 +145,8 @@ def convert_with_time_splitting(cfg: Cfg, convert_options=None,
             # — exactly the explosion section 2.4 warns about when
             # states approach instruction granularity. Keep the last
             # consistent automaton instead.
+            stats["blocks_split"] -= len(cfg.blocks) - before
+            stats["aborted_restart"] = 1
             return graph, snapshot, restarts - 1
         graph = new_graph
         if restarts >= split_options.max_restarts:

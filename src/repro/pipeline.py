@@ -8,20 +8,23 @@ Mirrors section 4.2's outline of the prototype:
    compression and/or time splitting);
 4. straighten the meta-state graph and encode it for SIMD execution
    (CSI scheduling + hash-encoded multiway branches).
+
+Since PR 2 the implementation is the explicit stage pipeline of
+:mod:`repro.stages`: :func:`convert_source` drives the named
+parse→sema→lower→convert→encode→plan stages, records per-stage wall
+time and counters in a :class:`~repro.stages.report.StageReport`
+(available as ``result.report``), and — when given a ``cache`` — keys
+the whole artifact bundle by content hash so a repeated compile skips
+every stage.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.convert import ConvertOptions, convert
 from repro.core.metastate import MetaStateGraph
-from repro.core.timesplit import TimeSplitOptions, convert_with_time_splitting
 from repro.ir.cfg import Cfg
 from repro.ir.instr import DEFAULT_COSTS, CostModel
-from repro.ir.lowering import lower_program
-from repro.lang.parser import parse
-from repro.lang.sema import analyze
 
 
 @dataclass(frozen=True)
@@ -68,7 +71,9 @@ class ConversionResult:
 
     ``cfg`` is the MIMD state graph (after any time splitting), ``graph``
     the meta-state automaton, ``program`` the encoded SIMD program (lazy;
-    see :meth:`simd_program`), and ``options`` the options used.
+    see :meth:`simd_program`), ``options`` the options used, and
+    ``report`` the per-stage :class:`~repro.stages.report.StageReport`
+    of the compile (``None`` for results built by hand).
     """
 
     source: str
@@ -76,11 +81,14 @@ class ConversionResult:
     graph: MetaStateGraph
     options: ConversionOptions
     restarts: int = 0
-    _program: object = None
+    _program: object = field(default=None, init=False, repr=False,
+                             compare=False)
+    report: object = field(default=None, repr=False, compare=False)
 
     def simd_program(self):
         """The executable SIMD encoding (CSI-scheduled, hash-dispatched),
-        built on first use."""
+        built on first use (:func:`convert_source` pre-builds it, so
+        this only compiles for hand-assembled results)."""
         if self._program is None:
             from repro.codegen.emit import encode_program
 
@@ -90,6 +98,11 @@ class ConversionResult:
             )
         return self._program
 
+    def exec_plan(self):
+        """The precompiled :class:`~repro.codegen.plan.ProgramPlan` of
+        :meth:`simd_program` (cached on the program)."""
+        return self.simd_program().plan()
+
     def mpl_text(self) -> str:
         """MPL-like C rendering of the automaton (the paper's Listing 5)."""
         from repro.codegen.mpl import render_mpl
@@ -98,35 +111,27 @@ class ConversionResult:
 
 
 def convert_source(
-    source: str, options: ConversionOptions = ConversionOptions()
+    source: str, options: ConversionOptions | None = None, *, cache=None
 ) -> ConversionResult:
     """Compile MIMDC ``source`` into a meta-state automaton.
+
+    ``cache`` enables the content-addressed compile cache: ``True``
+    uses the default directory (``~/.cache/repro-msc``, overridable via
+    ``REPRO_MSC_CACHE``), a path roots a cache there, and a
+    :class:`~repro.stages.cache.CompileCache` is used as-is. On a cache
+    hit every stage is skipped and the loaded program (plan included)
+    goes straight to simulation; ``result.report`` records which.
 
     Raises front-end errors (:class:`~repro.errors.LexError`,
     :class:`~repro.errors.ParseError`,
     :class:`~repro.errors.SemanticError`) or
     :class:`~repro.errors.ConversionError` on state-space blowup.
     """
-    sema = analyze(parse(source))
-    cfg = lower_program(sema)
-    convert_options = ConvertOptions(
-        compress=options.compress, max_meta_states=options.max_meta_states,
-        max_parked=options.max_parked,
-    )
-    if options.time_split:
-        split_options = TimeSplitOptions(
-            split_delta=options.split_delta,
-            split_percent=options.split_percent,
-        )
-        graph, cfg, restarts = convert_with_time_splitting(
-            cfg, convert_options, split_options, options.costs
-        )
-    else:
-        graph = convert(cfg, convert_options)
-        restarts = 0
-    return ConversionResult(
-        source=source, cfg=cfg, graph=graph, options=options, restarts=restarts
-    )
+    from repro.stages.driver import run_pipeline
+
+    if options is None:
+        options = ConversionOptions()
+    return run_pipeline(source, options, cache=cache)
 
 
 def simulate_simd(result: ConversionResult, npes: int, *,
@@ -137,13 +142,17 @@ def simulate_simd(result: ConversionResult, npes: int, *,
     ``active`` limits how many PEs start in ``main`` (the rest sit in
     the free pool for ``spawn`` to claim); default all. ``use_plans``
     selects the plan-compiled executor (default) or the interpretive
-    reference one — identical results either way.
+    reference one — identical results either way. The precompiled plan
+    travels with the program artifact, so repeated (and warm-cache)
+    runs never rebuild it.
     """
     from repro.simd.machine import SimdMachine
 
     machine = SimdMachine(npes=npes, costs=result.options.costs,
                           use_plans=use_plans)
-    return machine.run(result.simd_program(), active=active, max_steps=max_steps)
+    prog = result.simd_program()
+    plan = result.exec_plan() if use_plans else None
+    return machine.run(prog, active=active, max_steps=max_steps, plan=plan)
 
 
 def simulate_mimd(result: ConversionResult, nprocs: int, *,

@@ -109,9 +109,16 @@ class SimdMachine:
 
     # ------------------------------------------------------------------
     def run(self, prog: SimdProgram, active: int | None = None,
-            max_steps: int = 1_000_000) -> SimdResult:
+            max_steps: int = 1_000_000,
+            plan: "planmod.ProgramPlan | None" = None) -> SimdResult:
         """Run ``prog`` with ``active`` PEs starting in the start meta
-        state (default: all) and the rest idle in the free pool."""
+        state (default: all) and the rest idle in the free pool.
+
+        ``plan`` supplies a precompiled
+        :class:`~repro.codegen.plan.ProgramPlan` for ``prog`` (e.g. the
+        one the stage pipeline produced and cached); when omitted and
+        ``use_plans`` is on, the program's own cached plan is used —
+        either way nothing is rebuilt per run."""
         if active is None:
             active = self.npes
         if not (1 <= active <= self.npes):
@@ -133,7 +140,10 @@ class SimdMachine:
         visits: dict = {}
         trace: dict = {p: [] for p in range(self.npes)} if self.trace_enabled else None
         barrier_mask = key_of_members(prog.barrier_ids)
-        plan = prog.plan() if self.use_plans else None
+        if not self.use_plans:
+            plan = None
+        elif plan is None:
+            plan = prog.plan()
 
         current = prog.start
         steps = 0

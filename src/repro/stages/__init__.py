@@ -1,0 +1,44 @@
+"""The stage-based compiler driver, serializable artifacts, and the
+content-addressed compile cache.
+
+- :mod:`repro.stages.driver` — the named parse→sema→lower→convert→
+  encode→plan pipeline;
+- :mod:`repro.stages.cache` — the versioned on-disk cache keyed by
+  (source, options, cost model, compiler code version);
+- :mod:`repro.stages.report` — per-stage timing/counter records.
+"""
+
+from repro.stages.cache import (
+    CACHE_VERSION,
+    CachedCompile,
+    CompileCache,
+    code_fingerprint,
+    compile_key,
+    default_cache_root,
+    resolve_cache,
+)
+from repro.stages.driver import (
+    PIPELINE_STAGES,
+    STAGE_NAMES,
+    CompileContext,
+    Stage,
+    run_pipeline,
+)
+from repro.stages.report import StageRecord, StageReport
+
+__all__ = [
+    "CACHE_VERSION",
+    "CachedCompile",
+    "CompileCache",
+    "CompileContext",
+    "PIPELINE_STAGES",
+    "STAGE_NAMES",
+    "Stage",
+    "StageRecord",
+    "StageReport",
+    "code_fingerprint",
+    "compile_key",
+    "default_cache_root",
+    "resolve_cache",
+    "run_pipeline",
+]

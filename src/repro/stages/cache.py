@@ -1,0 +1,230 @@
+"""A versioned, content-addressed on-disk compile cache.
+
+The stage pipeline's artifacts (:class:`~repro.ir.cfg.Cfg`,
+:class:`~repro.core.metastate.MetaStateGraph`,
+:class:`~repro.codegen.emit.SimdProgram` with its precompiled
+:class:`~repro.codegen.plan.ProgramPlan`) are deterministic functions of
+
+1. the MIMDC source text,
+2. the :class:`~repro.pipeline.ConversionOptions` (including the cost
+   model — it steers time splitting and CSI scheduling),
+3. the compiler's own code (any module on the parse→plan path), and
+4. the cache format version.
+
+The cache key is a SHA-256 over all four, so a warm
+:func:`~repro.pipeline.convert_source` skips parse-through-plan and a
+stale entry can never be returned: editing the source, changing an
+option, or changing the compiler itself all produce a new key.
+
+Entries live under ``~/.cache/repro-msc`` by default (override with the
+``REPRO_MSC_CACHE`` environment variable or the ``root`` argument),
+sharded as ``v<version>/<key[:2]>/<key>.pkl``. The directory is safe to
+delete at any time; unreadable or corrupt entries are dropped and the
+compile falls back to a cold run. Payloads are pickles — treat the
+cache directory with the same trust as the source tree (do not point it
+at files written by parties you would not run code from).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Bump when the artifact layout changes incompatibly (every old entry
+#: is then invisible — old shards are simply never read again).
+CACHE_VERSION = 1
+
+#: Top-level repro subpackages whose code determines compile output.
+#: ``simd``/``mimd`` (simulators) and ``analysis``/``viz`` are runtime
+#: consumers of the artifacts, not producers, so they do not invalidate.
+_COMPILER_PACKAGES = ("lang", "ir", "core", "csi", "hashenc", "codegen",
+                      "stages")
+
+_code_fingerprint_memo: str | None = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 of the compiler's own source files (computed once per
+    process). Any edit to a module on the parse→plan path changes the
+    fingerprint and therefore every cache key."""
+    global _code_fingerprint_memo
+    if _code_fingerprint_memo is None:
+        pkg_root = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        h.update(str(CACHE_VERSION).encode())
+        for pkg in _COMPILER_PACKAGES:
+            for path in sorted((pkg_root / pkg).glob("*.py")):
+                h.update(path.name.encode())
+                h.update(path.read_bytes())
+        _code_fingerprint_memo = h.hexdigest()
+    return _code_fingerprint_memo
+
+
+def _freeze(value) -> object:
+    """A stable, hashable-repr projection of an options value."""
+    if isinstance(value, dict):
+        return sorted((str(k), _freeze(v)) for k, v in value.items())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sorted(str(_freeze(v)) for v in value)
+    return value
+
+
+def options_fingerprint(options) -> str:
+    """Canonical rendering of a :class:`ConversionOptions` (including
+    the nested cost model) for key derivation."""
+    from dataclasses import fields as dc_fields
+
+    parts = []
+    for f in dc_fields(options):
+        value = getattr(options, f.name)
+        if f.name == "costs":
+            cost_parts = [
+                (cf.name, _freeze(getattr(value, cf.name)))
+                for cf in dc_fields(value)
+            ]
+            parts.append((f.name, cost_parts))
+        else:
+            parts.append((f.name, _freeze(value)))
+    return repr(parts)
+
+
+def compile_key(source: str, options) -> str:
+    """The content hash addressing one compile in the cache."""
+    h = hashlib.sha256()
+    h.update(code_fingerprint().encode())
+    h.update(b"\x00")
+    h.update(options_fingerprint(options).encode())
+    h.update(b"\x00")
+    h.update(source.encode())
+    return h.hexdigest()
+
+
+def default_cache_root() -> Path:
+    env = os.environ.get("REPRO_MSC_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-msc"
+
+
+@dataclass
+class CachedCompile:
+    """The serialized artifact bundle of one compile: everything the
+    parse→plan stages produce. ``program`` carries its precompiled
+    ``ProgramPlan`` inside, so a warm run goes straight to simulation."""
+
+    cfg: object
+    graph: object
+    restarts: int
+    program: object
+
+
+@dataclass
+class CompileCache:
+    """Content-addressed store of :class:`CachedCompile` bundles.
+
+    ``hits`` / ``misses`` / ``stores`` / ``evictions`` count this
+    instance's traffic (an eviction is a corrupt or unreadable entry
+    dropped on load).
+    """
+
+    root: Path = field(default_factory=default_cache_root)
+    version: int = CACHE_VERSION
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / f"v{self.version}" / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> CachedCompile | None:
+        """The cached bundle for ``key``, or ``None``. Corrupt, stale,
+        or unreadable entries are evicted and reported as a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated write, pickle of an older class shape, or any
+            # other corruption: drop the entry, recompile cold.
+            self.evictions += 1
+            self.misses += 1
+            self._evict(path)
+            return None
+        if not isinstance(payload, CachedCompile):
+            self.evictions += 1
+            self.misses += 1
+            self._evict(path)
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: CachedCompile) -> bool:
+        """Atomically persist ``payload`` under ``key``. Best-effort:
+        an unwritable cache directory disables caching, never the
+        compile."""
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                self._evict(Path(tmp))
+                raise
+        except OSError:
+            return False
+        self.stores += 1
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry of this cache version; return the count."""
+        shard = self.root / f"v{self.version}"
+        n = 0
+        if shard.is_dir():
+            for path in shard.rglob("*.pkl"):
+                self._evict(path)
+                n += 1
+        return n
+
+    def entry_count(self) -> int:
+        shard = self.root / f"v{self.version}"
+        if not shard.is_dir():
+            return 0
+        return sum(1 for _ in shard.rglob("*.pkl"))
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def resolve_cache(cache) -> CompileCache | None:
+    """Normalize a user-facing ``cache`` argument: ``None``/``False`` →
+    no caching, ``True`` → the default cache, a path → a cache rooted
+    there, a :class:`CompileCache` → itself."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return CompileCache()
+    if isinstance(cache, CompileCache):
+        return cache
+    if isinstance(cache, (str, os.PathLike)):
+        return CompileCache(root=Path(cache))
+    raise TypeError(f"cache must be None, bool, path, or CompileCache; "
+                    f"got {type(cache).__name__}")

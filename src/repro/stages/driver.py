@@ -1,0 +1,251 @@
+"""The stage-based compiler driver.
+
+Section 4.2 describes the prototype as an explicit tool chain — parse,
+straighten, convert, split-and-restart, encode — and this module gives
+the reproduction the same shape: a declarative list of named stages,
+each consuming and producing artifacts on a :class:`CompileContext`,
+with per-stage wall time and counters recorded in a
+:class:`~repro.stages.report.StageReport`.
+
+The stages, in order::
+
+    parse    MIMDC text            -> AST
+    sema     AST                   -> analyzed AST (SemaInfo)
+    lower    SemaInfo              -> normalized CFG
+    convert  CFG                   -> meta-state automaton
+             (time splitting restarts the conversion inside this stage)
+    encode   CFG + automaton       -> SimdProgram (CSI + hash encoding)
+    plan     SimdProgram           -> ProgramPlan (dense executor tables)
+
+Every artifact past ``lower`` is serializable, so the whole chain is
+memoizable: with a :class:`~repro.stages.cache.CompileCache`, a compile
+whose content key (source + options + cost model + code version) was
+seen before loads ``cfg``/``graph``/``program``/``plan`` and runs no
+stage at all — the report then shows six cached records and zero
+executed stages.
+
+To add a stage: write a ``_stage_<name>(ctx)`` function that reads and
+writes ``CompileContext`` fields and returns a counters dict, append a
+``Stage`` entry to :data:`PIPELINE_STAGES` in dependency order, and (if
+the stage affects the artifacts) bump
+:data:`repro.stages.cache.CACHE_VERSION`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.stages.cache import CachedCompile, CompileCache, compile_key, resolve_cache
+from repro.stages.report import StageReport
+
+
+@dataclass
+class CompileContext:
+    """Mutable artifact bag threaded through the stages."""
+
+    source: str
+    options: object                 # ConversionOptions
+    ast: object = None
+    sema: object = None
+    cfg: object = None
+    graph: object = None
+    restarts: int = 0
+    program: object = None
+    plan: object = None
+    split_stats: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named pass: ``run(ctx)`` computes the stage's artifact(s)
+    from earlier ones and returns its counters."""
+
+    name: str
+    run: Callable
+
+    def execute(self, ctx: CompileContext, report: StageReport) -> None:
+        t0 = time.perf_counter()
+        counters = self.run(ctx)
+        report.add(self.name, time.perf_counter() - t0, counters=counters)
+
+
+# ----------------------------------------------------------------------
+# stage bodies
+# ----------------------------------------------------------------------
+def _stage_parse(ctx: CompileContext) -> dict:
+    from repro.lang.parser import parse
+
+    ctx.ast = parse(ctx.source)
+    return {
+        "source_lines": ctx.source.count("\n") + 1,
+        "functions": len(ctx.ast.functions),
+    }
+
+
+def _stage_sema(ctx: CompileContext) -> dict:
+    from repro.lang.sema import analyze
+
+    ctx.sema = analyze(ctx.ast)
+    return {
+        "functions": len(ctx.sema.functions),
+        "recursive_functions": len(ctx.sema.recursive_functions()),
+        "globals": len(ctx.sema.globals),
+    }
+
+
+def _stage_lower(ctx: CompileContext) -> dict:
+    from repro.ir.lowering import lower_program
+
+    ctx.cfg = lower_program(ctx.sema)
+    return {
+        "blocks": len(ctx.cfg.blocks),
+        "branch_blocks": len(ctx.cfg.branch_blocks()),
+        "barrier_blocks": sum(
+            1 for b in ctx.cfg.blocks.values() if b.is_barrier_wait
+        ),
+        "poly_slots": len(ctx.cfg.poly_slots),
+        "mono_slots": len(ctx.cfg.mono_slots),
+    }
+
+
+def _stage_convert(ctx: CompileContext) -> dict:
+    from repro.core.convert import ConvertOptions, convert
+    from repro.core.timesplit import TimeSplitOptions, convert_with_time_splitting
+
+    options = ctx.options
+    convert_options = ConvertOptions(
+        compress=options.compress, max_meta_states=options.max_meta_states,
+        max_parked=options.max_parked,
+    )
+    if options.time_split:
+        split_options = TimeSplitOptions(
+            split_delta=options.split_delta,
+            split_percent=options.split_percent,
+        )
+        ctx.graph, ctx.cfg, ctx.restarts = convert_with_time_splitting(
+            ctx.cfg, convert_options, split_options, options.costs,
+            stats=ctx.split_stats,
+        )
+    else:
+        ctx.graph = convert(ctx.cfg, convert_options)
+        ctx.restarts = 0
+    counters = {
+        "meta_states": ctx.graph.num_states(),
+        "meta_arcs": ctx.graph.num_arcs(),
+        "straightened_states": ctx.graph.num_straightened_states(),
+        "restarts": ctx.restarts,
+        "blocks_split": ctx.split_stats.get("blocks_split", 0),
+        "worklist_passes": ctx.graph.stats.get("worklist_passes", 0),
+    }
+    return counters
+
+
+def _stage_encode(ctx: CompileContext) -> dict:
+    from repro.codegen.emit import encode_program
+
+    options = ctx.options
+    ctx.program = encode_program(
+        ctx.cfg, ctx.graph, costs=options.costs, use_csi=options.use_csi,
+    )
+    csi_cost, csi_serial, csi_bound = ctx.program.csi_totals()
+    counters = {
+        "nodes": ctx.program.node_count(),
+        "cu_instructions": ctx.program.control_unit_instructions(),
+        "csi_cost": csi_cost,
+        "csi_serial_cost": csi_serial,
+        "csi_lower_bound": csi_bound,
+    }
+    counters.update(ctx.program.hash_stats())
+    return counters
+
+
+def _stage_plan(ctx: CompileContext) -> dict:
+    ctx.plan = ctx.program.plan()
+    return ctx.plan.stats()
+
+
+#: The pipeline, dependency order. Names are stable API — tests, the
+#: CLI table, and the JSON report all key on them.
+PIPELINE_STAGES: tuple[Stage, ...] = (
+    Stage("parse", _stage_parse),
+    Stage("sema", _stage_sema),
+    Stage("lower", _stage_lower),
+    Stage("convert", _stage_convert),
+    Stage("encode", _stage_encode),
+    Stage("plan", _stage_plan),
+)
+
+STAGE_NAMES: tuple[str, ...] = tuple(s.name for s in PIPELINE_STAGES)
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+def run_pipeline(source: str, options, cache=None):
+    """Compile ``source`` through every stage (or load the whole bundle
+    from ``cache``) and return a
+    :class:`~repro.pipeline.ConversionResult` carrying the program,
+    plan, and :class:`~repro.stages.report.StageReport`.
+    """
+    from repro.pipeline import ConversionResult
+
+    cache = resolve_cache(cache)
+    report = StageReport()
+    if cache is not None:
+        report.key = compile_key(source, options)
+        t0 = time.perf_counter()
+        payload = cache.load(report.key)
+        report.load_seconds = time.perf_counter() - t0
+        if payload is not None:
+            report.cache = "hit"
+            _record_cached_stages(report, payload)
+            result = ConversionResult(
+                source=source, cfg=payload.cfg, graph=payload.graph,
+                options=options, restarts=payload.restarts,
+            )
+            result._program = payload.program
+            result.report = report
+            return result
+        report.cache = "miss"
+
+    ctx = CompileContext(source=source, options=options)
+    for stage in PIPELINE_STAGES:
+        stage.execute(ctx, report)
+
+    if cache is not None:
+        t0 = time.perf_counter()
+        cache.store(report.key, CachedCompile(
+            cfg=ctx.cfg, graph=ctx.graph, restarts=ctx.restarts,
+            program=ctx.program,
+        ))
+        report.store_seconds = time.perf_counter() - t0
+
+    result = ConversionResult(
+        source=source, cfg=ctx.cfg, graph=ctx.graph, options=options,
+        restarts=ctx.restarts,
+    )
+    result._program = ctx.program
+    result.report = report
+    return result
+
+
+def _record_cached_stages(report: StageReport, payload: CachedCompile) -> None:
+    """On a cache hit, record every stage as skipped, with the counters
+    that are cheaply re-derivable from the loaded artifacts (so a warm
+    ``--timings`` table still shows the program's shape)."""
+    derived = {
+        "lower": lambda: {"blocks": len(payload.cfg.blocks)},
+        "convert": lambda: {
+            "meta_states": payload.graph.num_states(),
+            "restarts": payload.restarts,
+        },
+        "encode": lambda: {
+            "nodes": payload.program.node_count(),
+            "cu_instructions": payload.program.control_unit_instructions(),
+        },
+    }
+    for name in STAGE_NAMES:
+        counters = derived.get(name, dict)()
+        report.add(name, 0.0, cached=True, counters=counters)

@@ -1,0 +1,128 @@
+"""Per-stage instrumentation of one compile.
+
+Every :func:`repro.convert_source` call produces a :class:`StageReport`
+carried on the :class:`~repro.pipeline.ConversionResult`: one
+:class:`StageRecord` per pipeline stage with its wall time, whether the
+stage was satisfied from the compile cache, and stage-specific counters
+(meta-state counts, restart counts, CSI and hash-encoding statistics,
+plan sizes). The report is what ``repro compile --timings`` tabulates
+and ``--report-json`` serializes — the measurable substrate every perf
+PR is judged against.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageRecord:
+    """One stage of one compile.
+
+    ``seconds`` is host wall time (0.0 when the stage was skipped via
+    the cache); ``cached`` marks a stage whose artifact was loaded
+    instead of computed; ``counters`` are stage-specific integers.
+    """
+
+    name: str
+    seconds: float = 0.0
+    cached: bool = False
+    counters: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "cached": self.cached,
+            "counters": dict(self.counters),
+        }
+
+
+@dataclass
+class StageReport:
+    """The instrumentation record of one compile.
+
+    Attributes
+    ----------
+    key:
+        Content hash of the compile (source + options + cost model +
+        code version); empty when caching was disabled.
+    cache:
+        ``"off"`` (no cache), ``"hit"`` (whole compile loaded), or
+        ``"miss"`` (compiled cold; stored if a cache was given).
+    records:
+        One :class:`StageRecord` per stage, pipeline order.
+    load_seconds / store_seconds:
+        Cache deserialize / serialize time (0.0 when not applicable).
+    """
+
+    key: str = ""
+    cache: str = "off"
+    records: list = field(default_factory=list)
+    load_seconds: float = 0.0
+    store_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    def add(self, name: str, seconds: float = 0.0, *, cached: bool = False,
+            counters: dict | None = None) -> StageRecord:
+        rec = StageRecord(name=name, seconds=seconds, cached=cached,
+                          counters=dict(counters or {}))
+        self.records.append(rec)
+        return rec
+
+    def stage(self, name: str) -> StageRecord | None:
+        for rec in self.records:
+            if rec.name == name:
+                return rec
+        return None
+
+    def stage_names(self) -> list[str]:
+        return [rec.name for rec in self.records]
+
+    def executed_stages(self) -> list[str]:
+        """Names of stages that actually ran (not served from cache)."""
+        return [rec.name for rec in self.records if not rec.cached]
+
+    @property
+    def total_seconds(self) -> float:
+        return (sum(rec.seconds for rec in self.records)
+                + self.load_seconds + self.store_seconds)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for rec in self.records if rec.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for rec in self.records if not rec.cached)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """A machine-readable dict (what ``--report-json`` emits)."""
+        return {
+            "key": self.key,
+            "cache": self.cache,
+            "total_seconds": self.total_seconds,
+            "load_seconds": self.load_seconds,
+            "store_seconds": self.store_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "stages": [rec.to_json() for rec in self.records],
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def from_json(cls, data: dict) -> "StageReport":
+        report = cls(key=data.get("key", ""), cache=data.get("cache", "off"),
+                     load_seconds=data.get("load_seconds", 0.0),
+                     store_seconds=data.get("store_seconds", 0.0))
+        for rec in data.get("stages", ()):
+            report.add(rec["name"], rec.get("seconds", 0.0),
+                       cached=rec.get("cached", False),
+                       counters=rec.get("counters", {}))
+        return report

@@ -210,6 +210,27 @@ main() {{
 """
 
 
+def all_sources() -> dict[str, str]:
+    """Materialized ``name -> MIMDC source`` for the standard library —
+    what cache warm-up, the CI compile-cache job, and cold-vs-warm
+    equivalence tests iterate over."""
+    return {name: make() for name, make in STANDARD.items()}
+
+
+def warm_cache(cache=True, options=None) -> list:
+    """Compile every standard workload through ``cache`` (default: the
+    default on-disk cache) and return the per-compile
+    :class:`~repro.stages.report.StageReport` list. Running it twice
+    demonstrates the cold→warm transition: the second pass is all hits.
+    """
+    from repro.pipeline import convert_source
+
+    return [
+        convert_source(src, options, cache=cache).report
+        for src in all_sources().values()
+    ]
+
+
 #: Name -> zero-argument constructor, for sweep-style consumers.
 STANDARD = {
     "divergent_loops": lambda: divergent_loops(3),

@@ -1,0 +1,162 @@
+"""Tests for the content-addressed compile cache.
+
+Hit/miss behaviour of the key (source, options, cost model, version),
+corruption fallback, and the acceptance property: cold and warm
+compiles produce bit-identical simulation results on every standard
+workload while the warm compile runs zero stages.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ConversionOptions, convert_source, simulate_simd
+from repro.ir.instr import CostModel
+from repro.stages.cache import (
+    CACHE_VERSION,
+    CompileCache,
+    compile_key,
+    default_cache_root,
+)
+from repro.workloads import all_sources
+
+from tests.helpers import LISTING1_RUNNABLE
+
+
+class TestCompileKey:
+    def test_stable(self):
+        opts = ConversionOptions()
+        assert compile_key(LISTING1_RUNNABLE, opts) == \
+            compile_key(LISTING1_RUNNABLE, opts)
+
+    def test_source_edit_changes_key(self):
+        opts = ConversionOptions()
+        assert compile_key(LISTING1_RUNNABLE, opts) != \
+            compile_key(LISTING1_RUNNABLE + "\n", opts)
+
+    def test_option_change_changes_key(self):
+        base = compile_key(LISTING1_RUNNABLE, ConversionOptions())
+        assert base != compile_key(
+            LISTING1_RUNNABLE, ConversionOptions(compress=True))
+        assert base != compile_key(
+            LISTING1_RUNNABLE, ConversionOptions(max_parked=4))
+
+    def test_cost_model_changes_key(self):
+        base = compile_key(LISTING1_RUNNABLE, ConversionOptions())
+        costly = ConversionOptions(costs=CostModel(globalor_cost=99))
+        assert base != compile_key(LISTING1_RUNNABLE, costly)
+
+    def test_default_root_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_MSC_CACHE", str(tmp_path / "x"))
+        assert default_cache_root() == tmp_path / "x"
+
+
+class TestHitMiss:
+    def test_hit_on_identical_compile(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        r1 = convert_source(LISTING1_RUNNABLE, cache=cache)
+        r2 = convert_source(LISTING1_RUNNABLE, cache=cache)
+        assert (r1.report.cache, r2.report.cache) == ("miss", "hit")
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+        assert r2.report.cache_hits == len(r2.report.records)
+        assert r2.report.cache_misses == 0
+
+    def test_miss_on_source_edit(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        convert_source(LISTING1_RUNNABLE, cache=cache)
+        r = convert_source(LISTING1_RUNNABLE + "\n", cache=cache)
+        assert r.report.cache == "miss"
+
+    def test_miss_on_option_change(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        convert_source(LISTING1_RUNNABLE, cache=cache)
+        r = convert_source(LISTING1_RUNNABLE,
+                           ConversionOptions(use_csi=False), cache=cache)
+        assert r.report.cache == "miss"
+
+    def test_miss_on_version_bump(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        convert_source(LISTING1_RUNNABLE, cache=cache)
+        bumped = CompileCache(root=tmp_path, version=CACHE_VERSION + 1)
+        r = convert_source(LISTING1_RUNNABLE, cache=bumped)
+        assert r.report.cache == "miss"
+
+    def test_results_equal_across_hit(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        r1 = convert_source(LISTING1_RUNNABLE, cache=cache)
+        r2 = convert_source(LISTING1_RUNNABLE, cache=cache)
+        assert r1 == r2  # same source/cfg/graph/options/restarts
+        assert r2.simd_program().node_count() == \
+            r1.simd_program().node_count()
+
+
+class TestCorruption:
+    def test_corrupt_entry_falls_back_to_recompile(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        r1 = convert_source(LISTING1_RUNNABLE, cache=cache)
+        path = cache.path_for(r1.report.key)
+        assert path.is_file()
+        path.write_bytes(b"not a pickle")
+        r2 = convert_source(LISTING1_RUNNABLE, cache=cache)
+        assert r2.report.cache == "miss"
+        assert cache.evictions == 1
+        assert not path.exists() or path.stat().st_size > 20
+        # The recompile re-stored a good entry; third time is a hit.
+        r3 = convert_source(LISTING1_RUNNABLE, cache=cache)
+        assert r3.report.cache == "hit"
+
+    def test_wrong_payload_type_evicted(self, tmp_path):
+        import pickle
+
+        cache = CompileCache(root=tmp_path)
+        key = compile_key(LISTING1_RUNNABLE, ConversionOptions())
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"not": "an artifact"}))
+        r = convert_source(LISTING1_RUNNABLE, cache=cache)
+        assert r.report.cache == "miss"
+        assert cache.evictions == 1
+
+    def test_clear_and_count(self, tmp_path):
+        cache = CompileCache(root=tmp_path)
+        convert_source(LISTING1_RUNNABLE, cache=cache)
+        assert cache.entry_count() == 1
+        assert cache.clear() == 1
+        assert cache.entry_count() == 0
+
+
+def _result_fields(res):
+    return {
+        "poly": res.poly, "mono": res.mono, "returns": res.returns,
+        "pc": res.pc, "cycles": res.cycles, "body_cycles": res.body_cycles,
+        "transition_cycles": res.transition_cycles,
+        "enabled_pe_cycles": res.enabled_pe_cycles,
+        "meta_transitions": res.meta_transitions,
+        "node_visits": res.node_visits,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(all_sources()))
+def test_cold_and_warm_runs_bit_identical(name, tmp_path):
+    """The acceptance property: on every standard workload, a
+    warm-cache compile runs zero stages yet simulates bit-identically
+    to the cold compile."""
+    source = all_sources()[name]
+    cache = CompileCache(root=tmp_path)
+    cold = convert_source(source, cache=cache)
+    warm = convert_source(source, cache=cache)
+    assert cold.report.cache == "miss"
+    assert warm.report.cache == "hit"
+    assert warm.report.executed_stages() == []
+    assert all(rec.cached for rec in warm.report.records)
+
+    kwargs = {"npes": 8, "active": 4} if name == "spawn_waves" \
+        else {"npes": 8}
+    a = simulate_simd(cold, **kwargs)
+    b = simulate_simd(warm, **kwargs)
+    fa, fb = _result_fields(a), _result_fields(b)
+    for field_name, va in fa.items():
+        vb = fb[field_name]
+        if isinstance(va, np.ndarray):
+            assert np.array_equal(va, vb, equal_nan=True), field_name
+        else:
+            assert va == vb, field_name

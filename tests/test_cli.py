@@ -78,6 +78,128 @@ class TestCompare:
         assert "speedup" in out
 
 
+BARRIER_SRC = """
+main() {
+    poly int x;
+    x = procnum % 2;
+    if (x) { do { x = x - 1; } while (x); }
+    wait;
+    return (x);
+}
+"""
+
+IMBALANCED_SRC = """
+main() {
+    poly int x; poly int y;
+    x = procnum % 2;
+    y = procnum;
+    if (x) { y = y + 1; }
+    else   { y = y * 3 + 1; y = y * 3 + 2; y = y * 3 + 3; y = y * 3 + 4;
+             y = y * 3 + 5; y = y * 3 + 6; y = y * 3 + 7; y = y * 3 + 8; }
+    return (y);
+}
+"""
+
+
+def _report(tmp_path, args_list):
+    """Run main() with --report-json and return the parsed report."""
+    import json
+
+    path = tmp_path / "report.json"
+    assert main(args_list + ["--report-json", str(path)]) == 0
+    return json.loads(path.read_text())
+
+
+class TestOptionPlumbing:
+    """The flags `_options()` used to silently drop."""
+
+    def test_max_parked_flag(self, tmp_path, capsys):
+        path = tmp_path / "barrier.mimdc"
+        path.write_text(BARRIER_SRC)
+        assert main(["compile", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["compile", str(path), "--max-parked", "0"]) == 2
+        assert "parked" in capsys.readouterr().err
+
+    def test_split_delta_flag(self, tmp_path):
+        path = tmp_path / "imb.mimdc"
+        path.write_text(IMBALANCED_SRC)
+        cold = _report(tmp_path, ["compile", str(path), "--time-split",
+                                  "--compress"])
+        conv = [s for s in cold["stages"] if s["name"] == "convert"][0]
+        assert conv["counters"]["restarts"] >= 1
+        huge = _report(tmp_path, ["compile", str(path), "--time-split",
+                                  "--compress", "--split-delta", "10000"])
+        conv = [s for s in huge["stages"] if s["name"] == "convert"][0]
+        assert conv["counters"]["restarts"] == 0
+
+    def test_split_percent_flag(self, tmp_path):
+        path = tmp_path / "imb.mimdc"
+        path.write_text(IMBALANCED_SRC)
+        rep = _report(tmp_path, ["compile", str(path), "--time-split",
+                                 "--compress", "--split-percent", "0"])
+        conv = [s for s in rep["stages"] if s["name"] == "convert"][0]
+        assert conv["counters"]["restarts"] == 0
+
+    def test_no_plans_flag(self, source_file, capsys):
+        assert main(["run", source_file, "--npes", "8", "--check",
+                     "--no-plans"]) == 0
+        assert "SIMD == MIMD reference" in capsys.readouterr().out
+
+    def test_no_plans_compare(self, source_file, capsys):
+        assert main(["compare", source_file, "--npes", "8",
+                     "--no-plans"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+
+class TestTimingsAndCache:
+    def test_timings_table(self, source_file, capsys):
+        assert main(["compile", source_file, "--timings"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("parse", "sema", "lower", "convert", "encode", "plan"):
+            assert stage in out
+        assert "total" in out
+
+    def test_report_json(self, source_file, tmp_path):
+        rep = _report(tmp_path, ["compile", source_file])
+        assert [s["name"] for s in rep["stages"]] == [
+            "parse", "sema", "lower", "convert", "encode", "plan"
+        ]
+        assert rep["cache"] == "miss"
+
+    def test_warm_cli_compile_hits_cache(self, source_file, tmp_path):
+        cold = _report(tmp_path, ["compile", source_file])
+        warm = _report(tmp_path, ["compile", source_file])
+        assert cold["cache"] == "miss"
+        assert warm["cache"] == "hit"
+        assert all(s["cached"] for s in warm["stages"])
+
+    def test_no_cache_flag(self, source_file, tmp_path):
+        rep = _report(tmp_path, ["compile", source_file, "--no-cache"])
+        assert rep["cache"] == "off"
+
+    def test_cache_dir_flag(self, source_file, tmp_path):
+        cdir = tmp_path / "explicit-cache"
+        assert main(["compile", source_file, "--cache-dir", str(cdir)]) == 0
+        assert list(cdir.rglob("*.pkl"))
+
+    def test_run_warm_hits_cache(self, source_file, tmp_path, capsys):
+        assert main(["run", source_file, "--npes", "8"]) == 0
+        capsys.readouterr()
+        rep = _report(tmp_path, ["run", source_file, "--npes", "8"])
+        assert rep["cache"] == "hit"
+
+    def test_cache_subcommand(self, source_file, tmp_path, capsys):
+        assert main(["compile", source_file]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "dir"]) == 0
+
+
 class TestErrors:
     def test_missing_file(self, capsys):
         assert main(["compile", "/nonexistent/x.mimdc"]) == 2

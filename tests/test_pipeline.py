@@ -28,12 +28,25 @@ class TestConvertSource:
         assert r.cfg.blocks
         assert r.graph.states
 
-    def test_program_built_lazily_and_cached(self):
+    def test_program_prebuilt_and_stable(self):
+        # The stage pipeline builds the program (and its plan) eagerly;
+        # repeated accessors return the same artifact.
         r = convert_source(LISTING1_RUNNABLE)
-        assert r._program is None
+        assert r._program is not None
         p1 = r.simd_program()
         p2 = r.simd_program()
         assert p1 is p2
+
+    def test_options_default_is_fresh(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        assert r.options == ConversionOptions()
+
+    def test_report_attached(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        assert r.report is not None
+        assert r.report.stage_names() == [
+            "parse", "sema", "lower", "convert", "encode", "plan"
+        ]
 
     def test_options_threaded_through(self):
         r = convert_source(LISTING1_RUNNABLE, ConversionOptions(compress=True))

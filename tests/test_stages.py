@@ -1,0 +1,159 @@
+"""Unit tests for the stage-based compiler driver and its reports."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import ConversionOptions, ConversionResult, convert_source
+from repro.analysis.stagetime import aggregate_reports, format_stage_table
+from repro.stages import STAGE_NAMES, StageReport, resolve_cache
+from repro.stages.report import StageRecord
+
+from tests.helpers import LISTING1_RUNNABLE
+
+IMBALANCED = """
+main() {
+    poly int x; poly int y;
+    x = procnum % 2;
+    y = procnum;
+    if (x) { y = y + 1; }
+    else   { y = y * 3 + 1; y = y * 3 + 2; y = y * 3 + 3; y = y * 3 + 4;
+             y = y * 3 + 5; y = y * 3 + 6; y = y * 3 + 7; y = y * 3 + 8; }
+    return (y);
+}
+"""
+
+
+class TestStageOrder:
+    def test_stage_names(self):
+        assert STAGE_NAMES == ("parse", "sema", "lower", "convert",
+                               "encode", "plan")
+
+    def test_cold_report_runs_every_stage(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        assert r.report is not None
+        assert r.report.stage_names() == list(STAGE_NAMES)
+        assert r.report.executed_stages() == list(STAGE_NAMES)
+        assert r.report.cache == "off"
+        assert all(rec.seconds >= 0 for rec in r.report.records)
+
+    def test_program_prebuilt_by_pipeline(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        assert r._program is not None
+        assert r.simd_program() is r.simd_program()
+        assert r.exec_plan() is r.simd_program().plan()
+
+
+class TestCounters:
+    def test_structural_counters(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        by_name = {rec.name: rec.counters for rec in r.report.records}
+        assert by_name["parse"]["functions"] == 1
+        assert by_name["lower"]["blocks"] == len(r.cfg.blocks)
+        assert by_name["convert"]["meta_states"] == r.graph.num_states()
+        assert by_name["convert"]["worklist_passes"] >= r.graph.num_states()
+        assert by_name["encode"]["nodes"] == r.simd_program().node_count()
+        assert by_name["encode"]["hash_branches"] >= 1
+        assert by_name["plan"]["plan_nodes"] >= 1
+
+    def test_timesplit_counters(self):
+        opts = ConversionOptions(time_split=True, compress=True)
+        r = convert_source(IMBALANCED, opts)
+        conv = r.report.stage("convert").counters
+        assert conv["restarts"] == r.restarts
+        assert r.restarts >= 1
+        assert conv["blocks_split"] >= 1
+
+    def test_no_split_when_delta_huge(self):
+        opts = ConversionOptions(time_split=True, compress=True,
+                                 split_delta=10_000)
+        r = convert_source(IMBALANCED, opts)
+        assert r.restarts == 0
+        assert r.report.stage("convert").counters["blocks_split"] == 0
+
+
+class TestReportSerialization:
+    def test_json_round_trip(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        data = r.report.to_json()
+        back = StageReport.from_json(data)
+        assert back.stage_names() == r.report.stage_names()
+        assert back.to_json()["stages"] == data["stages"]
+        assert back.cache == r.report.cache
+
+    def test_write_json(self, tmp_path):
+        import json
+
+        r = convert_source(LISTING1_RUNNABLE)
+        path = tmp_path / "report.json"
+        r.report.write_json(str(path))
+        data = json.loads(path.read_text())
+        assert [s["name"] for s in data["stages"]] == list(STAGE_NAMES)
+
+    def test_format_table(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        table = format_stage_table(r.report)
+        for name in STAGE_NAMES:
+            assert name in table
+        assert "total" in table
+
+    def test_aggregate_reports(self):
+        r1 = convert_source(LISTING1_RUNNABLE)
+        r2 = convert_source(IMBALANCED)
+        agg = aggregate_reports([r1.report, r2.report])
+        assert agg["compiles"] == 2
+        assert agg["stages"]["convert"]["runs"] == 2
+        assert agg["total_seconds"] >= 0
+
+
+class TestArtifactSerialization:
+    def test_program_pickle_round_trip(self):
+        from repro.simd.machine import SimdMachine
+
+        r = convert_source(LISTING1_RUNNABLE)
+        prog = r.simd_program()
+        prog.plan()  # plan travels inside the pickle
+        clone = pickle.loads(pickle.dumps(prog))
+        a = SimdMachine(npes=8).run(prog)
+        b = SimdMachine(npes=8).run(clone)
+        assert np.array_equal(a.returns, b.returns, equal_nan=True)
+        assert a.cycles == b.cycles
+
+    def test_result_dataclass_hygiene(self):
+        r1 = convert_source(LISTING1_RUNNABLE)
+        r2 = ConversionResult(source=r1.source, cfg=r1.cfg, graph=r1.graph,
+                              options=r1.options, restarts=r1.restarts)
+        # _program and report are excluded from comparison and init.
+        assert r2._program is None
+        assert r2 == r1
+        assert "_program" not in repr(r1)
+
+    def test_manual_result_builds_lazily(self):
+        r = convert_source(LISTING1_RUNNABLE)
+        manual = ConversionResult(source=r.source, cfg=r.cfg, graph=r.graph,
+                                  options=r.options)
+        assert manual._program is None
+        assert manual.simd_program().node_count() == \
+            r.simd_program().node_count()
+
+
+class TestCacheArgument:
+    def test_resolve_cache_forms(self, tmp_path):
+        from repro.stages.cache import CompileCache
+
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+        c = resolve_cache(str(tmp_path))
+        assert isinstance(c, CompileCache) and c.root == tmp_path
+        assert resolve_cache(c) is c
+        assert isinstance(resolve_cache(True), CompileCache)
+        with pytest.raises(TypeError):
+            resolve_cache(42)
+
+    def test_convert_source_cache_path(self, tmp_path):
+        r1 = convert_source(LISTING1_RUNNABLE, cache=str(tmp_path))
+        assert r1.report.cache == "miss"
+        r2 = convert_source(LISTING1_RUNNABLE, cache=str(tmp_path))
+        assert r2.report.cache == "hit"
+        assert r2.report.executed_stages() == []
