@@ -19,6 +19,7 @@ Examples::
     python -m repro compile prog.mimdc --emit mpl
     python -m repro compile prog.mimdc --compress --emit graph
     python -m repro compile prog.mimdc --timings --report-json stages.json
+    python -m repro compile prog.mimdc -O2 --emit dot-opt
     python -m repro run prog.mimdc --npes 64 --check
     python -m repro compare prog.mimdc --npes 1024
     python -m repro cache info
@@ -48,6 +49,10 @@ def _options(args: argparse.Namespace) -> ConversionOptions:
         max_meta_states=args.max_meta_states,
         max_parked=args.max_parked,
         use_csi=not getattr(args, "no_csi", False),
+        verify_passes=args.verify_passes,
+        # None = not given on the command line: let the dataclass default
+        # (REPRO_OPT_LEVEL or 1) decide.
+        **({} if args.opt_level is None else {"opt_level": args.opt_level}),
     )
 
 
@@ -71,6 +76,13 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="time-splitting acceptable-utilization percent")
     p.add_argument("--no-csi", action="store_true",
                    help="serialize meta-state bodies (CSI ablation)")
+    p.add_argument("-O", "--opt-level", type=int, choices=[0, 1, 2],
+                   default=None,
+                   help="optimization level: 0 none, 1 the paper's "
+                        "normalizations (default), 2 adds block-body "
+                        "optimizations; default honors $REPRO_OPT_LEVEL")
+    p.add_argument("--verify-passes", action="store_true",
+                   help="verify the IR after every optimization pass")
     p.add_argument("--max-meta-states", type=int, default=100_000)
     p.add_argument("--max-parked", type=int, default=8,
                    help="cap on simultaneously parked barrier states")
@@ -113,6 +125,12 @@ def cmd_compile(args: argparse.Namespace) -> int:
         print(ascii_graph(result.graph))
     elif args.emit == "dot":
         print(meta_graph_to_dot(result.graph))
+    elif args.emit == "dot-opt":
+        from repro.opt import straightened_for_level
+        from repro.viz.dot import straightened_to_dot
+
+        print(straightened_to_dot(straightened_for_level(
+            result.graph, result.options.opt_level)))
     elif args.emit == "cfg":
         print(result.cfg)
     elif args.emit == "cfg-dot":
@@ -184,7 +202,8 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("compile", help="convert and print an artifact")
     _add_common(p)
     p.add_argument("--emit", default="summary",
-                   choices=["summary", "mpl", "graph", "dot", "cfg", "cfg-dot"])
+                   choices=["summary", "mpl", "graph", "dot", "dot-opt",
+                            "cfg", "cfg-dot"])
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("run", help="execute on the SIMD machine")

@@ -29,6 +29,20 @@ def format_stage_table(report: StageReport, *, counters: bool = True) -> str:
             "hit" if rec.cached else "run",
             shown,
         ))
+        # Per-pass rows (the opt-* stages), indented under their stage.
+        # Their time is part of the stage's, so no share column.
+        for sub in rec.subrecords:
+            sub_shown = ""
+            if counters and sub.counters:
+                sub_shown = ", ".join(
+                    f"{k}={v}" for k, v in sub.counters.items())
+            rows.append((
+                f"  {sub.name}",
+                f"{sub.seconds * 1e3:.2f}",
+                "",
+                "",
+                sub_shown,
+            ))
     if report.cache != "off":
         if report.load_seconds:
             rows.append(("cache load", f"{report.load_seconds * 1e3:.2f}",

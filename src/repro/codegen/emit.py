@@ -149,16 +149,30 @@ class SimdProgram:
         return cost, serial, bound
 
 
-def encode_program(cfg: Cfg, graph: MetaStateGraph,
+def encode_program(cfg: Cfg, graph,
                    costs: CostModel = DEFAULT_COSTS,
                    use_csi: bool = True) -> SimdProgram:
-    """Encode ``graph`` over ``cfg`` into a :class:`SimdProgram`.
+    """Encode a straightened meta-state graph over ``cfg`` into a
+    :class:`SimdProgram`.
+
+    ``graph`` is the :class:`~repro.opt.StraightenedGraph` artifact the
+    ``opt-meta`` pass stage produced — the chain layout decides which
+    states get a dispatch entry. A bare :class:`MetaStateGraph` is also
+    accepted (convenience for tests and hand-built graphs) and gets the
+    default ``-O1`` layout.
 
     ``use_csi=False`` serializes the threads of each meta state instead
     of running common subexpression induction — the ablation baseline
     for measuring what CSI buys (section 3.1).
     """
-    chains = graph.straightened_chains()
+    from repro.opt.meta_passes import StraightenedGraph
+
+    if isinstance(graph, MetaStateGraph):
+        straightened = StraightenedGraph.from_graph(graph)
+    else:
+        straightened = graph
+        graph = straightened.graph
+    chains = straightened.chains
     nodes: dict[frozenset, MetaNode] = {}
     for chain in chains:
         segments = [_make_segment(cfg, graph, m, costs, use_csi)

@@ -71,8 +71,21 @@ class MetaStateGraph:
     #: (worklist passes, candidate unions); excluded from comparison —
     #: two automata are equal by structure, not by how they were built.
     stats: dict = field(default_factory=dict, repr=False, compare=False)
+    #: Caches of the derived structure. The graph is effectively frozen
+    #: once conversion returns, so ``arcs()``/``predecessors()`` memoize
+    #: their (read-only) results; passes that mutate the graph must call
+    #: :meth:`invalidate_caches`.
+    _arcs_cache: list | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _preds_cache: dict | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
+    def invalidate_caches(self) -> None:
+        """Drop memoized derived structure after mutating the graph."""
+        self._arcs_cache = None
+        self._preds_cache = None
+
     def successors(self, m: MetaId) -> set:
         """Distinct successor meta states of ``m`` (including the
         runtime all-at-barrier target of compressed graphs)."""
@@ -82,12 +95,16 @@ class MetaStateGraph:
         return out
 
     def arcs(self) -> list[tuple]:
-        """All (source, target) arcs, deduplicated."""
-        out = set()
-        for m in self.states:
-            for t in self.successors(m):
-                out.add((m, t))
-        return sorted(out, key=lambda p: (sorted(p[0]), sorted(p[1])))
+        """All (source, target) arcs, deduplicated. The returned list is
+        cached — treat it as read-only."""
+        if self._arcs_cache is None:
+            out = set()
+            for m in self.states:
+                for t in self.successors(m):
+                    out.add((m, t))
+            self._arcs_cache = sorted(
+                out, key=lambda p: (sorted(p[0]), sorted(p[1])))
+        return self._arcs_cache
 
     def num_states(self) -> int:
         return len(self.states)
@@ -101,11 +118,15 @@ class MetaStateGraph:
         return len(m)
 
     def predecessors(self) -> dict:
-        preds: dict = {m: set() for m in self.states}
-        for m in self.states:
-            for t in self.successors(m):
-                preds[t].add(m)
-        return preds
+        """Predecessor sets per state. The returned mapping is cached —
+        treat it as read-only."""
+        if self._preds_cache is None:
+            preds: dict = {m: set() for m in self.states}
+            for m in self.states:
+                for t in self.successors(m):
+                    preds[t].add(m)
+            self._preds_cache = preds
+        return self._preds_cache
 
     # ------------------------------------------------------------------
     def straightened_chains(self) -> list[list]:

@@ -141,8 +141,9 @@ class Lowerer:
     # ------------------------------------------------------------------
     # entry point
     # ------------------------------------------------------------------
-    def lower(self) -> Cfg:
-        """Lower the whole program; returns the normalized, renumbered CFG."""
+    def lower(self, *, normalize: bool = True) -> Cfg:
+        """Lower the whole program; returns the (optionally normalized
+        and renumbered) verified CFG."""
         prog = self.sema.program
         entry = self._start("entry")
         self.cfg.entry = entry.bid
@@ -193,8 +194,9 @@ class Lowerer:
         del self.active["main"]
 
         cfg = self.cfg
-        cfg.normalize()
-        cfg = cfg.renumbered()
+        if normalize:
+            cfg.normalize()
+            cfg = cfg.renumbered()
         cfg.verify()
         return cfg
 
@@ -651,6 +653,12 @@ class Lowerer:
             raise AssertionError(f"unknown expression {expr!r}")
 
 
-def lower_program(sema: SemaInfo) -> Cfg:
-    """Lower an analyzed program to its normalized MIMD state graph."""
-    return Lowerer(sema).lower()
+def lower_program(sema: SemaInfo, *, normalize: bool = True) -> Cfg:
+    """Lower an analyzed program to its MIMD state graph.
+
+    ``normalize=True`` (the default, and what direct callers get)
+    cleans the graph up in place; the stage driver passes ``False`` and
+    runs the equivalent — and more — as the explicit ``opt-cfg`` pass
+    stage (:mod:`repro.opt.cfg_passes`).
+    """
+    return Lowerer(sema).lower(normalize=normalize)

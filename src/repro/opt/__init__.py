@@ -1,0 +1,29 @@
+"""Two-level optimizer: explicit passes over the CFG and the meta-state
+graph. See :mod:`repro.opt.manager` for the framework,
+:mod:`repro.opt.cfg_passes` and :mod:`repro.opt.meta_passes` for the
+pass bodies and per-``-O``-level pipelines."""
+
+from repro.opt.cfg_passes import cfg_pass_list, run_cfg_passes
+from repro.opt.manager import (CfgContext, MetaContext, Pass, PassManager)
+from repro.opt.meta_passes import (StraightenedGraph, meta_pass_list,
+                                   run_meta_passes, straightened_for_level)
+
+#: The supported ``-O`` levels. ``-O1`` is the default and matches the
+#: paper's prototype (normalize the CFG, straighten the meta graph);
+#: ``-O0`` is the un-optimized baseline, ``-O2`` adds block-body
+#: optimizations.
+OPT_LEVELS = (0, 1, 2)
+
+__all__ = [
+    "CfgContext",
+    "MetaContext",
+    "OPT_LEVELS",
+    "Pass",
+    "PassManager",
+    "StraightenedGraph",
+    "cfg_pass_list",
+    "meta_pass_list",
+    "run_cfg_passes",
+    "run_meta_passes",
+    "straightened_for_level",
+]

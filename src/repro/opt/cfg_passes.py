@@ -1,0 +1,490 @@
+"""CFG-level optimization passes (section 4.2 step 2 and beyond).
+
+The paper's step 2 — "straightening and removal of empty nodes are
+applied to obtain the simplest possible graph" — is here formalized as
+the ``unreachable`` / ``remove-empty`` / ``straighten`` passes wrapping
+the :class:`~repro.ir.cfg.Cfg` normalization methods. On top of those,
+``-O2`` adds block-body optimizations the paper's prototype did not
+have but its "as fast as the hardware allows" goal wants:
+
+``fold``
+    Constant folding + intra-block copy propagation by abstract
+    interpretation of the operand stack. Constants are evaluated with
+    :mod:`repro.ir.semantics` — the same scalar engine the simulated
+    machines use — so a folded program is bit-identical to the unfolded
+    one. Folds ALU ops, ``Dup``/``Swap``/``Sel``/``Pop`` of known
+    values, constant-index array accesses (``LdI``→``Ld`` etc.), and
+    branches on known conditions (``CondBr``→``Fall``).
+
+``dce``
+    Dead-store elimination inside block bodies (a store overwritten
+    before any read becomes a ``Pop``) plus a push/pop cancellation
+    peephole.
+
+``dead-slots``
+    Program-wide removal of memory slots that are never read; their
+    stores become ``Pop``s and the remaining slots are compacted.
+
+Safety rules for the parallel memory model (the reason these passes are
+more conservative than a sequential compiler's):
+
+- Copy propagation tracks **poly scalar** slots only. Mono slots are
+  shared: under CSI scheduling another block's ``StM`` can interleave
+  between this block's store and load. If the program contains any
+  remote store (``StR``), poly tracking is disabled too — another PE
+  could write this PE's slot mid-block.
+- Dead stores are only killed for slots no ``LdR`` reads anywhere in
+  the program (a remote read could observe the intermediate value
+  between the two stores).
+- Arrays are treated as units (a read of any element keeps the whole
+  array), and the return slot is always live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+from repro.ir.block import CondBr, Fall
+from repro.ir.instr import BINARY_OPS, UNARY_OPS, Instr, Op
+from repro.ir.semantics import binary, unary
+from repro.opt.manager import CfgContext, Pass, PassManager
+
+#: Instructions that push one value and have no other effect — safe to
+#: delete when the value is immediately popped.
+_PURE_PRODUCERS = frozenset({Op.PUSH, Op.LD, Op.LDM, Op.PROCNUM,
+                             Op.NPROC, Op.DUP})
+
+
+# ----------------------------------------------------------------------
+# the formalized normalization passes
+# ----------------------------------------------------------------------
+def _unreachable_pass(ctx: CfgContext) -> dict:
+    return {"blocks_removed": ctx.cfg.remove_unreachable()}
+
+
+def _remove_empty_pass(ctx: CfgContext) -> dict:
+    return {"blocks_removed": ctx.cfg.remove_empty()}
+
+
+def _straighten_pass(ctx: CfgContext) -> dict:
+    return {"blocks_merged": ctx.cfg.straighten()}
+
+
+def _renumber_pass(ctx: CfgContext) -> dict:
+    ctx.cfg = ctx.cfg.renumbered()
+    ctx.cfg.verify()
+    return {"blocks": len(ctx.cfg.blocks)}
+
+
+# ----------------------------------------------------------------------
+# program-wide facts the -O2 passes consult
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _MemorySummary:
+    """What the whole program does to memory, per the safety rules."""
+
+    tracked_poly: frozenset      # slots copy-propagation may track
+    dce_safe_poly: frozenset     # slots whose dead stores may be killed
+
+
+def _summarize_memory(cfg) -> _MemorySummary:
+    has_remote_store = False
+    ldr_slots: set[int] = set()
+    array_poly: set[int] = set()
+    for blk in cfg.blocks.values():
+        for instr in blk.code:
+            op = instr.op
+            if op is Op.STR:
+                has_remote_store = True
+            elif op is Op.LDR:
+                ldr_slots.add(int(instr.arg))
+            elif op in (Op.LDI, Op.STI):
+                base, size = int(instr.arg), int(instr.arg2)
+                array_poly.update(range(base, base + size))
+    scalars = set(range(len(cfg.poly_slots))) - array_poly
+    tracked = frozenset() if has_remote_store else frozenset(scalars)
+    return _MemorySummary(
+        tracked_poly=tracked,
+        dce_safe_poly=frozenset(scalars - ldr_slots),
+    )
+
+
+# ----------------------------------------------------------------------
+# constant folding + copy propagation
+# ----------------------------------------------------------------------
+def _fold_pass(ctx: CfgContext) -> dict:
+    cfg = ctx.cfg
+    depths = cfg.verify()           # entry stack depth per reachable block
+    summary = _summarize_memory(cfg)
+    counters = {"instrs_folded": 0, "loads_forwarded": 0,
+                "branches_folded": 0}
+    for bid, depth in depths.items():
+        blk = cfg.blocks[bid]
+        for _ in range(8):          # per-block fixpoint (bounded)
+            if not _fold_block(blk, depth, summary, counters):
+                break
+    return counters
+
+
+def _fold_block(blk, entry_depth: int, summary: _MemorySummary,
+                counters: dict) -> bool:
+    """One abstract-interpretation sweep over ``blk``; returns whether
+    anything changed.
+
+    The abstract stack holds ``(const, idx)`` pairs: ``const`` is the
+    known value (or ``None``), ``idx`` the index in ``out`` of the
+    ``Push`` that produced it when that push may still be deleted
+    (consuming instructions only ever touch the top ``pops()`` entries,
+    so deleting a push below live entries is always safe; ``Dup`` and
+    ``Swap`` read entries in place and therefore pin them).
+    """
+    out: list[Instr | None] = []
+    # Entries inherited from predecessors are unknown and unremovable.
+    stack: list[tuple[float | None, int | None]] = \
+        [(None, None)] * entry_depth
+    slots: dict[int, float] = {}    # known poly scalar slot values
+    changed = False
+
+    def push(const: float | None = None, idx: int | None = None) -> None:
+        stack.append((const, idx))
+
+    def emit_const(value: float) -> None:
+        out.append(Instr(Op.PUSH, value))
+        push(value, len(out) - 1)
+
+    for instr in blk.code:
+        op = instr.op
+        if op is Op.PUSH:
+            out.append(instr)
+            push(float(instr.arg), len(out) - 1)
+        elif op is Op.LD:
+            s = int(instr.arg)
+            if s in slots:
+                emit_const(slots[s])
+                counters["loads_forwarded"] += 1
+                changed = True
+            else:
+                out.append(instr)
+                push()
+        elif op is Op.ST:
+            s = int(instr.arg)
+            top = stack.pop()
+            if s in summary.tracked_poly:
+                if top[0] is not None:
+                    slots[s] = top[0]
+                else:
+                    slots.pop(s, None)
+            out.append(instr)
+        elif op in BINARY_OPS:
+            b, a = stack.pop(), stack.pop()
+            value = None
+            if a[1] is not None and b[1] is not None:
+                try:
+                    value = binary(op, a[0], b[0])
+                except MachineError:
+                    value = None    # e.g. division by zero: fold nothing
+            if value is not None:
+                out[a[1]] = out[b[1]] = None
+                emit_const(value)
+                counters["instrs_folded"] += 1
+                changed = True
+            else:
+                out.append(instr)
+                push()
+        elif op in UNARY_OPS:
+            a = stack.pop()
+            if a[1] is not None:
+                out[a[1]] = None
+                emit_const(unary(op, a[0]))
+                counters["instrs_folded"] += 1
+                changed = True
+            else:
+                out.append(instr)
+                push()
+        elif op is Op.DUP:
+            top = stack[-1]
+            if top[0] is not None:
+                emit_const(top[0])
+                counters["instrs_folded"] += 1
+                changed = True
+            else:
+                stack[-1] = (top[0], None)   # pinned: Dup reads it in place
+                out.append(instr)
+                push()
+        elif op is Op.SWAP:
+            b, a = stack[-1], stack[-2]
+            if a[1] is not None and b[1] is not None:
+                # Both values are known pushes: swap the push immediates
+                # and drop the Swap.
+                out[a[1]] = Instr(Op.PUSH, b[0])
+                out[b[1]] = Instr(Op.PUSH, a[0])
+                stack[-2], stack[-1] = (b[0], a[1]), (a[0], b[1])
+                counters["instrs_folded"] += 1
+                changed = True
+            else:
+                stack[-2], stack[-1] = (a[0], None), (b[0], None)
+                out.append(instr)
+        elif op is Op.POP:
+            n = int(instr.arg or 0)
+            removed = 0
+            for _ in range(n):
+                e = stack.pop()
+                if e[1] is not None:
+                    out[e[1]] = None
+                    removed += 1
+            if removed:
+                counters["instrs_folded"] += removed
+                changed = True
+            if n - removed:
+                out.append(Instr(Op.POP, n - removed))
+        elif op is Op.SEL:
+            b, a, c = stack.pop(), stack.pop(), stack.pop()
+            if c[1] is None:
+                out.append(instr)
+                push()
+            elif a[1] is not None and b[1] is not None:
+                out[a[1]] = out[b[1]] = out[c[1]] = None
+                emit_const(a[0] if c[0] != 0 else b[0])
+                counters["instrs_folded"] += 1
+                changed = True
+            elif c[0] != 0:
+                # Result is a; drop the condition and the top value b.
+                out[c[1]] = None
+                if b[1] is not None:
+                    out[b[1]] = None
+                else:
+                    out.append(Instr(Op.POP, 1))
+                stack.append(a)
+                counters["instrs_folded"] += 1
+                changed = True
+            elif a[1] is not None:
+                # Result is b; a (below the top) and c can be deleted.
+                out[c[1]] = out[a[1]] = None
+                stack.append(b)
+                counters["instrs_folded"] += 1
+                changed = True
+            else:
+                # Dropping a would need a Swap/Pop pair — no win.
+                out.append(instr)
+                push()
+        elif op in (Op.LDI, Op.LDMI, Op.STI, Op.STMI):
+            is_store = op in (Op.STI, Op.STMI)
+            top = stack.pop()
+            if is_store:
+                stack.pop()         # the value being stored
+            index = int(top[0]) if top[0] is not None else -1
+            if top[1] is not None and 0 <= index < int(instr.arg2):
+                out[top[1]] = None
+                direct = {Op.LDI: Op.LD, Op.LDMI: Op.LDM,
+                          Op.STI: Op.ST, Op.STMI: Op.STM}[op]
+                out.append(Instr(direct, int(instr.arg) + index))
+                counters["instrs_folded"] += 1
+                changed = True
+            else:
+                out.append(instr)
+            if not is_store:
+                push()
+        else:
+            # Generic opcodes: consume pops(), produce unknowns.
+            p = instr.pops()
+            for _ in range(p):
+                stack.pop()
+            for _ in range(p + instr.stack_delta()):
+                push()
+            out.append(instr)
+
+    if isinstance(blk.terminator, CondBr) and stack:
+        top = stack[-1]
+        if top[0] is not None:
+            stack.pop()
+            if top[1] is not None:
+                out[top[1]] = None
+            else:
+                out.append(Instr(Op.POP, 1))
+            term = blk.terminator
+            blk.terminator = Fall(term.on_true if top[0] != 0
+                                  else term.on_false)
+            counters["branches_folded"] += 1
+            changed = True
+
+    blk.code = [i for i in out if i is not None]
+    return changed
+
+
+# ----------------------------------------------------------------------
+# dead-store elimination + push/pop cancellation
+# ----------------------------------------------------------------------
+def _cancel_pops(blk) -> int:
+    """Cancel pure producers against immediately-following ``Pop``s and
+    merge adjacent ``Pop``s; returns the number of instructions
+    removed."""
+    removed = 0
+    while True:
+        out: list[Instr] = []
+        changed = False
+        for instr in blk.code:
+            if instr.op is Op.POP:
+                n = int(instr.arg or 0)
+                while n > 0 and out and out[-1].op in _PURE_PRODUCERS:
+                    out.pop()
+                    n -= 1
+                    removed += 2
+                    changed = True
+                if n == 0:
+                    removed += 1
+                    changed = True
+                    continue
+                if out and out[-1].op is Op.POP:
+                    out[-1] = Instr(Op.POP, int(out[-1].arg) + n)
+                    removed += 1
+                    changed = True
+                else:
+                    out.append(Instr(Op.POP, n))
+            else:
+                out.append(instr)
+        blk.code = out
+        if not changed:
+            return removed
+
+
+def _dce_pass(ctx: CfgContext) -> dict:
+    cfg = ctx.cfg
+    summary = _summarize_memory(cfg)
+    counters = {"stores_killed": 0, "pops_merged": 0}
+    for bid in cfg.verify():        # reachable blocks only
+        blk = cfg.blocks[bid]
+        code = list(blk.code)
+        pending: dict[int, int] = {}     # slot -> index of unread store
+        for i, instr in enumerate(code):
+            op = instr.op
+            if op is Op.LD:
+                pending.pop(int(instr.arg), None)
+            elif op is Op.LDI:
+                base, size = int(instr.arg), int(instr.arg2)
+                for s in range(base, base + size):
+                    pending.pop(s, None)
+            elif op is Op.ST:
+                s = int(instr.arg)
+                if s in summary.dce_safe_poly:
+                    j = pending.get(s)
+                    if j is not None:
+                        code[j] = Instr(Op.POP, 1)
+                        counters["stores_killed"] += 1
+                    pending[s] = i
+        blk.code = code
+        counters["pops_merged"] += _cancel_pops(blk)
+    return counters
+
+
+# ----------------------------------------------------------------------
+# dead-slot elimination
+# ----------------------------------------------------------------------
+def _dead_slots_pass(ctx: CfgContext) -> dict:
+    cfg = ctx.cfg
+    poly_reads: set[int] = set()
+    mono_reads: set[int] = set()
+    poly_groups: list[range] = []
+    mono_groups: list[range] = []
+    for blk in cfg.blocks.values():
+        for instr in blk.code:
+            op = instr.op
+            if op in (Op.LD, Op.LDR):
+                poly_reads.add(int(instr.arg))
+            elif op is Op.LDM:
+                mono_reads.add(int(instr.arg))
+            elif op in (Op.LDI, Op.STI):
+                r = range(int(instr.arg), int(instr.arg) + int(instr.arg2))
+                poly_groups.append(r)
+                if op is Op.LDI:
+                    poly_reads.update(r)
+            elif op in (Op.LDMI, Op.STMI):
+                r = range(int(instr.arg), int(instr.arg) + int(instr.arg2))
+                mono_groups.append(r)
+                if op is Op.LDMI:
+                    mono_reads.update(r)
+    if cfg.ret_slot is not None:
+        poly_reads.add(cfg.ret_slot)
+    # Arrays are units: any read keeps the whole group.
+    for r in poly_groups:
+        if any(s in poly_reads for s in r):
+            poly_reads.update(r)
+    for r in mono_groups:
+        if any(s in mono_reads for s in r):
+            mono_reads.update(r)
+
+    live_poly = [s for s in range(len(cfg.poly_slots)) if s in poly_reads]
+    live_mono = [s for s in range(len(cfg.mono_slots)) if s in mono_reads]
+    removed = (len(cfg.poly_slots) - len(live_poly)
+               + len(cfg.mono_slots) - len(live_mono))
+    counters = {"slots_removed": removed, "pops_merged": 0}
+    if not removed:
+        return counters
+
+    poly_map = {old: new for new, old in enumerate(live_poly)}
+    mono_map = {old: new for new, old in enumerate(live_mono)}
+
+    def rewrite(instr: Instr) -> Instr:
+        op, arg = instr.op, instr.arg
+        if op in (Op.LD, Op.ST, Op.LDR, Op.STR, Op.LDI, Op.STI):
+            s = int(arg)
+            if s not in poly_map:        # store to a never-read slot
+                return Instr(Op.POP, instr.pops())
+            if poly_map[s] != s:
+                return Instr(op, poly_map[s], instr.arg2)
+        elif op in (Op.LDM, Op.STM, Op.LDMI, Op.STMI):
+            s = int(arg)
+            if s not in mono_map:
+                return Instr(Op.POP, instr.pops())
+            if mono_map[s] != s:
+                return Instr(op, mono_map[s], instr.arg2)
+        return instr
+
+    for blk in cfg.blocks.values():
+        blk.code = [rewrite(i) for i in blk.code]
+        counters["pops_merged"] += _cancel_pops(blk)
+    cfg.poly_slots = [
+        type(info)(info.name, poly_map[info.index], info.storage, info.ctype)
+        for info in cfg.poly_slots if info.index in poly_map
+    ]
+    cfg.mono_slots = [
+        type(info)(info.name, mono_map[info.index], info.storage, info.ctype)
+        for info in cfg.mono_slots if info.index in mono_map
+    ]
+    if cfg.ret_slot is not None:
+        cfg.ret_slot = poly_map[cfg.ret_slot]
+    return counters
+
+
+# ----------------------------------------------------------------------
+# pipelines
+# ----------------------------------------------------------------------
+def cfg_pass_list(opt_level: int) -> list[Pass]:
+    """The CFG-level pipeline for an ``-O`` level.
+
+    ``-O0`` only removes unreachable blocks and renumbers (the minimum
+    the conversion requires); ``-O1`` adds the paper's normalizations;
+    ``-O2`` adds the block-body optimizations.
+    """
+    passes = [Pass("unreachable", _unreachable_pass)]
+    if opt_level >= 1:
+        passes += [Pass("remove-empty", _remove_empty_pass),
+                   Pass("straighten", _straighten_pass)]
+    if opt_level >= 2:
+        passes += [Pass("fold", _fold_pass),
+                   Pass("dce", _dce_pass),
+                   Pass("dead-slots", _dead_slots_pass)]
+    passes.append(Pass("renumber", _renumber_pass))
+    return passes
+
+
+def run_cfg_passes(cfg, options):
+    """Run the CFG pipeline selected by ``options.opt_level``; returns
+    ``(optimized cfg, per-pass records, summed counters)``."""
+    ctx = CfgContext(cfg=cfg, options=options)
+    manager = PassManager(
+        cfg_pass_list(getattr(options, "opt_level", 1)),
+        verify_passes=getattr(options, "verify_passes", False),
+    )
+    records, totals = manager.run(ctx)
+    return ctx.cfg, records, totals

@@ -1,0 +1,112 @@
+"""The pass manager: named, individually-timed IR passes.
+
+Section 4.2 describes two normalization points — "straighten and remove
+empty nodes" on the MIMD CFG (step 2) and "the resulting meta-state
+graph is straightened" (step 4). This package makes both explicit: a
+:class:`PassManager` runs an ordered list of :class:`Pass` objects over
+one of two IR levels,
+
+- ``cfg``  — the MIMD control-flow graph between lowering and
+  conversion (:mod:`repro.opt.cfg_passes`), and
+- ``meta`` — the meta-state automaton between conversion and encoding
+  (:mod:`repro.opt.meta_passes`),
+
+recording per-pass wall time and counters as
+:class:`~repro.stages.report.StageRecord` rows that the driver nests
+under the ``opt-cfg`` / ``opt-meta`` stages of the
+:class:`~repro.stages.report.StageReport` (``--timings`` shows them
+indented under their stage).
+
+A pass is a function ``run(ctx) -> counters`` mutating its level's
+context (:class:`CfgContext` or :class:`MetaContext`) in place, plus an
+optional ``verify(ctx)`` hook that the manager calls after the pass when
+``ConversionOptions.verify_passes`` is set — every pass must leave the
+IR in a state its verifier accepts.
+
+To add a pass: write the ``run`` function in the level's module, wrap
+it in a :class:`Pass`, and insert it into the level's pipeline for the
+opt levels it belongs to (``cfg_passes.cfg_pass_list`` /
+``meta_passes.meta_pass_list``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.stages.report import StageRecord
+
+
+@dataclass
+class CfgContext:
+    """Mutable state threaded through the CFG-level passes. ``cfg`` may
+    be replaced wholesale (the ``renumber`` pass does)."""
+
+    cfg: object
+    options: object = None          # ConversionOptions (or None)
+
+    def verify(self) -> None:
+        self.cfg.verify()
+
+
+@dataclass
+class MetaContext:
+    """Mutable state threaded through the meta-graph-level passes.
+    ``straightened`` is the artifact the layout passes produce and
+    :func:`repro.codegen.emit.encode_program` consumes."""
+
+    graph: object
+    options: object = None
+    valid_blocks: set | None = None
+    straightened: object = None     # StraightenedGraph
+
+    def verify(self) -> None:
+        self.graph.verify(self.valid_blocks)
+        if self.straightened is not None:
+            self.straightened.verify()
+
+
+@dataclass(frozen=True)
+class Pass:
+    """One named rewrite over an IR level.
+
+    ``run(ctx)`` mutates the context and returns a flat counters dict;
+    ``verify`` overrides the context's default verifier (rarely
+    needed).
+    """
+
+    name: str
+    run: Callable
+    verify: Callable | None = None
+
+
+@dataclass
+class PassManager:
+    """Runs a pass list over a context, timing each pass.
+
+    ``verify_passes`` runs every pass's verifier on its output — the
+    debug mode for developing new passes (it re-walks the IR after
+    every pass, so it is off by default).
+    """
+
+    passes: list = field(default_factory=list)
+    verify_passes: bool = False
+
+    def run(self, ctx) -> tuple[list[StageRecord], dict]:
+        """Execute the passes in order; return (per-pass records,
+        summed counters)."""
+        records: list[StageRecord] = []
+        totals: dict = {}
+        for p in self.passes:
+            t0 = time.perf_counter()
+            counters = p.run(ctx) or {}
+            if self.verify_passes:
+                (p.verify or type(ctx).verify)(ctx)
+            records.append(StageRecord(
+                name=p.name, seconds=time.perf_counter() - t0,
+                counters=dict(counters),
+            ))
+            for key, value in counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return records, totals

@@ -11,20 +11,40 @@ Mirrors section 4.2's outline of the prototype:
 
 Since PR 2 the implementation is the explicit stage pipeline of
 :mod:`repro.stages`: :func:`convert_source` drives the named
-parse→sema→lower→convert→encode→plan stages, records per-stage wall
-time and counters in a :class:`~repro.stages.report.StageReport`
-(available as ``result.report``), and — when given a ``cache`` — keys
-the whole artifact bundle by content hash so a repeated compile skips
-every stage.
+parse→sema→lower→opt-cfg→convert→opt-meta→encode→plan stages, records
+per-stage wall time and counters in a
+:class:`~repro.stages.report.StageReport` (available as
+``result.report``), and — when given a ``cache`` — keys the whole
+artifact bundle by content hash so a repeated compile skips every
+stage. The two ``opt-*`` stages run the :mod:`repro.opt` pass pipeline
+selected by :attr:`ConversionOptions.opt_level` and nest per-pass
+timing rows under their stage records.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
+from repro.core.convert import ConvertOptions
 from repro.core.metastate import MetaStateGraph
 from repro.ir.cfg import Cfg
 from repro.ir.instr import DEFAULT_COSTS, CostModel
+
+#: Single source of truth for the conversion knobs that
+#: :class:`ConversionOptions` mirrors (they used to be maintained in
+#: both dataclasses and could drift).
+_CONVERT_DEFAULTS = ConvertOptions()
+
+
+def _default_opt_level() -> int:
+    """The ``-O`` level used when none is given: ``REPRO_OPT_LEVEL`` if
+    set (CI runs the tier-1 suite under ``-O0`` this way), else 1."""
+    try:
+        level = int(os.environ.get("REPRO_OPT_LEVEL", "1"))
+    except ValueError:
+        return 1
+    return min(max(level, 0), 2)
 
 
 @dataclass(frozen=True)
@@ -50,19 +70,40 @@ class ConversionOptions:
         Schedule meta-state bodies with common subexpression induction
         (section 3.1); ``False`` serializes the threads — the ablation
         baseline.
+    opt_level:
+        ``-O`` level selecting the :mod:`repro.opt` pass pipelines:
+        0 = no optimization (unreachable-block removal only, one chain
+        per meta state), 1 = the paper's normalizations (default),
+        2 = adds constant folding, copy propagation, dead-code and
+        dead-slot elimination. Defaults to ``REPRO_OPT_LEVEL`` when the
+        environment variable is set.
+    verify_passes:
+        Run every optimization pass's verifier on its output (debug
+        mode for developing passes).
     costs:
         Cycle-cost model shared by splitting, scheduling, and the
         simulators.
     """
 
-    compress: bool = False
+    compress: bool = _CONVERT_DEFAULTS.compress
     time_split: bool = False
     split_delta: int = 4
     split_percent: int = 50
-    max_meta_states: int = 100_000
-    max_parked: int = 8
+    max_meta_states: int = _CONVERT_DEFAULTS.max_meta_states
+    max_parked: int = _CONVERT_DEFAULTS.max_parked
     use_csi: bool = True
+    opt_level: int = field(default_factory=_default_opt_level)
+    verify_passes: bool = False
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+
+    def convert_options(self) -> ConvertOptions:
+        """The :class:`~repro.core.convert.ConvertOptions` view of these
+        options — the one place the two dataclasses meet."""
+        return ConvertOptions(
+            compress=self.compress,
+            max_meta_states=self.max_meta_states,
+            max_parked=self.max_parked,
+        )
 
 
 @dataclass
@@ -91,9 +132,12 @@ class ConversionResult:
         this only compiles for hand-assembled results)."""
         if self._program is None:
             from repro.codegen.emit import encode_program
+            from repro.opt import straightened_for_level
 
+            straightened = straightened_for_level(
+                self.graph, self.options.opt_level)
             self._program = encode_program(
-                self.cfg, self.graph, costs=self.options.costs,
+                self.cfg, straightened, costs=self.options.costs,
                 use_csi=self.options.use_csi,
             )
         return self._program

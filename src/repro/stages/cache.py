@@ -36,13 +36,13 @@ from pathlib import Path
 
 #: Bump when the artifact layout changes incompatibly (every old entry
 #: is then invisible — old shards are simply never read again).
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: Top-level repro subpackages whose code determines compile output.
 #: ``simd``/``mimd`` (simulators) and ``analysis``/``viz`` are runtime
 #: consumers of the artifacts, not producers, so they do not invalidate.
-_COMPILER_PACKAGES = ("lang", "ir", "core", "csi", "hashenc", "codegen",
-                      "stages")
+_COMPILER_PACKAGES = ("lang", "ir", "core", "csi", "hashenc", "opt",
+                      "codegen", "stages")
 
 _code_fingerprint_memo: str | None = None
 

@@ -9,19 +9,26 @@ with per-stage wall time and counters recorded in a
 
 The stages, in order::
 
-    parse    MIMDC text            -> AST
-    sema     AST                   -> analyzed AST (SemaInfo)
-    lower    SemaInfo              -> normalized CFG
-    convert  CFG                   -> meta-state automaton
-             (time splitting restarts the conversion inside this stage)
-    encode   CFG + automaton       -> SimdProgram (CSI + hash encoding)
-    plan     SimdProgram           -> ProgramPlan (dense executor tables)
+    parse     MIMDC text            -> AST
+    sema      AST                   -> analyzed AST (SemaInfo)
+    lower     SemaInfo              -> raw CFG
+    opt-cfg   CFG                   -> optimized CFG (repro.opt passes)
+    convert   CFG                   -> meta-state automaton
+              (time splitting restarts the conversion inside this stage)
+    opt-meta  automaton             -> StraightenedGraph (repro.opt passes)
+    encode    CFG + chains          -> SimdProgram (CSI + hash encoding)
+    plan      SimdProgram           -> ProgramPlan (dense executor tables)
+
+The two ``opt-*`` stages run the :mod:`repro.opt` pass pipeline chosen
+by ``ConversionOptions.opt_level``; their per-pass timing/counter rows
+are nested under the stage record (``subrecords``) so ``--timings`` can
+show them indented.
 
 Every artifact past ``lower`` is serializable, so the whole chain is
 memoizable: with a :class:`~repro.stages.cache.CompileCache`, a compile
 whose content key (source + options + cost model + code version) was
 seen before loads ``cfg``/``graph``/``program``/``plan`` and runs no
-stage at all — the report then shows six cached records and zero
+stage at all — the report then shows eight cached records and zero
 executed stages.
 
 To add a stage: write a ``_stage_<name>(ctx)`` function that reads and
@@ -51,10 +58,14 @@ class CompileContext:
     sema: object = None
     cfg: object = None
     graph: object = None
+    straightened: object = None     # repro.opt.StraightenedGraph
     restarts: int = 0
     program: object = None
     plan: object = None
     split_stats: dict = field(default_factory=dict)
+    #: Per-pass StageRecord rows keyed by stage name, filled by the
+    #: ``opt-*`` stages and nested under their stage records.
+    pass_records: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -68,7 +79,8 @@ class Stage:
     def execute(self, ctx: CompileContext, report: StageReport) -> None:
         t0 = time.perf_counter()
         counters = self.run(ctx)
-        report.add(self.name, time.perf_counter() - t0, counters=counters)
+        report.add(self.name, time.perf_counter() - t0, counters=counters,
+                   subrecords=ctx.pass_records.get(self.name))
 
 
 # ----------------------------------------------------------------------
@@ -98,7 +110,9 @@ def _stage_sema(ctx: CompileContext) -> dict:
 def _stage_lower(ctx: CompileContext) -> dict:
     from repro.ir.lowering import lower_program
 
-    ctx.cfg = lower_program(ctx.sema)
+    # Raw lowering: cleanup that used to hide in here is now the
+    # explicit opt-cfg stage.
+    ctx.cfg = lower_program(ctx.sema, normalize=False)
     return {
         "blocks": len(ctx.cfg.blocks),
         "branch_blocks": len(ctx.cfg.branch_blocks()),
@@ -110,15 +124,20 @@ def _stage_lower(ctx: CompileContext) -> dict:
     }
 
 
+def _stage_opt_cfg(ctx: CompileContext) -> dict:
+    from repro.opt import run_cfg_passes
+
+    ctx.cfg, records, totals = run_cfg_passes(ctx.cfg, ctx.options)
+    ctx.pass_records["opt-cfg"] = records
+    return totals
+
+
 def _stage_convert(ctx: CompileContext) -> dict:
-    from repro.core.convert import ConvertOptions, convert
+    from repro.core.convert import convert
     from repro.core.timesplit import TimeSplitOptions, convert_with_time_splitting
 
     options = ctx.options
-    convert_options = ConvertOptions(
-        compress=options.compress, max_meta_states=options.max_meta_states,
-        max_parked=options.max_parked,
-    )
+    convert_options = options.convert_options()
     if options.time_split:
         split_options = TimeSplitOptions(
             split_delta=options.split_delta,
@@ -134,7 +153,6 @@ def _stage_convert(ctx: CompileContext) -> dict:
     counters = {
         "meta_states": ctx.graph.num_states(),
         "meta_arcs": ctx.graph.num_arcs(),
-        "straightened_states": ctx.graph.num_straightened_states(),
         "restarts": ctx.restarts,
         "blocks_split": ctx.split_stats.get("blocks_split", 0),
         "worklist_passes": ctx.graph.stats.get("worklist_passes", 0),
@@ -142,12 +160,23 @@ def _stage_convert(ctx: CompileContext) -> dict:
     return counters
 
 
+def _stage_opt_meta(ctx: CompileContext) -> dict:
+    from repro.opt import run_meta_passes
+
+    ctx.straightened, records, totals = run_meta_passes(
+        ctx.graph, ctx.options, valid_blocks=set(ctx.cfg.blocks),
+    )
+    ctx.pass_records["opt-meta"] = records
+    return totals
+
+
 def _stage_encode(ctx: CompileContext) -> dict:
     from repro.codegen.emit import encode_program
 
     options = ctx.options
     ctx.program = encode_program(
-        ctx.cfg, ctx.graph, costs=options.costs, use_csi=options.use_csi,
+        ctx.cfg, ctx.straightened, costs=options.costs,
+        use_csi=options.use_csi,
     )
     csi_cost, csi_serial, csi_bound = ctx.program.csi_totals()
     counters = {
@@ -172,7 +201,9 @@ PIPELINE_STAGES: tuple[Stage, ...] = (
     Stage("parse", _stage_parse),
     Stage("sema", _stage_sema),
     Stage("lower", _stage_lower),
+    Stage("opt-cfg", _stage_opt_cfg),
     Stage("convert", _stage_convert),
+    Stage("opt-meta", _stage_opt_meta),
     Stage("encode", _stage_encode),
     Stage("plan", _stage_plan),
 )
@@ -236,11 +267,12 @@ def _record_cached_stages(report: StageReport, payload: CachedCompile) -> None:
     that are cheaply re-derivable from the loaded artifacts (so a warm
     ``--timings`` table still shows the program's shape)."""
     derived = {
-        "lower": lambda: {"blocks": len(payload.cfg.blocks)},
+        "opt-cfg": lambda: {"blocks": len(payload.cfg.blocks)},
         "convert": lambda: {
             "meta_states": payload.graph.num_states(),
             "restarts": payload.restarts,
         },
+        "opt-meta": lambda: {"chains": payload.program.node_count()},
         "encode": lambda: {
             "nodes": payload.program.node_count(),
             "cu_instructions": payload.program.control_unit_instructions(),

@@ -29,14 +29,22 @@ class StageRecord:
     seconds: float = 0.0
     cached: bool = False
     counters: dict = field(default_factory=dict)
+    #: Nested per-pass records (the ``opt-*`` stages fill these with one
+    #: row per :mod:`repro.opt` pass); empty for ordinary stages. Their
+    #: seconds are included in the stage's ``seconds``, so totals must
+    #: not sum them again.
+    subrecords: list = field(default_factory=list)
 
     def to_json(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "seconds": self.seconds,
             "cached": self.cached,
             "counters": dict(self.counters),
         }
+        if self.subrecords:
+            data["passes"] = [rec.to_json() for rec in self.subrecords]
+        return data
 
 
 @dataclass
@@ -65,9 +73,11 @@ class StageReport:
 
     # ------------------------------------------------------------------
     def add(self, name: str, seconds: float = 0.0, *, cached: bool = False,
-            counters: dict | None = None) -> StageRecord:
+            counters: dict | None = None,
+            subrecords: list | None = None) -> StageRecord:
         rec = StageRecord(name=name, seconds=seconds, cached=cached,
-                          counters=dict(counters or {}))
+                          counters=dict(counters or {}),
+                          subrecords=list(subrecords or ()))
         self.records.append(rec)
         return rec
 
@@ -124,5 +134,12 @@ class StageReport:
         for rec in data.get("stages", ()):
             report.add(rec["name"], rec.get("seconds", 0.0),
                        cached=rec.get("cached", False),
-                       counters=rec.get("counters", {}))
+                       counters=rec.get("counters", {}),
+                       subrecords=[
+                           StageRecord(name=p["name"],
+                                       seconds=p.get("seconds", 0.0),
+                                       cached=p.get("cached", False),
+                                       counters=p.get("counters", {}))
+                           for p in rec.get("passes", ())
+                       ])
         return report

@@ -79,6 +79,54 @@ def meta_graph_to_dot(graph: MetaStateGraph,
     return "\n".join(lines)
 
 
+def straightened_to_dot(straightened,
+                        title: str = "straightened meta-state graph") -> str:
+    """Render a :class:`~repro.opt.StraightenedGraph` — the automaton
+    *after* the opt-meta layout pass, one node per chain. Pairing this
+    with :func:`meta_graph_to_dot` of the same graph shows the
+    before/after of optimization."""
+    graph = straightened.graph
+
+    def nid(m) -> str:
+        return "c_" + "_".join(str(b) for b in sorted(m))
+
+    def mlabel(m) -> str:
+        return "{" + ",".join(str(b) for b in sorted(m)) + "}"
+
+    lines = [
+        "digraph straightened {",
+        f'  label="{_escape(title)}";',
+        "  node [shape=box];",
+    ]
+    head_of = {}
+    for chain in straightened.chains:
+        for m in chain:
+            head_of[m] = chain[0]
+    for chain in straightened.chains:
+        label = "\\n".join(mlabel(m) for m in chain)
+        attrs = [f'label="{_escape(label)}"']
+        if chain[0] == graph.start:
+            attrs.append("penwidth=2")
+        if any(m in graph.can_exit for m in chain):
+            attrs.append("peripheries=2")
+        lines.append(f"  {nid(chain[0])} [{', '.join(attrs)}];")
+    seen = set()
+    for chain in straightened.chains:
+        tail = chain[-1]
+        for dst in sorted(graph.successors(tail),
+                          key=lambda s: sorted(s)):
+            arc = (chain[0], head_of[dst])
+            if arc in seen:
+                continue
+            seen.add(arc)
+            style = ""
+            if graph.barrier_entry.get(tail) == dst:
+                style = ' [style=dashed, label="all-at-barrier"]'
+            lines.append(f"  {nid(arc[0])} -> {nid(arc[1])}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
 def ascii_graph(graph: MetaStateGraph) -> str:
     """Compact textual adjacency rendering of a meta-state graph."""
     lines = []

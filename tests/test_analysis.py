@@ -23,6 +23,14 @@ from repro.mimd.flatten import flatten_cfg
 from tests.helpers import LISTING1_RUNNABLE, LISTING1_SHAPE
 
 
+@pytest.fixture(autouse=True)
+def _paper_opt_level(monkeypatch):
+    """The stats tests assert shapes the paper's pipeline produces,
+    which assume its normalization level (-O1) — pin it so an external
+    REPRO_OPT_LEVEL (the CI -O0 matrix leg) cannot change them."""
+    monkeypatch.setenv("REPRO_OPT_LEVEL", "1")
+
+
 class TestBounds:
     def test_paper_factorial_bound(self):
         # S!/(S-N)!

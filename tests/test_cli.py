@@ -24,7 +24,9 @@ def source_file(tmp_path):
 
 class TestCompile:
     def test_summary(self, source_file, capsys):
-        assert main(["compile", source_file]) == 0
+        # -O1 pinned: the meta-state count depends on the opt level and
+        # the suite also runs under REPRO_OPT_LEVEL=0 in CI.
+        assert main(["compile", source_file, "-O1"]) == 0
         out = capsys.readouterr().out
         assert "meta states: 8" in out
 
@@ -49,9 +51,19 @@ class TestCompile:
         assert "digraph mimd" in capsys.readouterr().out
 
     def test_compress_flag(self, source_file, capsys):
-        assert main(["compile", source_file, "--compress"]) == 0
+        assert main(["compile", source_file, "--compress", "-O1"]) == 0
         out = capsys.readouterr().out
         assert "meta states: 3" in out
+
+    def test_opt_level_flag(self, source_file, capsys):
+        for level in ("0", "1", "2"):
+            assert main(["compile", source_file, "-O", level,
+                         "--verify-passes"]) == 0
+            capsys.readouterr()
+
+    def test_emit_dot_opt(self, source_file, capsys):
+        assert main(["compile", source_file, "--emit", "dot-opt"]) == 0
+        assert "digraph straightened" in capsys.readouterr().out
 
     def test_stdin(self, capsys, monkeypatch):
         import io
@@ -154,17 +166,24 @@ class TestOptionPlumbing:
 
 class TestTimingsAndCache:
     def test_timings_table(self, source_file, capsys):
-        assert main(["compile", source_file, "--timings"]) == 0
+        assert main(["compile", source_file, "-O1", "--timings"]) == 0
         out = capsys.readouterr().out
-        for stage in ("parse", "sema", "lower", "convert", "encode", "plan"):
+        for stage in ("parse", "sema", "lower", "opt-cfg", "convert",
+                      "opt-meta", "encode", "plan"):
             assert stage in out
+        # Per-pass rows appear indented under their opt stage.
+        for pass_name in ("straighten", "prune", "renumber"):
+            assert f"  {pass_name}" in out
         assert "total" in out
 
     def test_report_json(self, source_file, tmp_path):
         rep = _report(tmp_path, ["compile", source_file])
         assert [s["name"] for s in rep["stages"]] == [
-            "parse", "sema", "lower", "convert", "encode", "plan"
+            "parse", "sema", "lower", "opt-cfg", "convert", "opt-meta",
+            "encode", "plan"
         ]
+        opt_cfg = [s for s in rep["stages"] if s["name"] == "opt-cfg"][0]
+        assert [p["name"] for p in opt_cfg["passes"]]
         assert rep["cache"] == "miss"
 
     def test_warm_cli_compile_hits_cache(self, source_file, tmp_path):

@@ -21,6 +21,14 @@ from tests.helpers import (
 LISTING4 = LISTING1_SHAPE
 
 
+@pytest.fixture(autouse=True)
+def _paper_opt_level(monkeypatch):
+    """The emission-shape tests assume the paper's normalization level
+    (-O1) — pin it so an external REPRO_OPT_LEVEL (the CI -O0 matrix
+    leg) cannot change the shapes."""
+    monkeypatch.setenv("REPRO_OPT_LEVEL", "1")
+
+
 def emit(src: str, compress: bool = False):
     cfg = lower_program(analyze(parse(src)))
     graph = convert(cfg, ConvertOptions(compress=compress))

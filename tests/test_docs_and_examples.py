@@ -11,6 +11,15 @@ import pytest
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
+@pytest.fixture(autouse=True)
+def _paper_opt_level(monkeypatch):
+    """README samples and example scripts demonstrate (and some assert)
+    the default pipeline's shapes — pin the paper's level (-O1) so an
+    external REPRO_OPT_LEVEL (the CI -O0 matrix leg) cannot change
+    them. Subprocesses inherit the patched environment."""
+    monkeypatch.setenv("REPRO_OPT_LEVEL", "1")
+
+
 class TestReadmeSamples:
     def python_blocks(self):
         text = (ROOT / "README.md").read_text()

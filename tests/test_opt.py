@@ -1,0 +1,441 @@
+"""Unit tests for the two-level optimizer (:mod:`repro.opt`)."""
+
+import pytest
+
+from repro import ConversionOptions, convert_source, simulate_simd
+from repro.core.convert import ConvertOptions
+from repro.core.metastate import MetaStateGraph
+from repro.errors import ConversionError
+from repro.ir.instr import Op
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+from repro.opt import (
+    CfgContext,
+    Pass,
+    PassManager,
+    StraightenedGraph,
+    cfg_pass_list,
+    meta_pass_list,
+    run_cfg_passes,
+    run_meta_passes,
+    straightened_for_level,
+)
+
+from tests.helpers import LISTING1_RUNNABLE
+
+
+def fs(*xs):
+    return frozenset(xs)
+
+
+def raw_cfg(src: str):
+    return lower_program(analyze(parse(src)), normalize=False)
+
+
+def opt_cfg(src: str, level: int):
+    cfg, records, totals = run_cfg_passes(
+        raw_cfg(src), ConversionOptions(opt_level=level, verify_passes=True))
+    return cfg, totals
+
+
+def ops_of(cfg) -> list:
+    return [i.op for blk in cfg.blocks.values() for i in blk.code]
+
+
+def returns_at(src: str, level: int, npes: int = 8):
+    r = convert_source(src, ConversionOptions(opt_level=level,
+                                              verify_passes=True))
+    return simulate_simd(r, npes=npes).returns
+
+
+# ----------------------------------------------------------------------
+# the framework
+# ----------------------------------------------------------------------
+class TestPassManager:
+    def test_records_and_totals(self):
+        calls = []
+        pm = PassManager([
+            Pass("a", lambda ctx: calls.append("a") or {"n": 2}),
+            Pass("b", lambda ctx: calls.append("b") or {"n": 3, "m": 1}),
+        ])
+        records, totals = pm.run(CfgContext(cfg=None))
+        assert calls == ["a", "b"]
+        assert [r.name for r in records] == ["a", "b"]
+        assert all(r.seconds >= 0 for r in records)
+        assert records[0].counters == {"n": 2}
+        assert totals == {"n": 5, "m": 1}
+
+    def test_verify_passes_catches_broken_pass(self):
+        cfg = raw_cfg(LISTING1_RUNNABLE)
+
+        def breaker(ctx):
+            # Dangling terminator target: the verifier must object.
+            from repro.ir.block import Fall
+
+            next(iter(ctx.cfg.blocks.values())).terminator = Fall(10_000)
+
+        silent = PassManager([Pass("break", breaker)], verify_passes=False)
+        silent.run(CfgContext(cfg=cfg))   # not verified: no error
+
+        cfg = raw_cfg(LISTING1_RUNNABLE)
+        checked = PassManager([Pass("break", breaker)], verify_passes=True)
+        with pytest.raises(ConversionError):
+            checked.run(CfgContext(cfg=cfg))
+
+    def test_pass_lists_per_level(self):
+        assert [p.name for p in cfg_pass_list(0)] == [
+            "unreachable", "renumber"]
+        assert [p.name for p in cfg_pass_list(1)] == [
+            "unreachable", "remove-empty", "straighten", "renumber"]
+        assert [p.name for p in cfg_pass_list(2)] == [
+            "unreachable", "remove-empty", "straighten", "fold", "dce",
+            "dead-slots", "renumber"]
+        assert [p.name for p in meta_pass_list(0)] == ["layout"]
+        assert [p.name for p in meta_pass_list(1)] == ["prune", "straighten"]
+        assert [p.name for p in meta_pass_list(2)] == ["prune", "straighten"]
+
+    def test_o1_matches_inline_normalization(self):
+        """-O1 must reproduce what lowering's normalize=True produces —
+        the seed behavior."""
+        inline = lower_program(analyze(parse(LISTING1_RUNNABLE)))
+        staged, _ = opt_cfg(LISTING1_RUNNABLE, 1)
+        assert str(inline) == str(staged)
+
+
+# ----------------------------------------------------------------------
+# CFG passes (-O2 block-body work)
+# ----------------------------------------------------------------------
+class TestFold:
+    def test_constant_expression_folds(self):
+        src = "main() { poly int x; x = 2 + 3 * 4; return (x); }"
+        cfg, totals = opt_cfg(src, 2)
+        assert totals["instrs_folded"] >= 2
+        ops = ops_of(cfg)
+        assert Op.ADD not in ops and Op.MUL not in ops
+
+    def test_copy_propagation_forwards_known_store(self):
+        src = ("main() { poly int x; poly int y;"
+               " x = 5; y = x + procnum; return (y); }")
+        cfg, totals = opt_cfg(src, 2)
+        assert totals["loads_forwarded"] >= 1
+        assert returns_at(src, 0).tolist() == returns_at(src, 2).tolist()
+
+    def test_constant_branch_folds(self):
+        src = ("main() { poly int x;"
+               " if (1) { x = procnum; } else { x = 0 - procnum; }"
+               " return (x); }")
+        cfg1, _ = opt_cfg(src, 1)
+        cfg2, totals = opt_cfg(src, 2)
+        assert totals["branches_folded"] >= 1
+        assert len(cfg2.branch_blocks()) < len(cfg1.branch_blocks())
+        assert returns_at(src, 1).tolist() == returns_at(src, 2).tolist()
+
+    def test_constant_select_folds(self):
+        src = ("main() { poly int x;"
+               " x = 1 ? procnum : 3; return (x); }")
+        cfg, _ = opt_cfg(src, 2)
+        assert Op.SEL not in ops_of(cfg)
+        assert returns_at(src, 0).tolist() == returns_at(src, 2).tolist()
+
+    def test_division_by_zero_not_folded(self):
+        # Folding 1/0 would turn a runtime MachineError into silence
+        # (or a compile-time crash); the division must survive.
+        src = "main() { poly int x; x = 1 / 0; return (x); }"
+        cfg, _ = opt_cfg(src, 2)
+        assert Op.IDIV in ops_of(cfg)
+
+    def test_constant_array_index_simplifies(self):
+        src = ("main() { poly int a[4]; poly int i;"
+               " i = procnum % 4; a[i] = i; a[2] = 7;"
+               " return (a[i] + a[2]); }")
+        cfg, totals = opt_cfg(src, 2)
+        # a[2] accesses become direct LD/ST; a[i] stays indexed.
+        assert totals["instrs_folded"] >= 2
+        ops = ops_of(cfg)
+        assert Op.LDI in ops and Op.STI in ops   # the dynamic accesses
+        assert returns_at(src, 0).tolist() == returns_at(src, 2).tolist()
+
+    def test_mono_slots_never_tracked(self):
+        # Mono memory is shared: a CSI-interleaved block could store to
+        # it mid-block, so loads must not be forwarded. (Only globals
+        # can be mono — locals live in per-PE poly frames.)
+        src = ("mono int m = 0;\n"
+               "main() { poly int x;"
+               " m = 5; x = m + procnum; return (x); }")
+        cfg, _ = opt_cfg(src, 2)
+        assert Op.LDM in ops_of(cfg)
+
+    def test_remote_store_disables_tracking(self):
+        src = ("main() { poly int x; poly int y;"
+               " x = 5; y[[(procnum + 1) % nproc]] = 9; "
+               " y = x; return (y + x); }")
+        cfg, totals = opt_cfg(src, 2)
+        assert totals.get("loads_forwarded", 0) == 0
+
+
+class TestDce:
+    def test_overwritten_store_killed(self):
+        src = ("main() { poly int x;"
+               " x = procnum; x = procnum + 1; return (x); }")
+        cfg, totals = opt_cfg(src, 2)
+        assert totals["stores_killed"] >= 1
+        assert returns_at(src, 0).tolist() == returns_at(src, 2).tolist()
+
+    def test_remote_read_slot_kept(self):
+        # x is read remotely (x@(...)) somewhere in the program: the
+        # intermediate store could be observed between the two writes.
+        src = ("main() { poly int x; poly int y;"
+               " x = procnum; x = procnum + 1;"
+               " y = x[[(procnum + 1) % nproc]]; return (y); }")
+        cfg, totals = opt_cfg(src, 2)
+        assert totals.get("stores_killed", 0) == 0
+
+
+class TestDeadSlots:
+    def test_unused_poly_slot_removed(self):
+        src = ("main() { poly int unused; poly int x;"
+               " unused = 42; x = procnum; return (x); }")
+        cfg1, _ = opt_cfg(src, 1)
+        cfg2, totals = opt_cfg(src, 2)
+        assert totals["slots_removed"] >= 1
+        assert len(cfg2.poly_slots) < len(cfg1.poly_slots)
+        assert returns_at(src, 0).tolist() == returns_at(src, 2).tolist()
+
+    def test_unused_mono_slot_removed(self):
+        src = ("mono int m = 0;\n"
+               "main() { poly int x;"
+               " m = 7; x = procnum; return (x); }")
+        cfg, totals = opt_cfg(src, 2)
+        assert totals["slots_removed"] >= 1
+        assert len(cfg.mono_slots) == 0
+        assert returns_at(src, 0).tolist() == returns_at(src, 2).tolist()
+
+    def test_partially_read_array_kept_whole(self):
+        src = ("main() { poly int a[4];"
+               " a[procnum % 4] = procnum; return (a[0]); }")
+        cfg, totals = opt_cfg(src, 2)
+        assert totals["slots_removed"] == 0
+        assert len(cfg.poly_slots) == 4 + 1   # the array + __ret
+
+    def test_ret_slot_remapped(self):
+        src = ("main() { poly int unused; poly int x;"
+               " unused = 1; x = procnum; return (x); }")
+        cfg, _ = opt_cfg(src, 2)
+        assert cfg.ret_slot is not None
+        assert cfg.ret_slot < len(cfg.poly_slots)
+        assert returns_at(src, 2).tolist() == list(range(8))
+
+
+# ----------------------------------------------------------------------
+# meta-graph passes
+# ----------------------------------------------------------------------
+def small_graph() -> MetaStateGraph:
+    """{0} -> {1} -> {2} -> {2} (self loop), {1} also -> {2,3}."""
+    g = MetaStateGraph(start=fs(0))
+    g.states = {fs(0), fs(1), fs(2), fs(2, 3)}
+    g.table = {
+        fs(0): {fs(1): fs(1)},
+        fs(1): {fs(2): fs(2), fs(2, 3): fs(2, 3)},
+        fs(2): {fs(2): fs(2)},
+        fs(2, 3): {},
+    }
+    g.can_exit = {fs(2, 3)}
+    g.parked_possible = {m: frozenset() for m in g.states}
+    return g
+
+
+class TestMetaPasses:
+    def test_prune_drops_unreachable_state(self):
+        g = small_graph()
+        g.states.add(fs(9))
+        g.table[fs(9)] = {fs(2): fs(2)}
+        straightened, records, totals = run_meta_passes(
+            g, ConversionOptions(opt_level=1, verify_passes=True))
+        assert totals["states_pruned"] == 1
+        assert fs(9) not in g.states
+        assert [r.name for r in records] == ["prune", "straighten"]
+        straightened.verify()
+
+    def test_trivial_layout_is_one_chain_per_state(self):
+        sg = straightened_for_level(small_graph(), 0)
+        assert all(len(c) == 1 for c in sg.chains)
+        assert sg.chain_count() == 4
+        assert sg.merged_states() == 0
+        sg.verify()
+
+    def test_straightened_layout_merges(self):
+        sg = straightened_for_level(small_graph(), 1)
+        assert sg.chain_count() < 4
+        assert sg.merged_states() >= 1
+        sg.verify()
+
+
+class TestStraighteningEdgeCases:
+    """Edge cases previously only exercised implicitly."""
+
+    def test_self_loop_state_never_merged(self):
+        sg = StraightenedGraph.from_graph(small_graph())
+        # {2} has a self-loop: it must head its own chain.
+        assert (fs(2),) in sg.chains
+        sg.verify()
+
+    def test_hand_broken_self_loop_chain_rejected(self):
+        g = small_graph()
+        broken = StraightenedGraph(graph=g, chains=(
+            (fs(0),), (fs(1), fs(2)), (fs(2, 3),)))
+        # {2} has predecessors {1} and {2} (itself): not an interior.
+        with pytest.raises(ConversionError):
+            broken.verify()
+
+    def test_start_never_becomes_interior(self):
+        g = MetaStateGraph(start=fs(0))
+        g.states = {fs(0), fs(1)}
+        g.table = {fs(0): {fs(1): fs(1)}, fs(1): {fs(0): fs(0)}}
+        g.parked_possible = {m: frozenset() for m in g.states}
+        sg = StraightenedGraph.from_graph(g)
+        assert sg.chains == ((fs(0), fs(1)),)
+        sg.verify()
+        broken = StraightenedGraph(graph=g, chains=((fs(1), fs(0)),))
+        with pytest.raises(ConversionError, match="start"):
+            broken.verify()
+
+    def test_dispatched_state_never_becomes_interior(self):
+        # {0} branches to both {1} and {2}; {1} falls into {2}: {2} has
+        # two predecessors, so a chain absorbing it is invalid.
+        g = MetaStateGraph(start=fs(0))
+        g.states = {fs(0), fs(1), fs(2)}
+        g.table = {
+            fs(0): {fs(1): fs(1), fs(2): fs(2)},
+            fs(1): {fs(2): fs(2)},
+            fs(2): {},
+        }
+        g.parked_possible = {m: frozenset() for m in g.states}
+        sg = StraightenedGraph.from_graph(g)
+        assert all(len(c) == 1 for c in sg.chains)
+        broken = StraightenedGraph(graph=g, chains=(
+            (fs(0),), (fs(1), fs(2))))
+        with pytest.raises(ConversionError):
+            broken.verify()
+
+    def test_partition_violations_rejected(self):
+        g = small_graph()
+        missing = StraightenedGraph(graph=g, chains=((fs(0),), (fs(1),)))
+        with pytest.raises(ConversionError, match="partition"):
+            missing.verify()
+        duplicated = StraightenedGraph(graph=g, chains=(
+            (fs(0),), (fs(0),), (fs(1),), (fs(2),), (fs(2, 3),)))
+        with pytest.raises(ConversionError, match="two chains"):
+            duplicated.verify()
+
+    def test_verify_program_rejects_hand_broken_layout(self):
+        """_verify_program's interior-segment check must reject a layout
+        that straightens a dispatch-targeted state away."""
+        from repro.codegen.emit import encode_program
+
+        r = convert_source(LISTING1_RUNNABLE, ConversionOptions(opt_level=1))
+        g = r.graph
+        preds = g.predecessors()
+        pair = next(
+            (a, b)
+            for a in sorted(g.states, key=lambda s: sorted(s))
+            for b in sorted(g.successors(a), key=lambda s: sorted(s))
+            if b != a and (len(g.successors(a)) > 1 or len(preds[b]) > 1)
+        )
+        chains = [(m,) for m in sorted(g.states, key=lambda s: sorted(s))
+                  if m not in pair]
+        chains.append(pair)
+        broken = StraightenedGraph(graph=g, chains=tuple(chains))
+        with pytest.raises(ConversionError):
+            encode_program(r.cfg, broken)
+
+
+# ----------------------------------------------------------------------
+# MetaStateGraph derived-structure caches
+# ----------------------------------------------------------------------
+class TestGraphCaches:
+    def test_arcs_and_predecessors_cached(self):
+        g = small_graph()
+        assert g.arcs() is g.arcs()
+        assert g.predecessors() is g.predecessors()
+        assert g.num_arcs() == len(g.arcs())
+
+    def test_invalidate_caches_recomputes(self):
+        g = small_graph()
+        before = g.arcs()
+        g.invalidate_caches()
+        after = g.arcs()
+        assert after is not before
+        assert after == before
+
+    def test_prune_invalidates(self):
+        g = small_graph()
+        g.states.add(fs(9))
+        g.table[fs(9)] = {fs(2): fs(2)}
+        n_before = g.num_arcs()
+        run_meta_passes(g, ConversionOptions(opt_level=1))
+        assert g.num_arcs() == n_before - 1
+        assert all(fs(9) not in arc for arc in g.arcs())
+
+
+# ----------------------------------------------------------------------
+# options plumbing
+# ----------------------------------------------------------------------
+class TestOptionsDedup:
+    def test_convert_options_view(self):
+        assert ConversionOptions(opt_level=1).convert_options() == \
+            ConvertOptions()
+        custom = ConversionOptions(compress=True, max_meta_states=77,
+                                   max_parked=3, opt_level=1)
+        assert custom.convert_options() == ConvertOptions(
+            compress=True, max_meta_states=77, max_parked=3)
+
+    def test_defaults_single_source(self):
+        base = ConvertOptions()
+        opts = ConversionOptions(opt_level=1)
+        assert opts.compress == base.compress
+        assert opts.max_meta_states == base.max_meta_states
+        assert opts.max_parked == base.max_parked
+
+
+class TestOptLevelEnv:
+    def test_env_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OPT_LEVEL", "0")
+        assert ConversionOptions().opt_level == 0
+        monkeypatch.setenv("REPRO_OPT_LEVEL", "2")
+        assert ConversionOptions().opt_level == 2
+
+    def test_env_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OPT_LEVEL", "fast")
+        assert ConversionOptions().opt_level == 1
+        monkeypatch.setenv("REPRO_OPT_LEVEL", "9")
+        assert ConversionOptions().opt_level == 2
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OPT_LEVEL", "0")
+        assert ConversionOptions(opt_level=2).opt_level == 2
+
+    def test_opt_level_changes_cache_key(self, monkeypatch):
+        from repro.stages.cache import compile_key
+
+        monkeypatch.delenv("REPRO_OPT_LEVEL", raising=False)
+        keys = {compile_key(LISTING1_RUNNABLE,
+                            ConversionOptions(opt_level=lvl))
+                for lvl in (0, 1, 2)}
+        assert len(keys) == 3
+
+
+# ----------------------------------------------------------------------
+# end-to-end visualization hook
+# ----------------------------------------------------------------------
+class TestDotRendering:
+    def test_before_after_dot(self):
+        from repro.viz.dot import meta_graph_to_dot, straightened_to_dot
+
+        r = convert_source(LISTING1_RUNNABLE, ConversionOptions(opt_level=1))
+        before = meta_graph_to_dot(r.graph)
+        after = straightened_to_dot(straightened_for_level(r.graph, 1))
+        assert before.startswith("digraph meta")
+        assert after.startswith("digraph straightened")
+        # Straightening only merges: never more nodes than states.
+        assert after.count("[label=") <= before.count("[label=")

@@ -1,0 +1,48 @@
+"""Differential testing of the ``-O`` levels (the optimizer's oracle).
+
+Every workload in the standard library, compiled at ``-O0``, ``-O1``,
+and ``-O2`` (compressed and uncompressed), must produce bit-identical
+``SimdResult`` return vectors — the optimizer may only change *cost*,
+never *meaning* — and every level must agree with the MIMD reference
+machine run on its own optimized CFG (the oracle both machines share).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConversionOptions,
+    convert_source,
+    simulate_mimd,
+    simulate_simd,
+)
+from repro.workloads import all_sources
+
+#: spawn workloads need free PEs, so leave half the machine idle.
+NPES, ACTIVE = 8, 4
+
+OPT_LEVELS = (0, 1, 2)
+
+
+@pytest.mark.parametrize("compress", [False, True],
+                         ids=["plain", "compress"])
+@pytest.mark.parametrize("name", sorted(all_sources()))
+def test_opt_levels_bit_identical(name, compress):
+    source = all_sources()[name]
+    returns = {}
+    for level in OPT_LEVELS:
+        opts = ConversionOptions(opt_level=level, compress=compress,
+                                 verify_passes=True)
+        result = convert_source(source, opts, cache=None)
+        simd = simulate_simd(result, npes=NPES, active=ACTIVE)
+        mimd = simulate_mimd(result, nprocs=NPES, active=ACTIVE)
+        # Oracle agreement at every level: both machines execute the
+        # same optimized CFG, so poly memory must match too.
+        assert np.array_equal(simd.returns, mimd.returns,
+                              equal_nan=True), (name, level, "returns")
+        assert np.array_equal(simd.poly, mimd.poly), (name, level, "poly")
+        assert np.array_equal(simd.mono, mimd.mono), (name, level, "mono")
+        returns[level] = simd.returns
+    for level in OPT_LEVELS[1:]:
+        assert np.array_equal(returns[0], returns[level],
+                              equal_nan=True), (name, level)

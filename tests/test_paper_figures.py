@@ -7,12 +7,22 @@ benchmarks under ``benchmarks/`` print them.
 
 import re
 
+import pytest
+
 from repro import ConversionOptions, convert_source
 from repro.analysis.stats import graph_stats
 from repro.core.timesplit import convert_with_time_splitting
 from repro.ir.block import CondBr, Fall, Return
 
 from tests.helpers import LISTING1_SHAPE, LISTING3_SHAPE
+
+
+@pytest.fixture(autouse=True)
+def _paper_opt_level(monkeypatch):
+    """The figures assert shapes the paper's pipeline produces, which
+    assume its normalization level (-O1) — pin it so an external
+    REPRO_OPT_LEVEL (the CI -O0 matrix leg) cannot change them."""
+    monkeypatch.setenv("REPRO_OPT_LEVEL", "1")
 
 
 class TestFigure1:

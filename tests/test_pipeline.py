@@ -45,7 +45,8 @@ class TestConvertSource:
         r = convert_source(LISTING1_RUNNABLE)
         assert r.report is not None
         assert r.report.stage_names() == [
-            "parse", "sema", "lower", "convert", "encode", "plan"
+            "parse", "sema", "lower", "opt-cfg", "convert", "opt-meta",
+            "encode", "plan"
         ]
 
     def test_options_threaded_through(self):

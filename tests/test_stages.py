@@ -27,8 +27,8 @@ main() {
 
 class TestStageOrder:
     def test_stage_names(self):
-        assert STAGE_NAMES == ("parse", "sema", "lower", "convert",
-                               "encode", "plan")
+        assert STAGE_NAMES == ("parse", "sema", "lower", "opt-cfg",
+                               "convert", "opt-meta", "encode", "plan")
 
     def test_cold_report_runs_every_stage(self):
         r = convert_source(LISTING1_RUNNABLE)
@@ -50,12 +50,43 @@ class TestCounters:
         r = convert_source(LISTING1_RUNNABLE)
         by_name = {rec.name: rec.counters for rec in r.report.records}
         assert by_name["parse"]["functions"] == 1
-        assert by_name["lower"]["blocks"] == len(r.cfg.blocks)
+        # lower reports the raw block count; opt-cfg the final one.
+        assert by_name["lower"]["blocks"] >= len(r.cfg.blocks)
+        assert by_name["opt-cfg"]["blocks"] == len(r.cfg.blocks)
         assert by_name["convert"]["meta_states"] == r.graph.num_states()
         assert by_name["convert"]["worklist_passes"] >= r.graph.num_states()
+        assert by_name["opt-meta"]["chains"] == r.simd_program().node_count()
         assert by_name["encode"]["nodes"] == r.simd_program().node_count()
         assert by_name["encode"]["hash_branches"] >= 1
         assert by_name["plan"]["plan_nodes"] >= 1
+
+    def test_per_pass_subrecords(self):
+        r = convert_source(LISTING1_RUNNABLE,
+                           ConversionOptions(opt_level=1))
+        by_name = {rec.name: rec for rec in r.report.records}
+        cfg_passes = [sub.name for sub in by_name["opt-cfg"].subrecords]
+        assert cfg_passes == ["unreachable", "remove-empty", "straighten",
+                              "renumber"]
+        meta_passes = [sub.name for sub in by_name["opt-meta"].subrecords]
+        assert meta_passes == ["prune", "straighten"]
+        assert all(sub.seconds >= 0
+                   for sub in by_name["opt-cfg"].subrecords)
+        # Ordinary stages carry no subrecords.
+        assert by_name["convert"].subrecords == []
+
+    def test_o2_subrecords_and_json(self):
+        r = convert_source(LISTING1_RUNNABLE,
+                           ConversionOptions(opt_level=2))
+        rec = r.report.stage("opt-cfg")
+        names = [sub.name for sub in rec.subrecords]
+        assert names == ["unreachable", "remove-empty", "straighten",
+                         "fold", "dce", "dead-slots", "renumber"]
+        data = r.report.to_json()
+        stage = [s for s in data["stages"] if s["name"] == "opt-cfg"][0]
+        assert [p["name"] for p in stage["passes"]] == names
+        back = StageReport.from_json(data)
+        sub = back.stage("opt-cfg").subrecords
+        assert [p.name for p in sub] == names
 
     def test_timesplit_counters(self):
         opts = ConversionOptions(time_split=True, compress=True)
