@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: test bench bench-smoke examples props all coverage
+.PHONY: test bench bench-smoke examples props lint-programs all coverage
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -17,6 +17,11 @@ bench:
 # budget — the CI sanity check that the benches still run.
 bench-smoke:
 	timeout 300 $(PY) -m pytest benchmarks/ -m smoke -q
+
+# Every shipped MIMDC program (workloads + example sources) must be
+# free of warning-severity findings; CI runs this in the lint job.
+lint-programs:
+	$(PY) tools/lint_programs.py --Werror
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done; echo "all examples ran"

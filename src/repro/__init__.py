@@ -64,6 +64,7 @@ from repro.errors import (
     SemanticError,
     ConversionError,
     MachineError,
+    LintError,
 )
 
 __version__ = "1.0.0"
@@ -83,5 +84,6 @@ __all__ = [
     "SemanticError",
     "ConversionError",
     "MachineError",
+    "LintError",
     "__version__",
 ]

@@ -7,6 +7,8 @@ Subcommands mirror the prototype tool chain of section 4:
 - ``run``      : convert and execute on the SIMD machine (optionally
   cross-checking against the MIMD reference).
 - ``compare``  : the section-1 duel — MSC vs the interpreter baseline.
+- ``lint``     : run the :mod:`repro.lint` analyzer suite and print the
+  diagnostics (text or JSON) without emitting code.
 - ``cache``    : inspect or clear the compile cache.
 
 Compiles go through the stage pipeline and (unless ``--no-cache``) the
@@ -20,8 +22,10 @@ Examples::
     python -m repro compile prog.mimdc --compress --emit graph
     python -m repro compile prog.mimdc --timings --report-json stages.json
     python -m repro compile prog.mimdc -O2 --emit dot-opt
+    python -m repro compile prog.mimdc --analyze --Werror
     python -m repro run prog.mimdc --npes 64 --check
     python -m repro compare prog.mimdc --npes 1024
+    python -m repro lint prog.mimdc --format json --ignore MSC04
     python -m repro cache info
 """
 
@@ -35,7 +39,7 @@ import numpy as np
 from repro import ConversionOptions, convert_source, simulate_mimd, simulate_simd
 from repro.analysis.compare import compare_msc_vs_interpreter, format_table
 from repro.analysis.stagetime import format_stage_table
-from repro.errors import MscError
+from repro.errors import LintError, MscError, SourceError
 from repro.stages.cache import CompileCache, default_cache_root
 from repro.viz.dot import ascii_graph, cfg_to_dot, meta_graph_to_dot
 
@@ -50,6 +54,10 @@ def _options(args: argparse.Namespace) -> ConversionOptions:
         max_parked=args.max_parked,
         use_csi=not getattr(args, "no_csi", False),
         verify_passes=args.verify_passes,
+        analyze=getattr(args, "analyze", False),
+        werror=getattr(args, "werror", False),
+        lint_select=tuple(getattr(args, "select", None) or ()),
+        lint_ignore=tuple(getattr(args, "ignore", None) or ()),
         # None = not given on the command line: let the dataclass default
         # (REPRO_OPT_LEVEL or 1) decide.
         **({} if args.opt_level is None else {"opt_level": args.opt_level}),
@@ -64,8 +72,7 @@ def _cache(args: argparse.Namespace):
     return CompileCache()
 
 
-def _add_common(p: argparse.ArgumentParser) -> None:
-    p.add_argument("source", help="MIMDC source file ('-' for stdin)")
+def _add_conversion_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--compress", action="store_true",
                    help="meta-state compression (section 2.5)")
     p.add_argument("--time-split", action="store_true",
@@ -86,6 +93,29 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--max-meta-states", type=int, default=100_000)
     p.add_argument("--max-parked", type=int, default=8,
                    help="cap on simultaneously parked barrier states")
+
+
+def _add_lint_filters(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--select", action="append", metavar="CODE",
+                   default=None,
+                   help="only keep diagnostics whose code starts with "
+                        "CODE (repeatable; MSC02 = the whole family)")
+    p.add_argument("--ignore", action="append", metavar="CODE",
+                   default=None,
+                   help="drop diagnostics whose code starts with CODE "
+                        "(repeatable)")
+    p.add_argument("--Werror", dest="werror", action="store_true",
+                   help="treat warning diagnostics as errors")
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("source", help="MIMDC source file ('-' for stdin)")
+    _add_conversion_flags(p)
+    p.add_argument("--analyze", action="store_true",
+                   help="run the repro.lint analyzer stages during the "
+                        "compile (diagnostics go to stderr and the "
+                        "stage report)")
+    _add_lint_filters(p)
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the compile cache")
     p.add_argument("--cache-dir", default=None,
@@ -111,6 +141,12 @@ def _convert(args: argparse.Namespace):
 
 
 def _emit_report(args: argparse.Namespace, result) -> None:
+    diags = getattr(result.report, "diagnostics", None)
+    if diags:
+        from repro.lint import render_text
+
+        print(render_text(diags, source=result.source,
+                          filename=args.source), file=sys.stderr)
     if args.timings:
         print(format_stage_table(result.report))
     if args.report_json:
@@ -178,6 +214,22 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import lint_source, render_json, render_text
+
+    source = _read(args.source)
+    filename = "<stdin>" if args.source == "-" else args.source
+    result = lint_source(source, _options(args), filename=filename,
+                         select=tuple(args.select or ()),
+                         ignore=tuple(args.ignore or ()))
+    if args.format == "json":
+        print(render_json(result.diagnostics, filename=filename))
+    else:
+        print(render_text(result.diagnostics, source=source,
+                          filename=filename))
+    return 0 if result.ok(werror=args.werror) else 1
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = CompileCache(root=args.cache_dir) if args.cache_dir \
         else CompileCache()
@@ -227,6 +279,14 @@ def main(argv: list[str] | None = None) -> int:
                         "precompiled plan")
     p.set_defaults(func=cmd_compare)
 
+    p = sub.add_parser("lint", help="run the static analyzers only")
+    p.add_argument("source", help="MIMDC source file ('-' for stdin)")
+    _add_conversion_flags(p)
+    _add_lint_filters(p)
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="diagnostic output format")
+    p.set_defaults(func=cmd_lint)
+
     p = sub.add_parser("cache", help="inspect or clear the compile cache")
     p.add_argument("action", choices=["info", "clear", "dir"])
     p.add_argument("--cache-dir", default=None,
@@ -236,12 +296,41 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except LintError as exc:
+        from repro.lint import render_text
+
+        if exc.diagnostics:
+            print(render_text(exc.diagnostics, source=_source_of(args),
+                              filename=getattr(args, "source", "<source>")),
+                  file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SourceError as exc:
+        from repro.lint import render_source_error
+
+        print(render_source_error(
+            exc, source=_source_of(args),
+            filename=getattr(args, "source", "<source>") or "<source>",
+        ), file=sys.stderr)
+        return 2
     except MscError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _source_of(args: argparse.Namespace) -> str | None:
+    """Best-effort re-read of the input for error excerpts (stdin is
+    gone by the time an error propagates here)."""
+    path = getattr(args, "source", None)
+    if not path or path == "-":
+        return None
+    try:
+        return _read(path)
+    except OSError:
+        return None
 
 
 if __name__ == "__main__":

@@ -63,6 +63,7 @@ def split_block(cfg: Cfg, bid: int, head_cost: int,
     tail = cfg.new_block(label=f"{blk.label}'" if blk.label else "")
     tail.code = blk.code[best_i:]
     tail.terminator = blk.terminator
+    tail.src_line = blk.src_line
     blk.code = blk.code[:best_i]
     blk.terminator = Fall(tail.bid)
     return tail.bid

@@ -46,10 +46,28 @@ class SemanticError(SourceError):
     control flow where it cannot be supported)."""
 
 
-class ConversionError(MscError):
+class ConversionError(SourceError):
     """The meta-state conversion could not be completed, e.g. the state
     space exceeded the configured cap, or the input graph violated an
-    invariant (a block with more than two exit arcs)."""
+    invariant (a block with more than two exit arcs).
+
+    Most conversion errors have no single source position; ``line`` is
+    attached when the offending basic block still remembers the source
+    line it was lowered from."""
+
+
+class LintError(MscError):
+    """The ``analyze`` stage rejected the program.
+
+    Raised when an analyzer reports an error-severity diagnostic, or when
+    ``--Werror`` promotes warnings.  Carries the full diagnostic list so
+    the CLI can render spans and hints instead of one flat string.
+    """
+
+    def __init__(self, message: str, diagnostics: list | None = None):
+        super().__init__(message)
+        self.message = message
+        self.diagnostics = list(diagnostics or [])
 
 
 class MachineError(MscError):

@@ -187,6 +187,8 @@ class Cfg:
                 a.terminator = b.terminator
                 if b.label:
                     a.label = f"{a.label};{b.label}" if a.label else b.label
+                if not a.src_line:
+                    a.src_line = b.src_line
                 del self.blocks[b_id]
                 merges += 1
                 changed = True
@@ -235,6 +237,7 @@ class Cfg:
                     terminator=_map_terminator(blk.terminator, lambda b: mapping[b]),
                     is_barrier_wait=blk.is_barrier_wait,
                     label=blk.label,
+                    src_line=blk.src_line,
                 )
             )
         return out
@@ -255,6 +258,7 @@ class Cfg:
                     terminator=blk.terminator,
                     is_barrier_wait=blk.is_barrier_wait,
                     label=blk.label,
+                    src_line=blk.src_line,
                 )
             )
         return out
@@ -278,21 +282,29 @@ class Cfg:
             if blk is None:
                 raise ConversionError(f"dangling block id {bid}")
             if len(blk.successors()) > 2:
-                raise ConversionError(f"block {bid} has more than two exit arcs")
+                raise ConversionError(f"block {bid} has more than two exit arcs",
+                                      blk.src_line or None)
             depth = depths[bid]
             for instr in blk.code:
                 if depth - instr.pops() < 0:
                     raise ConversionError(
-                        f"operand stack underflow in block {bid} at {instr}"
+                        f"operand stack underflow in block {bid} at {instr}",
+                        blk.src_line or None,
                     )
                 depth += instr.stack_delta()
             if isinstance(blk.terminator, CondBr):
                 if depth < 1:
-                    raise ConversionError(f"block {bid} branches on an empty stack")
+                    raise ConversionError(
+                        f"block {bid} branches on an empty stack",
+                        blk.src_line or None,
+                    )
                 depth -= 1
             for s in blk.successors():
                 if s not in self.blocks:
-                    raise ConversionError(f"block {bid} targets missing block {s}")
+                    raise ConversionError(
+                        f"block {bid} targets missing block {s}",
+                        blk.src_line or None,
+                    )
                 if s in depths:
                     if depths[s] != depth:
                         raise ConversionError(

@@ -206,6 +206,10 @@ class Lowerer:
     def _lower_stmt(self, stmt: ast.Stmt | None) -> None:
         if stmt is None or isinstance(stmt, ast.EmptyStmt):
             return
+        # Remember where this block's code came from: the first
+        # statement lowered into a block stamps its source line.
+        if self.cur is not None and not self.cur.src_line and stmt.line:
+            self.cur.src_line = stmt.line
         if isinstance(stmt, ast.Block):
             for s in stmt.body:
                 self._lower_stmt(s)
@@ -234,6 +238,7 @@ class Lowerer:
         elif isinstance(stmt, ast.WaitStmt):
             wait = self.cfg.new_block("wait")
             wait.is_barrier_wait = True
+            wait.src_line = stmt.line
             self._goto(wait)
             after = self._start()
             wait.terminator = Fall(after.bid)

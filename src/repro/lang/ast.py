@@ -15,6 +15,7 @@ class Node:
     """Base class of all AST nodes."""
 
     line: int = 0
+    col: int = 0
 
 
 # ----------------------------------------------------------------------

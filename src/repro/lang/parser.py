@@ -108,7 +108,7 @@ class _Parser:
                 p_name = self.expect_ident()
                 params.append(
                     ast.Param(
-                        line=p_name.line,
+                        line=p_name.line, col=p_name.col,
                         storage=p_storage or "poly",
                         ctype=p_ctype or "int",
                         name=p_name.text,
@@ -124,7 +124,7 @@ class _Parser:
             return None
         body = self._parse_block()
         return ast.FuncDef(
-            line=name.line,
+            line=name.line, col=name.col,
             name=name.text,
             params=params,
             ret_storage=storage or "poly",
@@ -153,7 +153,7 @@ class _Parser:
                 init = self._parse_assign()
             decls.append(
                 ast.VarDecl(
-                    line=name.line,
+                    line=name.line, col=name.col,
                     storage=storage,
                     ctype=ctype,
                     name=name.text,
@@ -176,7 +176,7 @@ class _Parser:
                 raise ParseError("unterminated block", lbrace.line, lbrace.col)
             body.extend(self._parse_block_item())
         self.expect("}")
-        return ast.Block(line=lbrace.line, body=body)
+        return ast.Block(line=lbrace.line, col=lbrace.col, body=body)
 
     def _parse_block_item(self) -> list[ast.Stmt]:
         if self.at("mono") or self.at("poly") or self.at("int") or self.at("float"):
@@ -194,19 +194,19 @@ class _Parser:
         if self.at("{"):
             return self._parse_block()
         if self.accept(";"):
-            return ast.EmptyStmt(line=t.line)
+            return ast.EmptyStmt(line=t.line, col=t.col)
         if self.accept("if"):
             self.expect("(")
             cond = self._parse_expr()
             self.expect(")")
             then = self._parse_stmt()
             otherwise = self._parse_stmt() if self.accept("else") else None
-            return ast.If(line=t.line, cond=cond, then=then, otherwise=otherwise)
+            return ast.If(line=t.line, col=t.col, cond=cond, then=then, otherwise=otherwise)
         if self.accept("while"):
             self.expect("(")
             cond = self._parse_expr()
             self.expect(")")
-            return ast.While(line=t.line, cond=cond, body=self._parse_stmt())
+            return ast.While(line=t.line, col=t.col, cond=cond, body=self._parse_stmt())
         if self.accept("do"):
             body = self._parse_stmt()
             self.expect("while")
@@ -214,7 +214,7 @@ class _Parser:
             cond = self._parse_expr()
             self.expect(")")
             self.expect(";")
-            return ast.DoWhile(line=t.line, body=body, cond=cond)
+            return ast.DoWhile(line=t.line, col=t.col, body=body, cond=cond)
         if self.accept("for"):
             self.expect("(")
             init = None if self.at(";") else self._parse_expr()
@@ -224,38 +224,38 @@ class _Parser:
             update = None if self.at(")") else self._parse_expr()
             self.expect(")")
             return ast.For(
-                line=t.line, init=init, cond=cond, update=update,
+                line=t.line, col=t.col, init=init, cond=cond, update=update,
                 body=self._parse_stmt(),
             )
         if self.accept("return"):
             value = None if self.at(";") else self._parse_expr()
             self.expect(";")
-            return ast.ReturnStmt(line=t.line, value=value)
+            return ast.ReturnStmt(line=t.line, col=t.col, value=value)
         if self.accept("wait"):
             self.expect(";")
-            return ast.WaitStmt(line=t.line)
+            return ast.WaitStmt(line=t.line, col=t.col)
         if self.accept("halt"):
             self.expect(";")
-            return ast.HaltStmt(line=t.line)
+            return ast.HaltStmt(line=t.line, col=t.col)
         if self.accept("spawn"):
             self.expect("(")
             target = self.expect_ident()
             self.expect(")")
             self.expect(";")
-            return ast.SpawnStmt(line=t.line, target=target.text)
+            return ast.SpawnStmt(line=t.line, col=t.col, target=target.text)
         if self.accept("break"):
             self.expect(";")
-            return ast.BreakStmt(line=t.line)
+            return ast.BreakStmt(line=t.line, col=t.col)
         if self.accept("continue"):
             self.expect(";")
-            return ast.ContinueStmt(line=t.line)
+            return ast.ContinueStmt(line=t.line, col=t.col)
         # label: stmt
         if t.kind is TokenKind.IDENT and self.at(":", ahead=1):
             self.pos += 2
-            return ast.LabeledStmt(line=t.line, label=t.text, stmt=self._parse_stmt())
+            return ast.LabeledStmt(line=t.line, col=t.col, label=t.text, stmt=self._parse_stmt())
         expr = self._parse_expr()
         self.expect(";")
-        return ast.ExprStmt(line=t.line, expr=expr)
+        return ast.ExprStmt(line=t.line, col=t.col, expr=expr)
 
     # -- expressions -----------------------------------------------------
     def _parse_expr(self) -> ast.Expr:
@@ -272,7 +272,7 @@ class _Parser:
                                      tok.line, tok.col)
                 self.pos += 1
                 value = self._parse_assign()
-                return ast.Assign(line=tok.line, target=left, op=op, value=value)
+                return ast.Assign(line=tok.line, col=tok.col, target=left, op=op, value=value)
         return left
 
     def _parse_ternary(self) -> ast.Expr:
@@ -284,7 +284,7 @@ class _Parser:
             self.expect(":")
             if_false = self._parse_ternary()
             return ast.Ternary(
-                line=tok.line, cond=cond, if_true=if_true, if_false=if_false
+                line=tok.line, col=tok.col, cond=cond, if_true=if_true, if_false=if_false
             )
         return cond
 
@@ -312,7 +312,7 @@ class _Parser:
                     tok = self.peek()
                     self.pos += 1
                     right = self._parse_binary(level + 1)
-                    left = ast.Binary(line=tok.line, op=op, left=left, right=right)
+                    left = ast.Binary(line=tok.line, col=tok.col, op=op, left=left, right=right)
                     break
             else:
                 return left
@@ -325,21 +325,21 @@ class _Parser:
                 operand = self._parse_unary()
                 if op == "+":
                     return operand
-                return ast.Unary(line=tok.line, op=op, operand=operand)
+                return ast.Unary(line=tok.line, col=tok.col, op=op, operand=operand)
         return self._parse_postfix()
 
     def _parse_postfix(self) -> ast.Expr:
         t = self.peek()
         if t.kind is TokenKind.INT:
             self.pos += 1
-            return ast.IntLit(line=t.line, value=int(t.value))
+            return ast.IntLit(line=t.line, col=t.col, value=int(t.value))
         if t.kind is TokenKind.FLOAT:
             self.pos += 1
-            return ast.FloatLit(line=t.line, value=float(t.value), ctype="float")
+            return ast.FloatLit(line=t.line, col=t.col, value=float(t.value), ctype="float")
         if self.accept("procnum"):
-            return ast.ProcNum(line=t.line, storage="poly")
+            return ast.ProcNum(line=t.line, col=t.col, storage="poly")
         if self.accept("nproc"):
-            return ast.NProc(line=t.line)
+            return ast.NProc(line=t.line, col=t.col)
         if self.accept("("):
             inner = self._parse_expr()
             self.expect(")")
@@ -354,16 +354,16 @@ class _Parser:
                         if not self.accept(","):
                             break
                 self.expect(")")
-                return ast.Call(line=t.line, name=t.text, args=args)
+                return ast.Call(line=t.line, col=t.col, name=t.text, args=args)
             if self.accept("[["):
                 index = self._parse_expr()
                 self.expect("]]")
-                return ast.ParallelRef(line=t.line, name=t.text, index=index)
+                return ast.ParallelRef(line=t.line, col=t.col, name=t.text, index=index)
             if self.accept("["):
                 index = self._parse_expr()
                 self.expect("]")
-                return ast.IndexRef(line=t.line, name=t.text, index=index)
-            return ast.Name(line=t.line, name=t.text)
+                return ast.IndexRef(line=t.line, col=t.col, name=t.text, index=index)
+            return ast.Name(line=t.line, col=t.col, name=t.text)
         raise ParseError(f"unexpected token {t.text!r}", t.line, t.col)
 
 

@@ -105,13 +105,13 @@ class _Analyzer:
     def run(self) -> SemaInfo:
         for decl in self.program.globals:
             if decl.name in self.global_syms:
-                raise SemanticError(f"redeclared global {decl.name!r}", decl.line)
+                raise SemanticError(f"redeclared global {decl.name!r}", decl.line, decl.col)
             if decl.init is not None and not isinstance(
                 decl.init, (ast.IntLit, ast.FloatLit)
             ):
                 raise SemanticError(
                     f"global initializer for {decl.name!r} must be a literal",
-                    decl.line,
+                    decl.line, decl.col,
                 )
             sym = self.fresh(decl.name, decl.storage, decl.ctype, "global",
                              None, decl.size)
@@ -121,13 +121,13 @@ class _Analyzer:
         names = set()
         for func in self.program.functions:
             if func.name in names:
-                raise SemanticError(f"redefined function {func.name!r}", func.line)
+                raise SemanticError(f"redefined function {func.name!r}", func.line, func.col)
             names.add(func.name)
             self.functions[func.name] = FuncInfo(defn=func)
 
         main = self.program.function("main")
         if main is not None and main.params:
-            raise SemanticError("main() must take no parameters", main.line)
+            raise SemanticError("main() must take no parameters", main.line, main.col)
 
         for func in self.program.functions:
             self._collect_labels(func)
@@ -151,7 +151,7 @@ class _Analyzer:
                 return
             if isinstance(stmt, ast.LabeledStmt):
                 if stmt.label in info.labels:
-                    raise SemanticError(f"duplicate label {stmt.label!r}", stmt.line)
+                    raise SemanticError(f"duplicate label {stmt.label!r}", stmt.line, stmt.col)
                 info.labels.add(stmt.label)
                 walk(stmt.stmt)
             elif isinstance(stmt, ast.Block):
@@ -171,23 +171,24 @@ class _Analyzer:
         scopes: list[dict[str, Symbol]] = [dict(self.global_syms)]
 
         def declare(name: str, storage: str, ctype: str, kind: str,
-                    line: int, size: int | None = None) -> Symbol:
+                    line: int, size: int | None = None,
+                    col: int = 0) -> Symbol:
             if name in scopes[-1] and scopes[-1][name].kind != "global":
-                raise SemanticError(f"redeclared variable {name!r}", line)
+                raise SemanticError(f"redeclared variable {name!r}", line, col)
             sym = self.fresh(name, storage, ctype, kind, func.name, size)
             scopes[-1][name] = sym
             (info.params if kind == "param" else info.locals).append(sym)
             return sym
 
-        def lookup(name: str, line: int) -> Symbol:
+        def lookup(name: str, line: int, col: int = 0) -> Symbol:
             for scope in reversed(scopes):
                 if name in scope:
                     return scope[name]
-            raise SemanticError(f"undeclared variable {name!r}", line)
+            raise SemanticError(f"undeclared variable {name!r}", line, col)
 
         scopes.append({})
         for p in func.params:
-            sym = declare(p.name, p.storage, p.ctype, "param", p.line)
+            sym = declare(p.name, p.storage, p.ctype, "param", p.line, col=p.col)
             p.symbol = sym  # type: ignore[attr-defined]
 
         loop_depth = 0
@@ -202,23 +203,23 @@ class _Analyzer:
             elif isinstance(e, ast.NProc):
                 e.storage, e.ctype = "mono", "int"
             elif isinstance(e, ast.Name):
-                sym = lookup(e.name, e.line)
+                sym = lookup(e.name, e.line, e.col)
                 if sym.is_array:
                     raise SemanticError(
-                        f"array {e.name!r} used without a subscript", e.line
+                        f"array {e.name!r} used without a subscript", e.line, e.col
                     )
                 e.symbol = sym  # type: ignore[attr-defined]
                 e.storage, e.ctype = sym.storage, sym.ctype
             elif isinstance(e, ast.IndexRef):
-                sym = lookup(e.name, e.line)
+                sym = lookup(e.name, e.line, e.col)
                 if not sym.is_array:
                     raise SemanticError(
-                        f"{e.name!r} is not an array", e.line
+                        f"{e.name!r} is not an array", e.line, e.col
                     )
                 e.symbol = sym  # type: ignore[attr-defined]
                 check_expr(e.index)
                 if e.index.ctype != "int":
-                    raise SemanticError("array index must be an int", e.line)
+                    raise SemanticError("array index must be an int", e.line, e.col)
                 # A poly index into a mono array reads different
                 # elements per PE: the value is poly.
                 e.storage = (
@@ -228,16 +229,16 @@ class _Analyzer:
                 )
                 e.ctype = sym.ctype
             elif isinstance(e, ast.ParallelRef):
-                sym = lookup(e.name, e.line)
+                sym = lookup(e.name, e.line, e.col)
                 if sym.is_array:
                     raise SemanticError(
                         "parallel subscripting applies to poly scalars, "
-                        f"not arrays ({e.name!r})", e.line,
+                        f"not arrays ({e.name!r})", e.line, e.col,
                     )
                 if sym.storage != "poly":
                     raise SemanticError(
                         f"parallel subscript requires a poly variable, "
-                        f"{e.name!r} is mono", e.line,
+                        f"{e.name!r} is mono", e.line, e.col,
                     )
                 e.symbol = sym  # type: ignore[attr-defined]
                 check_expr(e.index)
@@ -253,7 +254,7 @@ class _Analyzer:
                     e.left.ctype == "float" or e.right.ctype == "float"
                 ):
                     raise SemanticError(
-                        f"operator {e.op!r} requires int operands", e.line
+                        f"operator {e.op!r} requires int operands", e.line, e.col
                     )
                 e.storage = (
                     "poly"
@@ -291,7 +292,7 @@ class _Analyzer:
                 check_expr(e.value, call_ok=rhs_call_ok)
                 if e.target.storage == "mono" and e.value.storage == "poly":
                     raise SemanticError(
-                        "cannot assign a poly value to a mono variable", e.line
+                        "cannot assign a poly value to a mono variable", e.line, e.col
                     )
                 if (
                     isinstance(e.target, ast.IndexRef)
@@ -300,23 +301,23 @@ class _Analyzer:
                 ):
                     raise SemanticError(
                         "cannot store into a mono array through a poly index",
-                        e.line,
+                        e.line, e.col,
                     )
                 e.storage, e.ctype = e.target.storage, e.target.ctype
             elif isinstance(e, ast.Call):
                 if not call_ok:
                     raise SemanticError(
                         "calls may only appear as a statement or as the "
-                        "right-hand side of a plain assignment", e.line,
+                        "right-hand side of a plain assignment", e.line, e.col,
                     )
                 callee = self.functions.get(e.name)
                 if callee is None:
                     raise SemanticError(f"call to undefined function {e.name!r}",
-                                        e.line)
+                                        e.line, e.col)
                 if len(e.args) != len(callee.defn.params):
                     raise SemanticError(
                         f"{e.name}() expects {len(callee.defn.params)} "
-                        f"argument(s), got {len(e.args)}", e.line,
+                        f"argument(s), got {len(e.args)}", e.line, e.col,
                     )
                 for a in e.args:
                     check_expr(a)
@@ -338,7 +339,7 @@ class _Analyzer:
                     if stmt.storage == "mono" and stmt.init.storage == "poly":
                         raise SemanticError(
                             "cannot initialize a mono variable with a poly value",
-                            stmt.line,
+                            stmt.line, stmt.col,
                         )
                 sym = declare(stmt.name, stmt.storage, stmt.ctype, "local",
                               stmt.line, stmt.size)
@@ -379,13 +380,13 @@ class _Analyzer:
                     if func.ret_ctype is None:
                         raise SemanticError(
                             f"void function {func.name!r} returns a value",
-                            stmt.line,
+                            stmt.line, stmt.col,
                         )
                     check_expr(stmt.value)
                 elif func.ret_ctype is not None:
                     raise SemanticError(
                         f"non-void function {func.name!r} returns no value",
-                        stmt.line,
+                        stmt.line, stmt.col,
                     )
             elif isinstance(stmt, ast.WaitStmt):
                 info.has_wait = True
@@ -395,7 +396,7 @@ class _Analyzer:
                 if stmt.target not in info.labels:
                     raise SemanticError(
                         f"spawn target label {stmt.target!r} not found in "
-                        f"{func.name}()", stmt.line,
+                        f"{func.name}()", stmt.line, stmt.col,
                     )
                 info.has_spawn = True
             elif isinstance(stmt, ast.LabeledStmt):
@@ -403,7 +404,7 @@ class _Analyzer:
             elif isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
                 if loop_depth == 0:
                     kind = "break" if isinstance(stmt, ast.BreakStmt) else "continue"
-                    raise SemanticError(f"{kind} outside of a loop", stmt.line)
+                    raise SemanticError(f"{kind} outside of a loop", stmt.line, stmt.col)
             elif isinstance(stmt, ast.EmptyStmt):
                 pass
             else:

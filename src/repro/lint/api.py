@@ -1,0 +1,125 @@
+"""One-call lint entry point: run the analyzer suite over a source
+string without caching or code emission side effects.
+
+``lint_source`` drives the same ``_stage_*`` functions the compiler
+pipeline uses (parse → sema → lower → opt-cfg), runs the pre-convert
+(``cfg``-phase) analyzers, and — only when they found no
+error-severity diagnostics — continues through convert/opt-meta/
+encode/plan so the ``meta``-phase analyzers (races, program/plan
+verifier) can run over the real converted artifacts.  Front-end
+failures (parse or semantic errors) propagate as the usual
+:class:`~repro.errors.SourceError` subclasses; the ``repro lint`` CLI
+renders them with their source span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.driver import (
+    AnalysisDriver,
+    LintContext,
+    default_registry,
+    has_errors,
+)
+from repro.stages.report import StageRecord
+
+
+@dataclass
+class LintResult:
+    """Outcome of :func:`lint_source`."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: One timed :class:`StageRecord` per analyzer that ran.
+    records: list[StageRecord] = field(default_factory=list)
+    #: Pipeline stages that executed to feed the analyzers.
+    stages_run: list[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for d in self.diagnostics
+                   if d.severity == Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for d in self.diagnostics
+                   if d.severity == Severity.WARNING)
+
+    @property
+    def notes(self) -> int:
+        return sum(1 for d in self.diagnostics
+                   if d.severity == Severity.INFO)
+
+    def ok(self, werror: bool = False) -> bool:
+        """Clean under the given strictness?"""
+        if self.errors:
+            return False
+        return not (werror and self.warnings)
+
+
+_FRONT_STAGES = ("parse", "sema", "lower", "opt-cfg")
+_BACK_STAGES = ("convert", "opt-meta", "encode", "plan")
+
+
+def lint_source(
+    source: str,
+    options: object = None,
+    *,
+    filename: str = "<source>",
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+) -> LintResult:
+    """Run the full analyzer suite over ``source``.
+
+    ``options`` is a :class:`~repro.pipeline.ConversionOptions`; the
+    defaults are used when omitted.  ``select`` / ``ignore`` are code
+    prefixes (``MSC02`` matches both race codes).  Parse and semantic
+    errors raise; analyzer findings never do — inspect the result.
+    """
+    from repro.pipeline import ConversionOptions
+    from repro.stages import driver as stage_driver
+
+    if options is None:
+        options = ConversionOptions()
+
+    cctx = stage_driver.CompileContext(source=source, options=options)
+    stage_fns = {
+        "parse": stage_driver._stage_parse,
+        "sema": stage_driver._stage_sema,
+        "lower": stage_driver._stage_lower,
+        "opt-cfg": stage_driver._stage_opt_cfg,
+        "convert": stage_driver._stage_convert,
+        "opt-meta": stage_driver._stage_opt_meta,
+        "encode": stage_driver._stage_encode,
+        "plan": stage_driver._stage_plan,
+    }
+
+    stages_run: list[str] = []
+    for name in _FRONT_STAGES:
+        stage_fns[name](cctx)
+        stages_run.append(name)
+
+    analysis = AnalysisDriver(default_registry(),
+                              select=tuple(select), ignore=tuple(ignore))
+    lctx = LintContext(source=source, options=options, filename=filename,
+                       ast=cctx.ast, sema=cctx.sema, cfg=cctx.cfg)
+    found, records = analysis.run_phase(lctx, "cfg")
+
+    # Error-severity findings (e.g. an MSC030 explosion bound) mean the
+    # back half must not run — that is the point of linting first.
+    if not has_errors(found):
+        for name in _BACK_STAGES:
+            stage_fns[name](cctx)
+            stages_run.append(name)
+        # Time splitting may have replaced the CFG during convert.
+        lctx.cfg = cctx.cfg
+        lctx.graph = cctx.graph
+        lctx.program = cctx.program
+        lctx.plan = cctx.plan
+        _, meta_records = analysis.run_phase(lctx, "meta")
+        records.extend(meta_records)
+
+    return LintResult(diagnostics=list(lctx.diagnostics),
+                      records=records, stages_run=stages_run)

@@ -1,0 +1,226 @@
+"""Barrier-deadlock and barrier-count-mismatch detection (MSC010/011).
+
+Section 3.2.4: at a barrier the SIMD automaton parks PEs until every
+*live* PE has arrived.  A PE that exits (``return`` / ``halt``) is no
+longer live, so the paper's semantics release a barrier when all
+remaining PEs reach it — but a PE spinning forever, or a *program*
+where one divergent arm waits while the other runs to exit, hinges on
+every PE taking the right arm.  Statically we flag a divergent branch
+where one arm can reach a barrier while the other can run to program
+exit without passing any barrier (MSC010): if any PE takes the
+barrier arm while the rest exit, the parked PE waits on peers that
+will never arrive with no one left to release it.
+
+MSC011 is the milder structural cousin: two arms of a divergent branch
+that rejoin after executing *different* static numbers of barriers.
+The converted automaton then synchronizes PEs at different textual
+barriers against each other — legal, but almost always a logic bug
+(the paper's barrier semantics match *dynamic* barrier counts, not
+textual ones).
+
+Uniform branches are exempt (all PEs agree on the arm), and ``spawn``
+is exempt by construction: its child PEs are expected to ``halt``
+while the parent continues — that is the paper's own idiom (Listing 2).
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import CondBr, Halt, Return
+from repro.ir.cfg import Cfg
+from repro.lint.dataflow import (
+    EXIT,
+    analyze_uniformity,
+    immediate_postdominator,
+)
+from repro.lint.diagnostics import Diagnostic, Severity, Span
+from repro.lint.driver import LintContext
+
+#: Cap on distinct static barrier counts tracked per branch arm before
+#: the mismatch check gives up (keeps the DP linear).
+_MAX_COUNTS = 8
+
+
+def _reaches_barrier(cfg: Cfg, reachable: set[int]) -> set[int]:
+    """Blocks from which some barrier block is reachable (inclusive)."""
+    preds: dict[int, list[int]] = {b: [] for b in reachable}
+    for bid in reachable:
+        for s in cfg.blocks[bid].successors():
+            if s in preds:
+                preds[s].append(bid)
+    work = [b for b in reachable if cfg.blocks[b].is_barrier_wait]
+    seen = set(work)
+    while work:
+        bid = work.pop()
+        for p in preds[bid]:
+            if p not in seen:
+                seen.add(p)
+                work.append(p)
+    return seen
+
+
+def _exits_barrier_free(cfg: Cfg, reachable: set[int]) -> set[int]:
+    """Blocks that can reach ``return``/``halt`` along a path crossing
+    no barrier block (the block itself included in the path)."""
+    preds: dict[int, list[int]] = {b: [] for b in reachable}
+    for bid in reachable:
+        for s in cfg.blocks[bid].successors():
+            if s in preds:
+                preds[s].append(bid)
+    work = [
+        b for b in reachable
+        if isinstance(cfg.blocks[b].terminator, (Return, Halt))
+        and not cfg.blocks[b].is_barrier_wait
+    ]
+    seen = set(work)
+    while work:
+        bid = work.pop()
+        for p in preds[bid]:
+            if p not in seen and not cfg.blocks[p].is_barrier_wait:
+                seen.add(p)
+                work.append(p)
+    return seen
+
+
+def _arm_region(cfg: Cfg, start: int, join: int,
+                reachable: set[int]) -> set[int] | None:
+    """Blocks on paths from ``start`` up to (excluding) ``join``.
+
+    Returns ``None`` when the region contains a cycle (a loop inside
+    the arm makes static barrier counts unbounded, so MSC011 skips it).
+    """
+    if start == join:
+        return set()
+    region: set[int] = set()
+    work = [start]
+    while work:
+        bid = work.pop()
+        if bid == join or bid in region or bid not in reachable:
+            continue
+        region.add(bid)
+        work.extend(cfg.blocks[bid].successors())
+    # Cycle check: DFS color marking over the region subgraph.
+    color: dict[int, int] = {}
+
+    def has_cycle(bid: int) -> bool:
+        color[bid] = 1
+        for s in cfg.blocks[bid].successors():
+            if s not in region:
+                continue
+            c = color.get(s, 0)
+            if c == 1:
+                return True
+            if c == 0 and has_cycle(s):
+                return True
+        color[bid] = 2
+        return False
+
+    for bid in region:
+        if color.get(bid, 0) == 0 and has_cycle(bid):
+            return None
+    return region
+
+
+def _barrier_counts(cfg: Cfg, start: int, join: int,
+                    region: set[int]) -> set[int] | None:
+    """Set of static barrier counts along paths ``start -> join``
+    through an acyclic ``region``; ``None`` when unbounded/overflowing."""
+    memo: dict[int, set[int] | None] = {}
+
+    def counts(bid: int) -> set[int] | None:
+        if bid == join or bid not in region:
+            return {0}
+        if bid in memo:
+            return memo[bid]
+        memo[bid] = None  # acyclic, so never revisited on a live path
+        here = 1 if cfg.blocks[bid].is_barrier_wait else 0
+        out: set[int] = set()
+        succs = cfg.blocks[bid].successors()
+        if not succs:
+            # The path exits inside the arm; it executes `here` more
+            # barriers and never rejoins.
+            out.add(here)
+        for s in succs:
+            sub = counts(s)
+            if sub is None:
+                memo[bid] = None
+                return None
+            out.update(here + c for c in sub)
+        if len(out) > _MAX_COUNTS:
+            memo[bid] = None
+            return None
+        memo[bid] = out
+        return out
+
+    return counts(start)
+
+
+def analyze_barriers(ctx: LintContext) -> list[Diagnostic]:
+    """MSC010 (deadlock) and MSC011 (count mismatch) over the CFG."""
+    cfg = ctx.cfg
+    assert cfg is not None
+    uni = analyze_uniformity(cfg,
+                             entry_depths=ctx.scratch.get("entry_depths"),
+                             pdom=ctx.scratch.get("pdom"))
+    ctx.scratch["pdom"] = uni.pdom
+    reachable = set(uni.entry_depths)
+    if not any(cfg.blocks[b].is_barrier_wait for b in reachable):
+        return []
+    rb = _reaches_barrier(cfg, reachable)
+    ef = _exits_barrier_free(cfg, reachable)
+    out: list[Diagnostic] = []
+    for bid in sorted(uni.divergent_branches):
+        blk = cfg.blocks[bid]
+        term = blk.terminator
+        if not isinstance(term, CondBr):
+            continue
+        t, f = term.on_true, term.on_false
+        span = Span(blk.src_line) if blk.src_line else None
+        deadlock = ((t in rb and f in ef and f not in rb)
+                    or (f in rb and t in ef and t not in rb))
+        if deadlock:
+            waits, exits = (t, f) if t in rb else (f, t)
+            out.append(Diagnostic(
+                code="MSC010",
+                severity=Severity.WARNING,
+                message=(
+                    f"possible barrier deadlock: divergent branch at "
+                    f"block {bid} has one arm (block {waits}) that "
+                    f"reaches a barrier while the other (block {exits}) "
+                    f"can run to exit without one; PEs taking the "
+                    f"barrier arm park forever if their peers exit"
+                ),
+                span=span,
+                hint="make both arms reach the barrier, or move the "
+                     "wait out of divergent control flow",
+            ))
+            continue
+        # Count mismatch only when both arms rejoin through barriers.
+        join = immediate_postdominator(uni.pdom, bid)
+        if join == EXIT:
+            continue
+        region_t = _arm_region(cfg, t, join, reachable)
+        region_f = _arm_region(cfg, f, join, reachable)
+        if region_t is None or region_f is None:
+            continue
+        counts_t = _barrier_counts(cfg, t, join, region_t)
+        counts_f = _barrier_counts(cfg, f, join, region_f)
+        if counts_t is None or counts_f is None:
+            continue
+        if len(counts_t) == 1 and len(counts_f) == 1:
+            (ct,), (cf,) = counts_t, counts_f
+            if ct != cf and (ct or cf):
+                out.append(Diagnostic(
+                    code="MSC011",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"barrier count mismatch: the arms of the "
+                        f"divergent branch at block {bid} execute "
+                        f"{ct} vs {cf} barrier(s) before rejoining, so "
+                        f"PEs synchronize different textual barriers "
+                        f"against each other"
+                    ),
+                    span=span,
+                    hint="balance the number of wait statements on "
+                         "both arms of the branch",
+                ))
+    return out

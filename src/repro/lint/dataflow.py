@@ -1,0 +1,235 @@
+"""CFG dataflow underlying the analyzers: postdominance, control
+dependence, and a uniform/varying (divergence) analysis.
+
+MSC treats every two-arc block as a potential meta-state splitter, but
+only *divergent* branches — those whose condition can differ across
+PEs — actually split the aggregate state at run time.  The barrier
+detector keys off divergence (a uniform branch moves all PEs down the
+same arm, so one arm halting while the other waits is impossible), so
+we classify every poly slot and branch condition on the abstract
+lattice ``uniform < varying``:
+
+- ``ProcNum`` and the recursion return-selector (``RPop``) are varying
+  sources; ``Push`` / mono loads are uniform.
+- ``LdR`` (a remote read) is varying when the PE index or the remote
+  slot is; ``StR`` makes its target slot varying (non-targeted PEs keep
+  the old value).
+- A store executed under divergent control (a block control-dependent
+  on a divergent branch or on a ``spawn``) makes its slot varying even
+  when the stored value is uniform — only *some* PEs perform it.
+
+Control dependence is the classic postdominance formulation: ``x`` is
+control dependent on branch ``b`` iff ``x`` postdominates some
+successor of ``b`` but does not strictly postdominate ``b``.  The whole
+analysis iterates to a fixpoint (both sets only grow, so it
+terminates); unknown operand-stack entries at block entry (the
+recursion dispatch chains) are conservatively varying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.block import CondBr, SpawnT
+from repro.ir.cfg import Cfg
+from repro.ir.instr import BINARY_OPS, UNARY_OPS, Instr, Op
+
+#: Virtual exit node: the single sink behind every Return/Halt.
+EXIT = -1
+
+
+def postdominator_sets(cfg: Cfg) -> dict[int, set[int]]:
+    """``pdom[b]`` = ids postdominating ``b`` (including ``b`` and
+    :data:`EXIT`), over the blocks reachable from the entry."""
+    blocks = sorted(cfg.reachable())
+    succ: dict[int, list[int]] = {}
+    for bid in blocks:
+        succs = list(cfg.blocks[bid].successors())
+        succ[bid] = succs if succs else [EXIT]
+    universe = set(blocks) | {EXIT}
+    pdom: dict[int, set[int]] = {b: set(universe) for b in blocks}
+    pdom[EXIT] = {EXIT}
+    changed = True
+    while changed:
+        changed = False
+        for b in blocks:
+            new = {b} | set.intersection(*(pdom[s] for s in succ[b]))
+            if new != pdom[b]:
+                pdom[b] = new
+                changed = True
+    return pdom
+
+
+def immediate_postdominator(pdom: dict[int, set[int]], bid: int) -> int:
+    """The closest strict postdominator of ``bid`` (:data:`EXIT` when
+    control only rejoins at program exit).
+
+    Strict postdominators of a node form a chain; the immediate one is
+    the chain element with the largest postdominator set (exit has the
+    smallest).
+    """
+    strict = pdom[bid] - {bid}
+    if not strict:
+        return EXIT
+    return max(strict, key=lambda x: (len(pdom.get(x, {x})), x))
+
+
+def control_dependents(
+    cfg: Cfg, pdom: dict[int, set[int]], bid: int
+) -> set[int]:
+    """Blocks control dependent on the two-arc (or spawn) block ``bid``."""
+    deps: set[int] = set()
+    spdom = pdom[bid] - {bid}
+    for s in cfg.blocks[bid].successors():
+        for x in pdom.get(s, set()):
+            if x != EXIT and x not in spdom:
+                deps.add(x)
+    return deps
+
+
+@dataclass
+class UniformityInfo:
+    """Result of :func:`analyze_uniformity`."""
+
+    #: Poly slot indices whose value may differ across PEs.
+    varying_slots: set[int] = field(default_factory=set)
+    #: Ids of ``CondBr`` blocks whose condition may be varying.
+    divergent_branches: set[int] = field(default_factory=set)
+    #: Blocks executing under divergent control (control dependent on a
+    #: divergent branch or a spawn).
+    divergent_blocks: set[int] = field(default_factory=set)
+    #: Operand-stack depth at each reachable block's entry.
+    entry_depths: dict[int, int] = field(default_factory=dict)
+    #: Postdominator sets (kept for downstream analyses).
+    pdom: dict[int, set[int]] = field(default_factory=dict)
+
+
+def _scan_block(
+    code: list[Instr],
+    entry_depth: int,
+    varying: set[int],
+    in_divergent_ctx: bool,
+    new_varying: set[int],
+) -> bool:
+    """Abstractly execute one block; grow ``new_varying`` with slots the
+    block may make varying and return whether the value left on top of
+    the stack (a branch condition) may be varying."""
+    # Unknown entries (recursion dispatch selectors) are conservatively
+    # varying.
+    stack: list[bool] = [True] * entry_depth
+
+    def pop() -> bool:
+        return stack.pop() if stack else True
+
+    def mark(base: int, size: int = 1) -> None:
+        new_varying.update(range(base, base + size))
+
+    for ins in code:
+        op = ins.op
+        if op is Op.PUSH or op is Op.LDM or op is Op.NPROC:
+            stack.append(False)
+        elif op is Op.PROCNUM or op is Op.RPOP:
+            stack.append(True)
+        elif op is Op.LD:
+            stack.append(int(ins.arg or 0) in varying)
+        elif op is Op.DUP:
+            stack.append(stack[-1] if stack else True)
+        elif op is Op.SWAP:
+            if len(stack) >= 2:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+        elif op is Op.POP:
+            for _ in range(int(ins.arg or 0)):
+                pop()
+        elif op is Op.RPUSH:
+            pass
+        elif op in BINARY_OPS:
+            b, a = pop(), pop()
+            stack.append(a or b)
+        elif op in UNARY_OPS:
+            if not stack:
+                stack.append(True)
+        elif op is Op.SEL:
+            v = pop() or pop() or pop()
+            stack.append(v)
+        elif op is Op.LDI:
+            idx = pop()
+            base, size = int(ins.arg or 0), int(ins.arg2 or 1)
+            spans = any(s in varying for s in range(base, base + size))
+            stack.append(idx or spans)
+        elif op is Op.LDMI:
+            # A poly index into a mono array reads different elements
+            # per PE.
+            idx = pop()
+            stack.append(idx)
+        elif op is Op.LDR:
+            idx = pop()
+            stack.append(idx or int(ins.arg or 0) in varying)
+        elif op is Op.ST:
+            val = pop()
+            if val or in_divergent_ctx:
+                mark(int(ins.arg or 0))
+        elif op is Op.STI:
+            idx, val = pop(), pop()
+            if idx or val or in_divergent_ctx:
+                mark(int(ins.arg or 0), int(ins.arg2 or 1))
+        elif op is Op.STR:
+            # Remote store: only the targeted PEs' slots change.
+            pop()
+            pop()
+            mark(int(ins.arg or 0))
+        elif op is Op.STM or op is Op.STMI:
+            # Mono stores broadcast: the shared value stays uniform.
+            for _ in range(ins.pops()):
+                pop()
+        else:  # pragma: no cover - exhaustive over the ISA
+            raise AssertionError(f"unhandled opcode {op}")
+    return stack[-1] if stack else True
+
+
+def analyze_uniformity(cfg: Cfg, entry_depths: dict | None = None,
+                       pdom: dict | None = None) -> UniformityInfo:
+    """Fixpoint uniform/varying classification of slots and branches.
+
+    ``entry_depths`` / ``pdom`` may be passed in when the caller has
+    already computed them (the verifier and barrier analyzers share
+    them through the context scratch)."""
+    if entry_depths is None:
+        entry_depths = cfg.verify()
+    if pdom is None:
+        pdom = postdominator_sets(cfg)
+    reachable = sorted(entry_depths)
+    spawns = [b for b in reachable
+              if isinstance(cfg.blocks[b].terminator, SpawnT)]
+    dep_cache: dict[int, set[int]] = {}
+
+    def deps_of(bid: int) -> set[int]:
+        if bid not in dep_cache:
+            dep_cache[bid] = control_dependents(cfg, pdom, bid)
+        return dep_cache[bid]
+
+    varying: set[int] = set()
+    divergent_blocks: set[int] = set()
+    divergent_branches: set[int] = set()
+    while True:
+        new_varying = set(varying)
+        branch_varying: set[int] = set()
+        for bid in reachable:
+            blk = cfg.blocks[bid]
+            top = _scan_block(blk.code, entry_depths[bid], varying,
+                              bid in divergent_blocks, new_varying)
+            if isinstance(blk.terminator, CondBr) and top:
+                branch_varying.add(bid)
+        new_blocks: set[int] = set()
+        for src in [*branch_varying, *spawns]:
+            new_blocks |= deps_of(src)
+        if new_varying == varying and new_blocks == divergent_blocks:
+            divergent_branches = branch_varying
+            break
+        varying, divergent_blocks = new_varying, new_blocks
+    return UniformityInfo(
+        varying_slots=varying,
+        divergent_branches=divergent_branches,
+        divergent_blocks=divergent_blocks,
+        entry_depths=entry_depths,
+        pdom=pdom,
+    )

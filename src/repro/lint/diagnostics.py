@@ -1,0 +1,240 @@
+"""Diagnostic records, severities, spans, and renderers.
+
+Every finding the analyzers produce is a :class:`Diagnostic` with a
+stable ``MSC0xx`` code (catalogued in ``docs/diagnostics.md``), a
+severity, an optional source :class:`Span`, and an optional fix-it
+hint.  The renderers here produce the ``file:line:col:`` text format
+(with a caret excerpt when the source is available) and the JSON shape
+consumed by ``repro lint --format json`` and ``--report-json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.errors import SourceError
+
+
+class Severity:
+    """Diagnostic severity levels, ordered ``INFO < WARNING < ERROR``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    _ORDER = {INFO: 0, WARNING: 1, ERROR: 2}
+
+    @classmethod
+    def rank(cls, severity: str) -> int:
+        return cls._ORDER.get(severity, 1)
+
+
+@dataclass(frozen=True)
+class Span:
+    """A 1-based source position (column 0 = line-only span)."""
+
+    line: int
+    col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}" if self.col else f"{self.line}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    Attributes
+    ----------
+    code:
+        Stable identifier (``MSC001`` ... ``MSC042``); never renumbered
+        so ``--select`` / ``--ignore`` filters and CI baselines stay
+        valid across releases.
+    message:
+        Human-readable description of the finding.
+    severity:
+        One of :class:`Severity`'s levels.
+    span:
+        Source position, when one exists (source-level lints and
+        CFG-level findings on blocks that remember their source line);
+        meta-state findings are usually span-less.
+    hint:
+        Optional fix-it suggestion (``add a wait`` / ``--compress``).
+    analyzer:
+        Name of the analyzer that produced the finding.
+    """
+
+    code: str
+    message: str
+    severity: str = Severity.WARNING
+    span: Span | None = None
+    hint: str = ""
+    analyzer: str = ""
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.span is not None:
+            out["line"] = self.span.line
+            if self.span.col:
+                out["col"] = self.span.col
+        if self.hint:
+            out["hint"] = self.hint
+        if self.analyzer:
+            out["analyzer"] = self.analyzer
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "Diagnostic":
+        span = None
+        if "line" in data:
+            span = Span(int(data["line"]), int(data.get("col", 0)))
+        return cls(
+            code=str(data["code"]),
+            message=str(data["message"]),
+            severity=str(data.get("severity", Severity.WARNING)),
+            span=span,
+            hint=str(data.get("hint", "")),
+            analyzer=str(data.get("analyzer", "")),
+        )
+
+
+def _matches(code: str, patterns: Sequence[str]) -> bool:
+    """``MSC01`` selects the whole MSC01x family; exact codes match too."""
+    return any(code.startswith(p) for p in patterns if p)
+
+
+def filter_diagnostics(
+    diagnostics: Iterable[Diagnostic],
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+) -> list[Diagnostic]:
+    """Apply ``--select`` / ``--ignore`` code filters (prefix match)."""
+    out = []
+    for d in diagnostics:
+        if select and not _matches(d.code, select):
+            continue
+        if ignore and _matches(d.code, ignore):
+            continue
+        out.append(d)
+    return out
+
+
+def count_by_severity(diagnostics: Iterable[Diagnostic]) -> dict[str, int]:
+    counts = {Severity.INFO: 0, Severity.WARNING: 0, Severity.ERROR: 0}
+    for d in diagnostics:
+        counts[d.severity] = counts.get(d.severity, 0) + 1
+    return counts
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _excerpt(source: str, line: int, col: int) -> list[str]:
+    """The offending source line plus a caret marker, GCC-style."""
+    lines = source.splitlines()
+    if not 1 <= line <= len(lines):
+        return []
+    text = lines[line - 1].replace("\t", " ")
+    out = [f"    {text}"]
+    if col >= 1:
+        out.append("    " + " " * (col - 1) + "^")
+    return out
+
+
+def render_diagnostic(
+    diag: Diagnostic,
+    *,
+    source: str | None = None,
+    filename: str = "<source>",
+) -> str:
+    """One diagnostic in ``file:line:col: severity: CODE: message`` form."""
+    loc = filename
+    if diag.span is not None:
+        loc = f"{filename}:{diag.span}"
+    parts = [f"{loc}: {diag.severity}: {diag.code}: {diag.message}"]
+    if source is not None and diag.span is not None:
+        parts.extend(_excerpt(source, diag.span.line, diag.span.col))
+    if diag.hint:
+        parts.append(f"    hint: {diag.hint}")
+    return "\n".join(parts)
+
+
+def render_text(
+    diagnostics: Sequence[Diagnostic],
+    *,
+    source: str | None = None,
+    filename: str = "<source>",
+) -> str:
+    """The full text report: one block per diagnostic plus a summary."""
+    blocks = [
+        render_diagnostic(d, source=source, filename=filename)
+        for d in diagnostics
+    ]
+    counts = count_by_severity(diagnostics)
+    summary = (
+        f"{counts[Severity.ERROR]} error(s), "
+        f"{counts[Severity.WARNING]} warning(s), "
+        f"{counts[Severity.INFO]} note(s)"
+    )
+    return "\n".join([*blocks, summary])
+
+
+def render_json(
+    diagnostics: Sequence[Diagnostic],
+    *,
+    filename: str = "<source>",
+) -> str:
+    """The machine-readable report uploaded as a CI artifact."""
+    counts = count_by_severity(diagnostics)
+    return json.dumps(
+        {
+            "file": filename,
+            "diagnostics": [d.to_json() for d in diagnostics],
+            "errors": counts[Severity.ERROR],
+            "warnings": counts[Severity.WARNING],
+            "notes": counts[Severity.INFO],
+        },
+        indent=2,
+    )
+
+
+def render_source_error(
+    exc: SourceError,
+    *,
+    source: str | None = None,
+    filename: str = "<source>",
+) -> str:
+    """A positioned pipeline error in the same ``file:line:col`` format.
+
+    This is how ``ParseError`` / ``SemanticError`` / positioned
+    ``ConversionError`` print from the CLI since the diagnostics
+    renderer landed; span-less errors fall back to their message.
+    """
+    if exc.line is None:
+        return f"error: {exc}"
+    loc = f"{filename}:{exc.line}"
+    if exc.col is not None:
+        loc = f"{loc}:{exc.col}"
+    parts = [f"{loc}: error: {exc.message}"]
+    if source is not None:
+        parts.extend(_excerpt(source, exc.line, exc.col or 0))
+    return "\n".join(parts)
+
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "Span",
+    "count_by_severity",
+    "filter_diagnostics",
+    "render_diagnostic",
+    "render_json",
+    "render_source_error",
+    "render_text",
+]

@@ -1,0 +1,178 @@
+"""Analyzer registry and dispatch, modeled on :mod:`repro.opt.manager`.
+
+An :class:`Analyzer` is a named function over a :class:`LintContext`
+returning diagnostics.  The :class:`AnalysisDriver` runs the analyzers
+registered for a phase, times each one, applies the ``--select`` /
+``--ignore`` code filters, and returns per-analyzer
+:class:`~repro.stages.report.StageRecord` rows — exactly the shape the
+``opt-*`` stages use, so ``--timings`` and ``--report-json`` show one
+indented row per analyzer with no extra plumbing.
+
+Two phases exist:
+
+``cfg``
+    After ``opt-cfg``, before ``convert``: the CFG verifier, the
+    barrier-deadlock detector, the explosion estimator, and the
+    source-level lints.  Running *before* conversion lets the explosion
+    estimator stop a ``3^n`` bomb from ever reaching ``reach``.
+``meta``
+    After ``plan``: the meta-graph/program/plan verifier and the
+    meta-state race detector, which need the converted graph.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+from repro.lint.diagnostics import Diagnostic, Severity, filter_diagnostics
+from repro.stages.report import StageRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.codegen.emit import SimdProgram
+    from repro.codegen.plan import ProgramPlan
+    from repro.core.metastate import MetaStateGraph
+    from repro.ir.cfg import Cfg
+    from repro.lang.ast import Program
+    from repro.lang.sema import SemaInfo
+    from repro.pipeline import ConversionOptions
+
+
+@dataclass
+class LintContext:
+    """Everything an analyzer may look at.
+
+    The pre-convert (``cfg``) phase fills ``ast`` / ``sema`` / ``cfg``;
+    the post-convert (``meta``) phase additionally has ``graph`` /
+    ``program`` / ``plan``.  ``cfg`` always refers to the *current*
+    graph — after time splitting it is the split CFG the meta graph was
+    converted from.
+    """
+
+    source: str
+    options: "ConversionOptions"
+    filename: str = "<source>"
+    ast: "Program | None" = None
+    sema: "SemaInfo | None" = None
+    cfg: "Cfg | None" = None
+    graph: "MetaStateGraph | None" = None
+    program: "SimdProgram | None" = None
+    plan: "ProgramPlan | None" = None
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Cross-analyzer memo (entry depths, postdominator sets, ...) so
+    #: analyzers sharing a phase don't recompute each other's inputs.
+    scratch: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Analyzer:
+    """One named analysis over a :class:`LintContext`.
+
+    ``run`` returns the diagnostics it found; the driver stamps each
+    with the analyzer name and collects per-analyzer counters from the
+    count of findings.
+    """
+
+    name: str
+    phase: str  # "cfg" | "meta"
+    run: Callable[[LintContext], list[Diagnostic]]
+    description: str = ""
+
+
+class AnalyzerRegistry:
+    """An ordered collection of analyzers, keyed by phase."""
+
+    def __init__(self, analyzers: Sequence[Analyzer] = ()) -> None:
+        self._analyzers: list[Analyzer] = list(analyzers)
+
+    def register(self, analyzer: Analyzer) -> None:
+        self._analyzers.append(analyzer)
+
+    def for_phase(self, phase: str) -> list[Analyzer]:
+        return [a for a in self._analyzers if a.phase == phase]
+
+    def names(self) -> list[str]:
+        return [a.name for a in self._analyzers]
+
+    def __iter__(self) -> Iterator[Analyzer]:
+        return iter(self._analyzers)
+
+    def __len__(self) -> int:
+        return len(self._analyzers)
+
+
+@dataclass
+class AnalysisDriver:
+    """Run a phase's analyzers over a context, timed and filtered."""
+
+    registry: AnalyzerRegistry
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+
+    def run_phase(
+        self, ctx: LintContext, phase: str
+    ) -> tuple[list[Diagnostic], list[StageRecord]]:
+        """Execute every analyzer registered for ``phase``.
+
+        Diagnostics surviving the ``select`` / ``ignore`` filters are
+        appended to ``ctx.diagnostics`` and returned, together with one
+        timed :class:`StageRecord` per analyzer (the ``--timings``
+        sub-rows).
+        """
+        found: list[Diagnostic] = []
+        records: list[StageRecord] = []
+        for analyzer in self.registry.for_phase(phase):
+            t0 = time.perf_counter()
+            raw = analyzer.run(ctx)
+            seconds = time.perf_counter() - t0
+            stamped = [
+                d if d.analyzer else
+                Diagnostic(code=d.code, message=d.message,
+                           severity=d.severity, span=d.span, hint=d.hint,
+                           analyzer=analyzer.name)
+                for d in raw
+            ]
+            kept = filter_diagnostics(stamped, self.select, self.ignore)
+            counters = {"findings": len(kept)}
+            dropped = len(stamped) - len(kept)
+            if dropped:
+                counters["filtered"] = dropped
+            records.append(StageRecord(name=analyzer.name, seconds=seconds,
+                                       counters=counters))
+            found.extend(kept)
+        ctx.diagnostics.extend(found)
+        return found, records
+
+
+def default_registry() -> AnalyzerRegistry:
+    """The standard analyzer suite, pipeline order within each phase."""
+    from repro.lint.barrier import analyze_barriers
+    from repro.lint.explosion import analyze_explosion
+    from repro.lint.races import analyze_races
+    from repro.lint.srclint import analyze_source
+    from repro.lint.verifier import verify_cfg, verify_meta
+
+    return AnalyzerRegistry([
+        Analyzer("verify-cfg", "cfg", verify_cfg,
+                 "re-check CFG structural invariants (MSC001)"),
+        Analyzer("barrier", "cfg", analyze_barriers,
+                 "barrier deadlock / count mismatch (MSC010, MSC011)"),
+        Analyzer("explosion", "cfg", analyze_explosion,
+                 "meta-state explosion estimate (MSC030, MSC031)"),
+        Analyzer("source", "cfg", analyze_source,
+                 "source-level lints (MSC040, MSC041, MSC042)"),
+        Analyzer("verify-meta", "meta", verify_meta,
+                 "meta graph / program / plan invariants (MSC002, MSC003)"),
+        Analyzer("races", "meta", analyze_races,
+                 "meta-state slot races (MSC020, MSC021)"),
+    ])
+
+
+def has_errors(diagnostics: Sequence[Diagnostic]) -> bool:
+    return any(d.severity == Severity.ERROR for d in diagnostics)
+
+
+def has_warnings_or_errors(diagnostics: Sequence[Diagnostic]) -> bool:
+    return any(Severity.rank(d.severity) >= Severity.rank(Severity.WARNING)
+               for d in diagnostics)

@@ -1,0 +1,214 @@
+"""Meta-state explosion estimation (MSC030) and time-split candidate
+lint (MSC031).
+
+Section 2.3: from a meta state whose members include ``n`` two-arc
+blocks, ``reach`` can produce up to ``3^n`` successors (each branch
+member contributes "true arm", "false arm", or "both").  Barriers
+reset the aggregate — every PE parks until all arrive, so meta states
+never span a barrier — which makes the *barrier-free region* the unit
+of explosion.  This analyzer bounds the state count per region by
+``3^b`` (``2^b`` when compression takes both arms of every branch,
+leaving only progress skew) where ``b`` is the region's branch count,
+warning at a soft threshold and erroring — *before* ``convert`` ever
+runs — when the bound dwarfs the configured ``max_meta_states`` cap.
+
+MSC031 (severity *info*) names time-split candidates: branch arms
+whose straight-line costs differ enough that the time-splitting
+criteria of :mod:`repro.core.timesplit` would split them (Figures
+3-5).  Imbalance is not an error — it is exactly what ``--time-split``
+exists for — so the lint only points at where the option would help.
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import CondBr
+from repro.ir.cfg import Cfg
+from repro.ir.instr import CostModel
+from repro.ir.timing import block_time
+from repro.lint.dataflow import EXIT, immediate_postdominator, postdominator_sets
+from repro.lint.diagnostics import Diagnostic, Severity, Span
+from repro.lint.driver import LintContext
+
+#: Soft bound: warn when a region's estimate crosses this.
+SOFT_THRESHOLD = 50_000
+
+#: Hard floor for the error bound (scaled by the state cap, below).
+HARD_FLOOR = 1_000_000
+
+
+def barrier_free_regions(cfg: Cfg) -> list[set[int]]:
+    """Weakly-connected components of the barrier-free subgraph."""
+    reachable = cfg.reachable()
+    nodes = [b for b in reachable if not cfg.blocks[b].is_barrier_wait]
+    adj: dict[int, set[int]] = {b: set() for b in nodes}
+    for bid in nodes:
+        for s in cfg.blocks[bid].successors():
+            if s in adj:
+                adj[bid].add(s)
+                adj[s].add(bid)
+    regions: list[set[int]] = []
+    seen: set[int] = set()
+    for bid in nodes:
+        if bid in seen:
+            continue
+        comp: set[int] = set()
+        work = [bid]
+        while work:
+            b = work.pop()
+            if b in comp:
+                continue
+            comp.add(b)
+            work.extend(adj[b] - comp)
+        seen |= comp
+        regions.append(comp)
+    return regions
+
+
+def estimate_states(cfg: Cfg, compressed: bool) -> tuple[int, int, int]:
+    """``(bound, worst_branches, regions)`` for the whole program.
+
+    ``bound`` is the largest per-region estimate: ``3^b`` uncompressed
+    (each branch member yields true/false/both successor sets), ``2^b``
+    compressed (both arms are always taken together; only progress skew
+    across branches multiplies).
+    """
+    factor = 2 if compressed else 3
+    bound = 1
+    worst = 0
+    regions = barrier_free_regions(cfg)
+    for region in regions:
+        branches = sum(
+            1 for b in region if isinstance(cfg.blocks[b].terminator, CondBr)
+        )
+        estimate = factor ** branches
+        if estimate > bound:
+            bound, worst = estimate, branches
+    return bound, worst, len(regions)
+
+
+def analyze_explosion(ctx: LintContext) -> list[Diagnostic]:
+    """MSC030: pre-convert bound on ``reach`` growth."""
+    cfg = ctx.cfg
+    assert cfg is not None
+    options = ctx.options
+    compressed = bool(getattr(options, "compress", False))
+    bound, branches, regions = estimate_states(cfg, compressed)
+    out: list[Diagnostic] = []
+    hard = max(10 * int(getattr(options, "max_meta_states", 0) or 0),
+               HARD_FLOOR)
+    if bound > hard:
+        hints = ["insert wait barriers to cut the region"]
+        if not compressed:
+            hints.append("--compress takes both arms per branch "
+                         "(2^b instead of 3^b)")
+        hints.append("--time-split rebalances the split states")
+        out.append(Diagnostic(
+            code="MSC030",
+            severity=Severity.ERROR,
+            message=(
+                f"meta-state explosion: a barrier-free region with "
+                f"{branches} branch blocks bounds reach at "
+                f"~{bound:.3g} meta states "
+                f"(cap {getattr(options, 'max_meta_states', 0)}); "
+                f"conversion would not terminate usefully"
+            ),
+            hint="; ".join(hints),
+        ))
+    elif bound > SOFT_THRESHOLD:
+        out.append(Diagnostic(
+            code="MSC030",
+            severity=Severity.WARNING,
+            message=(
+                f"large meta-state space: a barrier-free region with "
+                f"{branches} branch blocks bounds reach at "
+                f"~{bound:.3g} meta states across {regions} region(s)"
+            ),
+            hint=("consider --compress or adding wait barriers to "
+                  "limit state growth"),
+        ))
+    out.extend(_unbalanced_blocks(ctx, cfg))
+    return out
+
+
+def _unbalanced_blocks(ctx: LintContext, cfg: Cfg) -> list[Diagnostic]:
+    """MSC031: branch arms the time splitter would split."""
+    options = ctx.options
+    if bool(getattr(options, "time_split", False)):
+        return []  # splitting already requested; nothing to suggest
+    delta = int(getattr(options, "split_delta", 4))
+    percent = int(getattr(options, "split_percent", 50))
+    costs = getattr(options, "costs", None)
+    pdom = ctx.scratch.get("pdom")
+    if pdom is None:
+        pdom = postdominator_sets(cfg)
+        ctx.scratch["pdom"] = pdom
+    reachable = cfg.reachable()
+    out: list[Diagnostic] = []
+    for bid in sorted(reachable):
+        blk = cfg.blocks[bid]
+        if not isinstance(blk.terminator, CondBr):
+            continue
+        arm_costs = []
+        for arm in (blk.terminator.on_true, blk.terminator.on_false):
+            cost = _max_path_cost(cfg, arm,
+                                  immediate_postdominator(pdom, bid),
+                                  reachable, costs)
+            if cost is None:
+                break
+            arm_costs.append(cost)
+        if len(arm_costs) != 2:
+            continue
+        tmin, tmax = sorted(arm_costs)
+        # The time splitter's own gates (timesplit.py): skip noise and
+        # well-utilized pairs.
+        if tmin + delta > tmax:
+            continue
+        if tmin > (percent * tmax) // 100:
+            continue
+        out.append(Diagnostic(
+            code="MSC031",
+            severity=Severity.INFO,
+            message=(
+                f"unbalanced branch arms at block {bid}: "
+                f"{tmin} vs {tmax} cycles; PEs on the short arm idle "
+                f"while the long arm executes"
+            ),
+            span=Span(blk.src_line) if blk.src_line else None,
+            hint="--time-split splits the long arm into restartable "
+                 "pieces (paper Figures 3-5)",
+        ))
+    return out
+
+
+def _max_path_cost(cfg: Cfg, start: int, join: int, reachable: set[int],
+                   costs: CostModel | None) -> int | None:
+    """Max cost over acyclic paths ``start -> join``; ``None`` when the
+    arm region has a cycle (loops make static arm cost unbounded)."""
+    memo: dict[int, int | None] = {}
+    on_path: set[int] = set()
+
+    def walk(bid: int) -> int | None:
+        if bid == join or bid not in reachable:
+            return 0
+        if bid in on_path:
+            return None
+        if bid in memo:
+            return memo[bid]
+        on_path.add(bid)
+        here = (block_time(cfg, bid, costs) if costs is not None
+                else block_time(cfg, bid))
+        best = 0
+        for s in cfg.blocks[bid].successors():
+            sub = walk(s)
+            if sub is None:
+                on_path.discard(bid)
+                memo[bid] = None
+                return None
+            best = max(best, sub)
+        on_path.discard(bid)
+        memo[bid] = here + best
+        return memo[bid]
+
+    if join == EXIT:
+        return None
+    return walk(start)

@@ -1,0 +1,273 @@
+"""Meta-state race detection (MSC020/MSC021).
+
+Section 3.2: CSI merges the bodies of all blocks resident in one meta
+state into a single SIMD instruction schedule.  The *relative order*
+of memory operations issued by two different member blocks is a
+scheduling artifact, not program semantics — so when two distinct
+blocks co-resident in some reachable meta state touch the same shared
+location and at least one writes it, the result is schedule-dependent:
+a write-write race (MSC020) or a read-write race (MSC021).
+
+Following Attie (PAPERS.md), the check is pairwise: every unordered
+pair of member blocks of every meta state is examined independently,
+which is sound because a conflict is a property of two processes.
+
+Shared locations are mono slots (one copy machine-wide) and poly slots
+accessed through the router (``LdR``/``StR`` reach *other* PEs'
+copies).  Purely local poly accesses (``Ld``/``St``) from two blocks
+never conflict — each PE only touches its own copy, and one PE
+executes one member block at a time.
+
+A write-write conflict where both blocks store the same compile-time
+constant is classified benign (severity *info*): the merged schedule
+stores the same value regardless of order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import Cfg
+from repro.ir.instr import Instr, Op
+from repro.lint.diagnostics import Diagnostic, Severity, Span
+from repro.lint.driver import LintContext
+
+#: Sentinel for "some non-constant value" in mono-write value sets.
+_UNKNOWN = object()
+
+
+@dataclass
+class BlockEffects:
+    """Shared-memory footprint of one basic block."""
+
+    #: mono slot -> set of stored values (constants, else ``_UNKNOWN``).
+    mono_writes: dict[int, set[object]] = field(default_factory=dict)
+    mono_reads: set[int] = field(default_factory=set)
+    #: poly slots written through the router (other PEs' copies).
+    remote_writes: set[int] = field(default_factory=set)
+    #: poly slots read through the router.
+    remote_reads: set[int] = field(default_factory=set)
+    #: poly slots accessed locally (own copy only).
+    local_writes: set[int] = field(default_factory=set)
+    local_reads: set[int] = field(default_factory=set)
+
+
+def block_effects(code: list[Instr]) -> BlockEffects:
+    """Extract the shared-memory footprint of a block body.
+
+    Tracks ``Push k`` immediately feeding ``StM`` so benign same-value
+    mono writes can be recognized.
+    """
+    eff = BlockEffects()
+    prev: Instr | None = None
+    for ins in code:
+        op = ins.op
+        if op is Op.STM:
+            value: object = _UNKNOWN
+            if prev is not None and prev.op is Op.PUSH:
+                value = prev.arg
+            eff.mono_writes.setdefault(int(ins.arg or 0), set()).add(value)
+        elif op is Op.STMI:
+            base, size = int(ins.arg or 0), int(ins.arg2 or 1)
+            for s in range(base, base + size):
+                eff.mono_writes.setdefault(s, set()).add(_UNKNOWN)
+        elif op is Op.LDM:
+            eff.mono_reads.add(int(ins.arg or 0))
+        elif op is Op.LDMI:
+            base, size = int(ins.arg or 0), int(ins.arg2 or 1)
+            eff.mono_reads.update(range(base, base + size))
+        elif op is Op.STR:
+            eff.remote_writes.add(int(ins.arg or 0))
+        elif op is Op.LDR:
+            eff.remote_reads.add(int(ins.arg or 0))
+        elif op is Op.ST:
+            eff.local_writes.add(int(ins.arg or 0))
+        elif op is Op.STI:
+            base, size = int(ins.arg or 0), int(ins.arg2 or 1)
+            eff.local_writes.update(range(base, base + size))
+        elif op is Op.LD:
+            eff.local_reads.add(int(ins.arg or 0))
+        elif op is Op.LDI:
+            base, size = int(ins.arg or 0), int(ins.arg2 or 1)
+            eff.local_reads.update(range(base, base + size))
+        prev = ins
+    return eff
+
+
+#: Visited-state cap for the co-residency refinement; past it the
+#: analyzer falls back to the (coarser) converted graph alone.
+_REACH_CAP = 20_000
+
+
+def co_resident_pairs(cfg: Cfg) -> set[frozenset[int]] | None:
+    """Path-sensitively recompute which block pairs can be active in
+    the same superstep; ``None`` when the walk exceeds :data:`_REACH_CAP`.
+
+    The converter unions the possibly-parked barrier set across every
+    visit of an active aggregate and then releases arbitrary *subsets*
+    of it, so its state set can contain aggregates — e.g. the
+    successors of two *sequential* barriers — that no execution
+    realizes.  This walk re-runs the lockstep advance with the parked
+    set kept exact per state: branch members contribute both arms (a
+    superset of every 3-way split the converter would make), barrier
+    successors park, and a release happens only when the active set
+    drains, exactly as the machine behaves.  Intersecting these pairs
+    with the graph's prunes the spurious cross-barrier reports while
+    keeping every realizable conflict.
+    """
+    pairs: set[frozenset[int]] = set()
+    seen: set[tuple[frozenset[int], frozenset[int]]] = set()
+    work: list[tuple[frozenset[int], frozenset[int]]] = [
+        (frozenset({cfg.entry}), frozenset())
+    ]
+    while work:
+        state = work.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        if len(seen) > _REACH_CAP:
+            return None
+        active, parked = state
+        members = sorted(active)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                pairs.add(frozenset((a, b)))
+        new_active: set[int] = set()
+        new_parked = set(parked)
+        for bid in active:
+            if bid not in cfg.blocks:
+                continue
+            for s in cfg.blocks[bid].terminator.successors():
+                if cfg.blocks[s].is_barrier_wait:
+                    new_parked.add(s)
+                else:
+                    new_active.add(s)
+        if not new_active:
+            if not new_parked:
+                continue  # everyone returned/halted
+            released = {
+                s
+                for b in new_parked
+                for s in cfg.blocks[b].terminator.successors()
+            }
+            work.append((frozenset(released), frozenset()))
+        else:
+            work.append((frozenset(new_active), frozenset(new_parked)))
+    return pairs
+
+
+def _slot_name(cfg: Cfg, slot: int, storage: str) -> str:
+    slots = cfg.mono_slots if storage == "mono" else cfg.poly_slots
+    for info in slots:
+        if info.index == slot:
+            return f"{storage} slot {slot} ({info.name!r})"
+    return f"{storage} slot {slot}"
+
+
+def _pair_conflicts(
+    a: BlockEffects, b: BlockEffects
+) -> list[tuple[str, int, str, bool]]:
+    """Conflicts between two blocks' footprints.
+
+    Returns ``(kind, slot, storage, benign)`` tuples where ``kind`` is
+    ``"ww"`` or ``"rw"``.
+    """
+    out: list[tuple[str, int, str, bool]] = []
+    # Mono slots: every access is to the single shared copy.
+    for slot in sorted(set(a.mono_writes) & set(b.mono_writes)):
+        va, vb = a.mono_writes[slot], b.mono_writes[slot]
+        benign = (
+            len(va) == 1 and va == vb and _UNKNOWN not in va
+        )
+        out.append(("ww", slot, "mono", benign))
+    for slot in sorted(set(a.mono_writes) & b.mono_reads):
+        out.append(("rw", slot, "mono", False))
+    for slot in sorted(a.mono_reads & set(b.mono_writes)):
+        out.append(("rw", slot, "mono", False))
+    # Poly slots through the router: a remote access can touch any PE's
+    # copy, so it conflicts with remote *and* local accesses from the
+    # other block.  Local-local pairs never conflict.
+    for slot in sorted(a.remote_writes & (b.remote_writes
+                                          | b.local_writes)):
+        out.append(("ww", slot, "poly", False))
+    for slot in sorted(b.remote_writes & a.local_writes):
+        out.append(("ww", slot, "poly", False))
+    for slot in sorted(a.remote_writes & (b.remote_reads | b.local_reads)):
+        out.append(("rw", slot, "poly", False))
+    for slot in sorted(b.remote_writes & (a.remote_reads | a.local_reads)):
+        out.append(("rw", slot, "poly", False))
+    for slot in sorted((a.remote_reads & b.local_writes)
+                       | (b.remote_reads & a.local_writes)):
+        out.append(("rw", slot, "poly", False))
+    return out
+
+
+def analyze_races(ctx: LintContext) -> list[Diagnostic]:
+    """Walk the converted meta-state graph, pairwise per meta state."""
+    cfg, graph = ctx.cfg, ctx.graph
+    assert cfg is not None and graph is not None
+    effects: dict[int, BlockEffects] = {}
+
+    def eff(bid: int) -> BlockEffects:
+        if bid not in effects:
+            effects[bid] = block_effects(cfg.blocks[bid].code)
+        return effects[bid]
+
+    realizable = co_resident_pairs(cfg)
+    out: list[Diagnostic] = []
+    reported: set[tuple[str, int, str, frozenset[int]]] = set()
+    for members in graph.states:
+        if len(members) < 2:
+            continue
+        ms = sorted(members)
+        for i, bid_a in enumerate(ms):
+            if bid_a not in cfg.blocks:
+                continue
+            for bid_b in ms[i + 1:]:
+                if bid_b not in cfg.blocks:
+                    continue
+                if (realizable is not None
+                        and frozenset((bid_a, bid_b)) not in realizable):
+                    continue
+                for kind, slot, storage, benign in _pair_conflicts(
+                        eff(bid_a), eff(bid_b)):
+                    key = (kind, slot, storage,
+                           frozenset((bid_a, bid_b)))
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    code = "MSC020" if kind == "ww" else "MSC021"
+                    what = ("write-write" if kind == "ww"
+                            else "read-write")
+                    name = _slot_name(cfg, slot, storage)
+                    line = (cfg.blocks[bid_a].src_line
+                            or cfg.blocks[bid_b].src_line)
+                    span = Span(line) if line else None
+                    if benign:
+                        out.append(Diagnostic(
+                            code=code,
+                            severity=Severity.INFO,
+                            message=(
+                                f"benign {what} conflict on {name}: "
+                                f"blocks {bid_a} and {bid_b} are "
+                                f"co-resident in a meta state and both "
+                                f"store the same constant"
+                            ),
+                            span=span,
+                        ))
+                    else:
+                        out.append(Diagnostic(
+                            code=code,
+                            severity=Severity.WARNING,
+                            message=(
+                                f"{what} race on {name}: blocks "
+                                f"{bid_a} and {bid_b} are co-resident "
+                                f"in a meta state, so the CSI schedule "
+                                f"decides the access order"
+                            ),
+                            span=span,
+                            hint="separate the accesses with a wait "
+                                 "barrier so the blocks can never "
+                                 "share a meta state",
+                        ))
+    return out

@@ -1,0 +1,285 @@
+"""Source-level lints over the analyzed AST (MSC040/041/042).
+
+These run on the sema-annotated AST, so every finding has an exact
+``line:col`` span:
+
+- **MSC040** — a declared variable that is never read (either never
+  referenced at all, or only ever written).  Dead poly slots waste
+  per-PE memory, which the paper's interpreter-memory argument
+  (section 1.1) treats as the scarce resource.
+- **MSC041** — statements that can never execute because they follow a
+  ``return`` / ``halt`` / ``break`` / ``continue`` in the same block.
+  A labeled statement re-enters via ``spawn``, so it (and what
+  follows) is reachable again.
+- **MSC042** — a branch or loop condition that folds to a constant:
+  the branch always goes one way, which in MSC terms means a two-arc
+  block (a meta-state splitter!) that never actually splits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lang import ast
+from repro.lang.sema import SemaInfo
+from repro.lint.diagnostics import Diagnostic, Severity, Span
+from repro.lint.driver import LintContext
+
+
+def _walk_exprs(e: ast.Expr | None, writing: bool = False
+                ) -> Iterator[tuple[ast.Expr, bool]]:
+    """Yield ``(node, is_read)`` for every name-ish node under ``e``.
+
+    The direct target of a plain ``=`` is a pure write; compound
+    assignment targets are read-modify-write.  Subscript index
+    expressions are always reads.
+    """
+    if e is None:
+        return
+    if isinstance(e, (ast.Name, ast.ProcNum, ast.NProc)):
+        yield e, not writing
+    elif isinstance(e, (ast.IndexRef, ast.ParallelRef)):
+        yield e, not writing
+        yield from _walk_exprs(e.index)
+    elif isinstance(e, ast.Unary):
+        yield from _walk_exprs(e.operand)
+    elif isinstance(e, ast.Binary):
+        yield from _walk_exprs(e.left)
+        yield from _walk_exprs(e.right)
+    elif isinstance(e, ast.Ternary):
+        yield from _walk_exprs(e.cond)
+        yield from _walk_exprs(e.if_true)
+        yield from _walk_exprs(e.if_false)
+    elif isinstance(e, ast.Assign):
+        yield from _walk_exprs(e.target, writing=(e.op == "="))
+        yield from _walk_exprs(e.value)
+    elif isinstance(e, ast.Call):
+        for a in e.args:
+            yield from _walk_exprs(a)
+    # literals carry no names
+
+
+def _stmt_exprs(stmt: ast.Stmt) -> Iterator[ast.Expr | None]:
+    if isinstance(stmt, ast.VarDecl):
+        yield stmt.init
+    elif isinstance(stmt, ast.ExprStmt):
+        yield stmt.expr
+    elif isinstance(stmt, ast.If):
+        yield stmt.cond
+    elif isinstance(stmt, (ast.While, ast.DoWhile)):
+        yield stmt.cond
+    elif isinstance(stmt, ast.For):
+        yield stmt.init
+        yield stmt.cond
+        yield stmt.update
+    elif isinstance(stmt, ast.ReturnStmt):
+        yield stmt.value
+
+
+def _walk_stmts(stmt: ast.Stmt | None) -> Iterator[ast.Stmt]:
+    if stmt is None:
+        return
+    yield stmt
+    if isinstance(stmt, ast.Block):
+        for s in stmt.body:
+            yield from _walk_stmts(s)
+    elif isinstance(stmt, ast.If):
+        yield from _walk_stmts(stmt.then)
+        yield from _walk_stmts(stmt.otherwise)
+    elif isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+        yield from _walk_stmts(stmt.body)
+    elif isinstance(stmt, ast.LabeledStmt):
+        yield from _walk_stmts(stmt.stmt)
+
+
+# ----------------------------------------------------------------------
+# MSC040 — unused / never-read variables
+# ----------------------------------------------------------------------
+def _unused_variables(prog: ast.Program,
+                      sema: SemaInfo | None) -> list[Diagnostic]:
+    read_uids: set[int] = set()
+    written_uids: set[int] = set()
+
+    def scan(e: ast.Expr | None) -> None:
+        for node, is_read in _walk_exprs(e):
+            sym = getattr(node, "symbol", None)
+            if sym is None:
+                continue
+            (read_uids if is_read else written_uids).add(sym.uid)
+
+    for func in prog.functions:
+        for stmt in _walk_stmts(func.body):
+            for e in _stmt_exprs(stmt):
+                scan(e)
+    for decl in prog.globals:
+        scan(decl.init)
+
+    out: list[Diagnostic] = []
+    declared: list[tuple[object, ast.Node]] = []
+    for decl in prog.globals:
+        sym = getattr(decl, "symbol", None)
+        if sym is not None:
+            declared.append((sym, decl))
+    for func in prog.functions:
+        for stmt in _walk_stmts(func.body):
+            if isinstance(stmt, ast.VarDecl):
+                sym = getattr(stmt, "symbol", None)
+                if sym is not None:
+                    declared.append((sym, stmt))
+        for p in func.params:
+            sym = getattr(p, "symbol", None)
+            if sym is not None:
+                declared.append((sym, p))
+
+    for sym, node in declared:
+        if sym.uid in read_uids:
+            continue
+        if sym.uid in written_uids:
+            msg = (f"variable {sym.name!r} is written but never read")
+        else:
+            msg = f"unused variable {sym.name!r}"
+        out.append(Diagnostic(
+            code="MSC040",
+            severity=Severity.WARNING,
+            message=msg,
+            span=Span(node.line, node.col) if node.line else None,
+            hint=f"remove {sym.name!r} to free its memory slot",
+        ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# MSC041 — unreachable statements
+# ----------------------------------------------------------------------
+def _terminates(stmt: ast.Stmt) -> bool:
+    """Does ``stmt`` unconditionally leave the enclosing block?"""
+    if isinstance(stmt, (ast.ReturnStmt, ast.HaltStmt,
+                         ast.BreakStmt, ast.ContinueStmt)):
+        return True
+    if isinstance(stmt, ast.Block):
+        return any(_terminates(s) for s in stmt.body)
+    if isinstance(stmt, ast.If):
+        return (stmt.otherwise is not None
+                and _terminates(stmt.then)
+                and _terminates(stmt.otherwise))
+    return False
+
+
+def _unreachable(prog: ast.Program) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+
+    def check_block(body: list[ast.Stmt]) -> None:
+        dead = False
+        for s in body:
+            if dead and not isinstance(s, (ast.LabeledStmt,
+                                           ast.EmptyStmt)):
+                out.append(Diagnostic(
+                    code="MSC041",
+                    severity=Severity.WARNING,
+                    message="unreachable code",
+                    span=Span(s.line, s.col) if s.line else None,
+                    hint="code after return/halt/break/continue only "
+                         "runs if a label makes it a spawn target",
+                ))
+                break
+            if isinstance(s, ast.LabeledStmt):
+                dead = False  # spawn re-enters here
+            if _terminates(s):
+                dead = True
+
+    for func in prog.functions:
+        for stmt in _walk_stmts(func.body):
+            if isinstance(stmt, ast.Block):
+                check_block(stmt.body)
+    return out
+
+
+# ----------------------------------------------------------------------
+# MSC042 — constant branch conditions
+# ----------------------------------------------------------------------
+def _const_eval(e: ast.Expr | None) -> float | int | None:
+    """Fold literal-only expressions; ``None`` when not constant."""
+    if isinstance(e, (ast.IntLit, ast.FloatLit)):
+        return e.value
+    if isinstance(e, ast.Unary):
+        v = _const_eval(e.operand)
+        if v is None:
+            return None
+        try:
+            if e.op == "-":
+                return -v
+            if e.op == "+":
+                return v
+            if e.op == "!":
+                return int(not v)
+            if e.op == "~":
+                return ~int(v)
+        except (TypeError, ValueError):
+            return None
+    if isinstance(e, ast.Binary):
+        a, b = _const_eval(e.left), _const_eval(e.right)
+        if a is None or b is None:
+            return None
+        try:
+            return {
+                "+": lambda: a + b, "-": lambda: a - b,
+                "*": lambda: a * b,
+                "/": lambda: a / b if b else None,
+                "%": lambda: a % b if b else None,
+                "<": lambda: int(a < b), "<=": lambda: int(a <= b),
+                ">": lambda: int(a > b), ">=": lambda: int(a >= b),
+                "==": lambda: int(a == b), "!=": lambda: int(a != b),
+                "&&": lambda: int(bool(a) and bool(b)),
+                "||": lambda: int(bool(a) or bool(b)),
+                "&": lambda: int(a) & int(b), "|": lambda: int(a) | int(b),
+                "^": lambda: int(a) ^ int(b),
+                "<<": lambda: int(a) << int(b),
+                ">>": lambda: int(a) >> int(b),
+            }[e.op]()
+        except (KeyError, TypeError, ValueError):
+            return None
+    return None
+
+
+def _constant_conditions(prog: ast.Program) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for func in prog.functions:
+        for stmt in _walk_stmts(func.body):
+            cond = None
+            what = ""
+            if isinstance(stmt, ast.If):
+                cond, what = stmt.cond, "if"
+            elif isinstance(stmt, ast.While):
+                cond, what = stmt.cond, "while"
+            elif isinstance(stmt, ast.DoWhile):
+                cond, what = stmt.cond, "do-while"
+            elif isinstance(stmt, ast.For):
+                cond, what = stmt.cond, "for"
+            if cond is None:
+                continue
+            v = _const_eval(cond)
+            if v is None:
+                continue
+            truth = "true" if v else "false"
+            out.append(Diagnostic(
+                code="MSC042",
+                severity=Severity.WARNING,
+                message=(f"{what} condition is always {truth}"),
+                span=Span(cond.line, cond.col) if cond.line else None,
+                hint="a constant condition never splits the meta "
+                     "state; simplify the control flow",
+            ))
+    return out
+
+
+def analyze_source(ctx: LintContext) -> list[Diagnostic]:
+    """All source-level lints, in code order."""
+    prog, sema = ctx.ast, ctx.sema
+    assert prog is not None and sema is not None
+    out: list[Diagnostic] = []
+    out.extend(_unused_variables(prog, sema))
+    out.extend(_unreachable(prog))
+    out.extend(_constant_conditions(prog))
+    out.sort(key=lambda d: (d.span.line if d.span else 0,
+                            d.span.col if d.span else 0, d.code))
+    return out

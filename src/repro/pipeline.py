@@ -83,6 +83,16 @@ class ConversionOptions:
     costs:
         Cycle-cost model shared by splitting, scheduling, and the
         simulators.
+    analyze:
+        Run the :mod:`repro.lint` analyzer suite as extra pipeline
+        stages (``analyze`` after ``opt-cfg``, ``analyze-meta`` after
+        ``plan``); findings land on the stage report.
+    werror:
+        With ``analyze``, treat warning-severity findings as compile
+        errors (:class:`~repro.errors.LintError`).
+    lint_select / lint_ignore:
+        Diagnostic-code prefixes to keep / drop (``MSC02`` matches the
+        whole race family).
     """
 
     compress: bool = _CONVERT_DEFAULTS.compress
@@ -95,6 +105,10 @@ class ConversionOptions:
     opt_level: int = field(default_factory=_default_opt_level)
     verify_passes: bool = False
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+    analyze: bool = False
+    werror: bool = False
+    lint_select: tuple = ()
+    lint_ignore: tuple = ()
 
     def convert_options(self) -> ConvertOptions:
         """The :class:`~repro.core.convert.ConvertOptions` view of these

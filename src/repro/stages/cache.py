@@ -36,13 +36,21 @@ from pathlib import Path
 
 #: Bump when the artifact layout changes incompatibly (every old entry
 #: is then invisible — old shards are simply never read again).
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 #: Top-level repro subpackages whose code determines compile output.
 #: ``simd``/``mimd`` (simulators) and ``analysis``/``viz`` are runtime
 #: consumers of the artifacts, not producers, so they do not invalidate.
+#: ``lint`` is included because analyze-mode compiles can fail (and so
+#: refuse to populate the cache) based on analyzer behavior.
 _COMPILER_PACKAGES = ("lang", "ir", "core", "csi", "hashenc", "opt",
-                      "codegen", "stages")
+                      "codegen", "stages", "lint")
+
+#: Options that only matter when the analyze stage is enabled.  With
+#: ``analyze`` off they cannot affect the artifacts, so they are left
+#: out of the fingerprint and plain compiles share one cache entry
+#: regardless of lint settings.
+_LINT_OPTION_FIELDS = ("analyze", "werror", "lint_select", "lint_ignore")
 
 _code_fingerprint_memo: str | None = None
 
@@ -78,9 +86,12 @@ def options_fingerprint(options) -> str:
     the nested cost model) for key derivation."""
     from dataclasses import fields as dc_fields
 
+    analyzing = bool(getattr(options, "analyze", False))
     parts = []
     for f in dc_fields(options):
         value = getattr(options, f.name)
+        if f.name in _LINT_OPTION_FIELDS and not analyzing:
+            continue
         if f.name == "costs":
             cost_parts = [
                 (cf.name, _freeze(getattr(value, cf.name)))

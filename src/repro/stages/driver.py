@@ -66,6 +66,8 @@ class CompileContext:
     #: Per-pass StageRecord rows keyed by stage name, filled by the
     #: ``opt-*`` stages and nested under their stage records.
     pass_records: dict = field(default_factory=dict)
+    #: Lint diagnostics accumulated by the ``analyze`` stages.
+    diagnostics: list = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -195,6 +197,93 @@ def _stage_plan(ctx: CompileContext) -> dict:
     return ctx.plan.stats()
 
 
+# ----------------------------------------------------------------------
+# optional analyze stages (repro.lint)
+# ----------------------------------------------------------------------
+_lint_registry = None
+
+
+def _preload_lint():
+    """Build (once) the analyzer registry outside the timed stage
+    bodies, so the ``analyze`` rows measure analysis rather than
+    first-import and registry-construction cost."""
+    global _lint_registry
+    if _lint_registry is None:
+        from repro.lint.driver import default_registry
+
+        _lint_registry = default_registry()
+    return _lint_registry
+
+
+def _lint_driver(options):
+    from repro.lint.driver import AnalysisDriver
+
+    return AnalysisDriver(
+        _preload_lint(),
+        select=tuple(getattr(options, "lint_select", ()) or ()),
+        ignore=tuple(getattr(options, "lint_ignore", ()) or ()),
+    )
+
+
+def _lint_counters(found) -> dict:
+    errors = sum(1 for d in found if d.severity == "error")
+    warnings = sum(1 for d in found if d.severity == "warning")
+    return {"diagnostics": len(found), "errors": errors,
+            "warnings": warnings}
+
+
+def _raise_on_lint_errors(ctx: CompileContext, found) -> None:
+    from repro.errors import LintError
+
+    errors = [d for d in found if d.severity == "error"]
+    if errors:
+        raise LintError(
+            f"{errors[0].code}: {errors[0].message}", ctx.diagnostics)
+
+
+def _stage_analyze(ctx: CompileContext) -> dict:
+    """Pre-convert analyzers: CFG verifier, barrier deadlocks,
+    explosion estimate, source lints.  Error-severity findings abort
+    the compile here — before ``convert`` can explode."""
+    from repro.lint.driver import LintContext
+
+    lc = LintContext(source=ctx.source, options=ctx.options,
+                     ast=ctx.ast, sema=ctx.sema, cfg=ctx.cfg)
+    found, records = _lint_driver(ctx.options).run_phase(lc, "cfg")
+    ctx.pass_records["analyze"] = records
+    ctx.diagnostics.extend(found)
+    _raise_on_lint_errors(ctx, found)
+    return _lint_counters(found)
+
+
+def _stage_analyze_meta(ctx: CompileContext) -> dict:
+    """Post-convert analyzers: meta graph/program/plan verifier and the
+    meta-state race detector (needs the converted graph)."""
+    from repro.lint.driver import LintContext
+
+    lc = LintContext(source=ctx.source, options=ctx.options,
+                     ast=ctx.ast, sema=ctx.sema, cfg=ctx.cfg,
+                     graph=ctx.graph, program=ctx.program, plan=ctx.plan)
+    found, records = _lint_driver(ctx.options).run_phase(lc, "meta")
+    ctx.pass_records["analyze-meta"] = records
+    ctx.diagnostics.extend(found)
+    _raise_on_lint_errors(ctx, found)
+    return _lint_counters(found)
+
+
+def _check_werror(ctx: CompileContext) -> None:
+    from repro.errors import LintError
+
+    if not getattr(ctx.options, "werror", False):
+        return
+    offenders = [d for d in ctx.diagnostics
+                 if d.severity in ("warning", "error")]
+    if offenders:
+        raise LintError(
+            f"--Werror: {len(offenders)} warning(s) treated as errors",
+            ctx.diagnostics)
+
+
 #: The pipeline, dependency order. Names are stable API — tests, the
 #: CLI table, and the JSON report all key on them.
 PIPELINE_STAGES: tuple[Stage, ...] = (
@@ -209,6 +298,28 @@ PIPELINE_STAGES: tuple[Stage, ...] = (
 )
 
 STAGE_NAMES: tuple[str, ...] = tuple(s.name for s in PIPELINE_STAGES)
+
+#: The optional analyzer stages, spliced in by :func:`stages_for`.
+ANALYZE_STAGE = Stage("analyze", _stage_analyze)
+ANALYZE_META_STAGE = Stage("analyze-meta", _stage_analyze_meta)
+
+
+def stages_for(options) -> tuple[Stage, ...]:
+    """The stage list for ``options``: the fixed eight-stage pipeline,
+    plus — when ``options.analyze`` is set — the ``analyze`` stage
+    after ``opt-cfg`` (so explosion errors abort before ``convert``)
+    and ``analyze-meta`` after ``plan`` (races need the meta graph)."""
+    if not getattr(options, "analyze", False):
+        return PIPELINE_STAGES
+    _preload_lint()
+    out: list[Stage] = []
+    for stage in PIPELINE_STAGES:
+        out.append(stage)
+        if stage.name == "opt-cfg":
+            out.append(ANALYZE_STAGE)
+        elif stage.name == "plan":
+            out.append(ANALYZE_META_STAGE)
+    return tuple(out)
 
 
 # ----------------------------------------------------------------------
@@ -232,6 +343,8 @@ def run_pipeline(source: str, options, cache=None):
         if payload is not None:
             report.cache = "hit"
             _record_cached_stages(report, payload)
+            if getattr(options, "analyze", False):
+                _analyze_cached(source, options, payload, report)
             result = ConversionResult(
                 source=source, cfg=payload.cfg, graph=payload.graph,
                 options=options, restarts=payload.restarts,
@@ -242,8 +355,11 @@ def run_pipeline(source: str, options, cache=None):
         report.cache = "miss"
 
     ctx = CompileContext(source=source, options=options)
-    for stage in PIPELINE_STAGES:
+    for stage in stages_for(options):
         stage.execute(ctx, report)
+    report.diagnostics = list(ctx.diagnostics)
+    # Only lint-passing compiles are worth caching under --Werror.
+    _check_werror(ctx)
 
     if cache is not None:
         t0 = time.perf_counter()
@@ -260,6 +376,31 @@ def run_pipeline(source: str, options, cache=None):
     result._program = ctx.program
     result.report = report
     return result
+
+
+def _analyze_cached(source: str, options, payload: CachedCompile,
+                    report: StageReport) -> None:
+    """Re-run the analyzers on a cache hit.
+
+    Diagnostics are not stored in the cache bundle — analyzers are
+    deterministic and cheap relative to convert/encode, so a warm hit
+    re-parses the source (for the AST-level lints) and re-analyzes the
+    loaded artifacts, producing the exact rows and findings of the cold
+    run.  Only lint-passing compiles are ever stored, so this cannot
+    turn a cached success into a new failure except under the same
+    options that would have failed cold."""
+    _preload_lint()
+    ctx = CompileContext(source=source, options=options)
+    _stage_parse(ctx)
+    _stage_sema(ctx)
+    ctx.cfg = payload.cfg
+    ctx.graph = payload.graph
+    ctx.program = payload.program
+    ctx.plan = payload.program.plan() if payload.program is not None else None
+    ANALYZE_STAGE.execute(ctx, report)
+    ANALYZE_META_STAGE.execute(ctx, report)
+    report.diagnostics = list(ctx.diagnostics)
+    _check_werror(ctx)
 
 
 def _record_cached_stages(report: StageReport, payload: CachedCompile) -> None:

@@ -70,6 +70,9 @@ class StageReport:
     records: list = field(default_factory=list)
     load_seconds: float = 0.0
     store_seconds: float = 0.0
+    #: Lint findings from the ``analyze`` stages (``repro.lint``
+    #: Diagnostic records); empty unless ``--analyze`` was on.
+    diagnostics: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def add(self, name: str, seconds: float = 0.0, *, cached: bool = False,
@@ -110,7 +113,7 @@ class StageReport:
     # ------------------------------------------------------------------
     def to_json(self) -> dict:
         """A machine-readable dict (what ``--report-json`` emits)."""
-        return {
+        data = {
             "key": self.key,
             "cache": self.cache,
             "total_seconds": self.total_seconds,
@@ -120,6 +123,9 @@ class StageReport:
             "cache_misses": self.cache_misses,
             "stages": [rec.to_json() for rec in self.records],
         }
+        if self.diagnostics:
+            data["diagnostics"] = [d.to_json() for d in self.diagnostics]
+        return data
 
     def write_json(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as fh:
@@ -142,4 +148,10 @@ class StageReport:
                                        counters=p.get("counters", {}))
                            for p in rec.get("passes", ())
                        ])
+        if data.get("diagnostics"):
+            from repro.lint.diagnostics import Diagnostic
+
+            report.diagnostics = [
+                Diagnostic.from_json(d) for d in data["diagnostics"]
+            ]
         return report

@@ -160,3 +160,41 @@ def test_cold_and_warm_runs_bit_identical(name, tmp_path):
             assert np.array_equal(va, vb, equal_nan=True), field_name
         else:
             assert va == vb, field_name
+
+
+class TestLintOptionsInKey:
+    def test_lint_fields_ignored_when_analyze_off(self):
+        base = compile_key(LISTING1_RUNNABLE, ConversionOptions())
+        noisy = ConversionOptions(werror=True,
+                                  lint_select=("MSC01",),
+                                  lint_ignore=("MSC04",))
+        assert base == compile_key(LISTING1_RUNNABLE, noisy)
+
+    def test_analyze_mode_gets_distinct_keys(self):
+        base = compile_key(LISTING1_RUNNABLE, ConversionOptions())
+        keys = {
+            base,
+            compile_key(LISTING1_RUNNABLE,
+                        ConversionOptions(analyze=True)),
+            compile_key(LISTING1_RUNNABLE,
+                        ConversionOptions(analyze=True, werror=True)),
+            compile_key(LISTING1_RUNNABLE,
+                        ConversionOptions(analyze=True,
+                                          lint_ignore=("MSC04",))),
+        }
+        assert len(keys) == 4
+
+    def test_cache_version_covers_lint(self):
+        # The lint package joined _COMPILER_PACKAGES and the entry
+        # format carries its fingerprint; v3 invalidates older roots.
+        assert CACHE_VERSION >= 3
+
+    def test_warm_hit_with_analyze_reproduces_diagnostics(self, tmp_path):
+        source = all_sources()["odd_even_sort"]
+        cache = CompileCache(root=tmp_path)
+        opts = ConversionOptions(analyze=True)
+        cold = convert_source(source, opts, cache=cache)
+        warm = convert_source(source, opts, cache=cache)
+        assert (cold.report.cache, warm.report.cache) == ("miss", "hit")
+        assert [d.to_json() for d in warm.report.diagnostics] == \
+            [d.to_json() for d in cold.report.diagnostics]

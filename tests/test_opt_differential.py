@@ -46,3 +46,22 @@ def test_opt_levels_bit_identical(name, compress):
     for level in OPT_LEVELS[1:]:
         assert np.array_equal(returns[0], returns[level],
                               equal_nan=True), (name, level)
+
+
+@pytest.mark.parametrize("name", sorted(all_sources()))
+def test_analyze_is_a_pure_observer(name):
+    """Differential guard for the analyzer suite: compiling with
+    ``--analyze`` on must produce a bit-identical artifact to the same
+    compile with it off — analyzers read every pipeline product but may
+    never influence one."""
+    source = all_sources()[name]
+    plain = convert_source(source, ConversionOptions(), cache=None)
+    linted = convert_source(source, ConversionOptions(analyze=True),
+                            cache=None)
+    assert plain.mpl_text() == linted.mpl_text(), name
+    assert plain.graph.states == linted.graph.states, name
+    a = simulate_simd(plain, npes=NPES, active=ACTIVE)
+    b = simulate_simd(linted, npes=NPES, active=ACTIVE)
+    assert np.array_equal(a.returns, b.returns, equal_nan=True), name
+    assert np.array_equal(a.poly, b.poly), name
+    assert np.array_equal(a.mono, b.mono), name

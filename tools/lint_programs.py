@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Lint every MIMDC program shipped with the repository.
+
+The CI ``lint`` job runs this with ``--Werror``: the workload library
+and the example programs (module-level MIMDC string constants in
+``examples/*.py`` — every example guards execution behind
+``__main__``, so importing them is side-effect free) must stay free of
+warning- and error-severity findings.  ``--json-dir`` writes one JSON
+report per program, uploaded as a CI artifact so new findings are
+diffable across PRs.
+
+Run locally:  python tools/lint_programs.py --Werror
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import pathlib
+import sys
+from typing import Iterator
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.lint import lint_source, render_text  # noqa: E402
+from repro.workloads import all_sources  # noqa: E402
+
+
+def example_sources() -> Iterator[tuple[str, str]]:
+    """Yield ``(label, source)`` for every MIMDC constant in examples."""
+    for path in sorted((REPO / "examples").glob("*.py")):
+        spec = importlib.util.spec_from_file_location(
+            f"_lint_example_{path.stem}", path)
+        assert spec is not None and spec.loader is not None
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        for attr in sorted(vars(module)):
+            value = getattr(module, attr)
+            if attr.startswith("_") or not isinstance(value, str):
+                continue
+            if "main()" in value and "return" in value:
+                yield f"examples/{path.name}::{attr}", value
+
+
+def collect_programs() -> dict[str, str]:
+    programs = {f"workloads::{name}": src
+                for name, src in all_sources().items()}
+    programs.update(example_sources())
+    return programs
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--Werror", dest="werror", action="store_true",
+                        help="treat warnings as failures")
+    parser.add_argument("--json-dir", type=pathlib.Path, default=None,
+                        help="write one JSON diagnostics report per "
+                             "program into this directory")
+    args = parser.parse_args(argv)
+
+    if args.json_dir is not None:
+        args.json_dir.mkdir(parents=True, exist_ok=True)
+
+    failed = []
+    programs = collect_programs()
+    for label, source in programs.items():
+        result = lint_source(source, filename=label)
+        ok = result.ok(werror=args.werror)
+        if not ok:
+            failed.append(label)
+        if result.diagnostics or not ok:
+            print(f"== {label}")
+            print(render_text(result.diagnostics, source=source,
+                              filename=label))
+        if args.json_dir is not None:
+            slug = label.replace("/", "_").replace("::", "--")
+            (args.json_dir / f"{slug}.json").write_text(json.dumps(
+                {
+                    "program": label,
+                    "ok": ok,
+                    "diagnostics": [d.to_json()
+                                    for d in result.diagnostics],
+                },
+                indent=2, sort_keys=True))
+
+    print(f"linted {len(programs)} programs "
+          f"({len(failed)} failed{' under --Werror' if args.werror else ''})")
+    if failed:
+        for label in failed:
+            print(f"FAILED: {label}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
