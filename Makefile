@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: test bench bench-smoke examples props lint-programs all coverage
+.PHONY: test bench bench-pytest bench-smoke examples props lint-programs all coverage
 
 test:
 	$(PY) -m pytest tests/ -q
@@ -10,7 +10,13 @@ test:
 props:
 	$(PY) -m pytest tests/test_properties.py tests/test_csi_exact.py -q
 
+# Backend benchmark (kernels / plan / interp over the workload library
+# + the 16K-PE scaling check); writes BENCH_5.json and fails if the
+# fused kernels are slower than the plan executor.
 bench:
+	$(PY) tools/bench.py
+
+bench-pytest:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q -s
 
 # The three fastest benchmark files (marked smoke), under a hard time

@@ -157,6 +157,13 @@ def cmd_compile(args: argparse.Namespace) -> int:
     result = _convert(args)
     if args.emit == "mpl":
         print(result.mpl_text())
+    elif args.emit == "kernel":
+        kern = result.simd_program().kernels()
+        if kern is None:
+            print("// kernel generation unsupported for this program "
+                  "(static stack depths unresolvable)", file=sys.stderr)
+            return 1
+        print(kern.source)
     elif args.emit == "graph":
         print(ascii_graph(result.graph))
     elif args.emit == "dot":
@@ -181,11 +188,20 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _backend(args: argparse.Namespace) -> str | None:
+    """Resolve the executor choice: ``--backend`` wins, the legacy
+    ``--no-plans`` spells ``interp``, default is the machine's
+    (kernels)."""
+    if args.backend:
+        return args.backend
+    return "interp" if args.no_plans else None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     result = _convert(args)
     simd = simulate_simd(result, npes=args.npes, active=args.active,
                          max_steps=args.max_steps,
-                         use_plans=not args.no_plans)
+                         backend=_backend(args))
     print(f"returns: {simd.returns}")
     print(f"cycles: {simd.cycles} (body {simd.body_cycles}, "
           f"transitions {simd.transition_cycles})")
@@ -208,7 +224,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     result = _convert(args)
     row = compare_msc_vs_interpreter(args.source, result, npes=args.npes,
                                      active=args.active,
-                                     use_plans=not args.no_plans)
+                                     backend=_backend(args))
     print(format_table([row]))
     _emit_report(args, result)
     return 0
@@ -254,8 +270,8 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("compile", help="convert and print an artifact")
     _add_common(p)
     p.add_argument("--emit", default="summary",
-                   choices=["summary", "mpl", "graph", "dot", "dot-opt",
-                            "cfg", "cfg-dot"])
+                   choices=["summary", "mpl", "kernel", "graph", "dot",
+                            "dot-opt", "cfg", "cfg-dot"])
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("run", help="execute on the SIMD machine")
@@ -263,9 +279,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--npes", type=int, default=16)
     p.add_argument("--active", type=int, default=None)
     p.add_argument("--max-steps", type=int, default=1_000_000)
+    p.add_argument("--backend", choices=["kernels", "plan", "interp"],
+                   default=None,
+                   help="SIMD executor: fused generated kernels "
+                        "(default), the precompiled plan tables, or the "
+                        "interpretive reference — identical results")
     p.add_argument("--no-plans", action="store_true",
-                   help="use the interpretive executor instead of the "
-                        "precompiled plan (differential oracle)")
+                   help="alias for --backend interp (differential oracle)")
     p.add_argument("--check", action="store_true",
                    help="cross-check against the MIMD reference machine")
     p.set_defaults(func=cmd_run)
@@ -274,9 +294,11 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(p)
     p.add_argument("--npes", type=int, default=16)
     p.add_argument("--active", type=int, default=None)
+    p.add_argument("--backend", choices=["kernels", "plan", "interp"],
+                   default=None,
+                   help="SIMD executor backend (default kernels)")
     p.add_argument("--no-plans", action="store_true",
-                   help="use the interpretive executor instead of the "
-                        "precompiled plan")
+                   help="alias for --backend interp")
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("lint", help="run the static analyzers only")

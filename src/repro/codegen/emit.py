@@ -96,6 +96,10 @@ class SimdProgram:
     #: Compiled execution plan (see :mod:`repro.codegen.plan`), built
     #: once per program and cached; pure derived data.
     _plan: object = field(default=None, repr=False, compare=False)
+    #: Fused per-node kernels (see :mod:`repro.codegen.kernels`):
+    #: ``"unbuilt"`` until first use, then a ``KernelProgram`` or
+    #: ``None`` when generation is unsupported for this program.
+    _kernels: object = field(default="unbuilt", repr=False, compare=False)
 
     def plan(self):
         """The precompiled :class:`~repro.codegen.plan.ProgramPlan` for
@@ -107,6 +111,20 @@ class SimdProgram:
 
             self._plan = compile_plan(self)
         return self._plan
+
+    def kernels(self):
+        """The fused per-node execution kernels
+        (:class:`~repro.codegen.kernels.KernelProgram`) for this
+        program, generated on first use and cached — like :meth:`plan`
+        the generated source travels with the program artifact, so a
+        warm compile-cache hit loads it without regenerating. ``None``
+        when kernel generation does not support this program (static
+        stack depths unresolvable)."""
+        if self._kernels == "unbuilt":
+            from repro.codegen.kernels import compile_kernels
+
+            self._kernels = compile_kernels(self)
+        return self._kernels
 
     def node_count(self) -> int:
         return len(self.nodes)

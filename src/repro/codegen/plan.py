@@ -25,7 +25,15 @@ runners exploit):
   triples replacing the ``isinstance`` dispatch;
 - **bit weights** — the ``bid -> 1 << bid`` table (object dtype once
   ids exceed an int64 word) making ``globalor`` one
-  ``bitwise_or.reduce`` over the live lanes.
+  ``bitwise_or.reduce`` over the live lanes;
+- **absolute entry depths** — a whole-program dataflow over the plan
+  resolves every member's operand-stack depth at segment entry to a
+  compile-time constant (the CFG verifier guarantees consistency; spawn
+  children restart at depth 0). Each entry's stack row is then a
+  precomputed scalar — or, when a CSI entry is shared by members at
+  different depths, a precomputed per-bid table — so neither the plan
+  executor nor the fused kernels (:mod:`repro.codegen.kernels`) ever
+  reads ``st.sp`` during a body.
 
 Plans change *nothing* about the simulated cost model: the machine
 charges exactly the same cycles per entry and per terminator; only the
@@ -76,6 +84,18 @@ class SegmentPlan:
     kinds: tuple                # per member: terminator kind code
     on_true: tuple              # per member: Fall target / CondBr on_true / spawn child
     on_false: tuple             # per member: CondBr on_false / spawn cont
+    #: Static absolute operand-stack depth of each member at segment
+    #: entry (aligned with ``member_bids``), or ``None`` when the
+    #: program-level dataflow could not resolve them (hand-built
+    #: programs with inconsistent paths).
+    entry_depths: tuple | None = None
+    #: Per entry: the absolute stack depth before it as a scalar when
+    #: every guard member agrees, else ``None`` (see ``depth_tables``).
+    depth_scalars: tuple | None = None
+    #: Per entry: a ``bid -> absolute depth`` int64 table for the
+    #: mixed-depth case (dispatch chains), else ``None``. Exactly one of
+    #: ``depth_scalars[e]`` / ``depth_tables[e]`` is set per entry.
+    depth_tables: tuple | None = None
 
 
 @dataclass
@@ -93,6 +113,9 @@ class ProgramPlan:
     n_bids: int                     # block ids span 0 .. n_bids - 1
     bit_weights: np.ndarray         # (n_bids,) 1 << bid; object dtype when wide
     nodes: dict = field(default_factory=dict)  # entry meta state -> NodePlan
+    #: ``bid -> absolute stack depth at block entry`` resolved by
+    #: :func:`_entry_depth_dataflow`, or ``None`` when unresolvable.
+    static_depths: dict | None = None
 
     def stats(self) -> dict:
         """Plan-size counters for the stage report."""
@@ -103,6 +126,11 @@ class ProgramPlan:
             "plan_entries": sum(len(sp.instrs) for sp in segments),
             "plan_guard_rows": sum(
                 1 for sp in segments for m in sp.src_modes if m == SRC_SUBSET
+            ),
+            "plan_static_depths": int(self.static_depths is not None),
+            "plan_depth_tables": sum(
+                1 for sp in segments for t in (sp.depth_tables or ())
+                if t is not None
             ),
         }
 
@@ -122,7 +150,88 @@ def compile_plan(prog) -> ProgramPlan:
         plan.nodes[key] = NodePlan(
             segments=[_compile_segment(seg, n_bids) for seg in node.segments]
         )
+    plan.static_depths = _entry_depth_dataflow(prog, plan)
+    if plan.static_depths is not None:
+        for nplan in plan.nodes.values():
+            for sp in nplan.segments:
+                _attach_static_depths(sp, plan.static_depths, n_bids)
     return plan
+
+
+def _entry_depth_dataflow(prog, plan: ProgramPlan) -> dict | None:
+    """Resolve the absolute operand-stack depth at entry of every member
+    block by propagating from the start state through the terminator
+    tables (Fall keeps the body's final depth, CondBr pops the
+    condition, spawn children restart at 0 — they are fresh PEs).
+
+    Returns ``bid -> depth`` covering every member of every segment, or
+    ``None`` when any block is reached at two different depths, a depth
+    goes negative, or some member is never reached (only possible for
+    hand-built programs — CFG-verified compiles are always consistent).
+    """
+    depths: dict[int, int] = {bid: 0 for bid in prog.start}
+    changed = True
+    while changed:
+        changed = False
+        for nplan in plan.nodes.values():
+            for sp in nplan.segments:
+                for j, bid in enumerate(sp.member_bids):
+                    d = depths.get(bid)
+                    if d is None:
+                        continue
+                    fin = d + sp.total_delta[j]
+                    kind = sp.kinds[j]
+                    if kind == K_FALL:
+                        targets = ((sp.on_true[j], fin),)
+                    elif kind == K_COND:
+                        targets = ((sp.on_true[j], fin - 1),
+                                   (sp.on_false[j], fin - 1))
+                    elif kind == K_SPAWN:
+                        targets = ((sp.on_true[j], 0),
+                                   (sp.on_false[j], fin))
+                    else:  # K_RET / K_HALT: no live successor
+                        targets = ()
+                    for t, td in targets:
+                        if td < 0:
+                            return None
+                        prev = depths.get(t)
+                        if prev is None:
+                            depths[t] = td
+                            changed = True
+                        elif prev != td:
+                            return None
+    for nplan in plan.nodes.values():
+        for sp in nplan.segments:
+            for bid in sp.member_bids:
+                if bid not in depths:
+                    return None
+    return depths
+
+
+def _attach_static_depths(sp: SegmentPlan, depths: dict,
+                          n_bids: int) -> None:
+    """Precompute each entry's absolute stack depth for ``sp``: a scalar
+    when the guard members agree, else a ``bid -> depth`` gather table
+    (the mixed-depth dispatch-chain case)."""
+    entry = tuple(depths[bid] for bid in sp.member_bids)
+    scalars: list = []
+    tables: list = []
+    for e in range(len(sp.instrs)):
+        gm = sp.guard_members[e]
+        rel = sp.rel_depths[e]
+        abs_depths = [entry[j] + rel[k] for k, j in enumerate(gm)]
+        if len(set(abs_depths)) == 1:
+            scalars.append(abs_depths[0])
+            tables.append(None)
+        else:
+            table = np.zeros(n_bids, dtype=np.int64)
+            for k, j in enumerate(gm):
+                table[sp.member_bids[j]] = abs_depths[k]
+            scalars.append(None)
+            tables.append(table)
+    sp.entry_depths = entry
+    sp.depth_scalars = tuple(scalars)
+    sp.depth_tables = tuple(tables)
 
 
 def _compile_segment(seg, n_bids: int) -> SegmentPlan:

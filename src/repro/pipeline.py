@@ -194,22 +194,25 @@ def convert_source(
 
 def simulate_simd(result: ConversionResult, npes: int, *,
                   active: int | None = None, max_steps: int = 1_000_000,
-                  use_plans: bool = True):
+                  use_plans: bool = True, backend: str | None = None):
     """Execute the converted program on the SIMD machine simulator.
 
     ``active`` limits how many PEs start in ``main`` (the rest sit in
-    the free pool for ``spawn`` to claim); default all. ``use_plans``
-    selects the plan-compiled executor (default) or the interpretive
-    reference one — identical results either way. The precompiled plan
-    travels with the program artifact, so repeated (and warm-cache)
-    runs never rebuild it.
+    the free pool for ``spawn`` to claim); default all. ``backend``
+    picks the executor: ``"kernels"`` (fused generated code, the
+    default), ``"plan"`` (dense-table executor), or ``"interp"`` (the
+    interpretive reference) — bit-identical results across all three.
+    ``use_plans=False`` is the older spelling of ``backend="interp"``.
+    The precompiled plan and the generated kernel source travel with
+    the program artifact, so repeated (and warm-cache) runs never
+    rebuild them.
     """
     from repro.simd.machine import SimdMachine
 
     machine = SimdMachine(npes=npes, costs=result.options.costs,
-                          use_plans=use_plans)
+                          use_plans=use_plans, backend=backend)
     prog = result.simd_program()
-    plan = result.exec_plan() if use_plans else None
+    plan = result.exec_plan() if machine.use_plans else None
     return machine.run(prog, active=active, max_steps=max_steps, plan=plan)
 
 

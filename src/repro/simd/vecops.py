@@ -8,6 +8,10 @@ machine's guarded groups keep them uniform within the enabled set).
 
 The semantics match :mod:`repro.ir.semantics` bit-for-bit for values
 representable in int64 (the package's numeric model; see DESIGN.md).
+This module is also the semantic reference for the fused kernel
+generator: :mod:`repro.codegen.kernels` inlines these operations
+expression for expression, and ``tests/test_kernels.py`` holds the
+generated code to bit-identical results.
 
 Deterministic router conflicts: when several enabled PEs ``StR`` to the
 same destination, the highest-indexed writer wins (``idxs`` is kept

@@ -36,7 +36,9 @@ from pathlib import Path
 
 #: Bump when the artifact layout changes incompatibly (every old entry
 #: is then invisible — old shards are simply never read again).
-CACHE_VERSION = 3
+#: v4: cached programs carry the generated fused-kernel source
+#: (``SimdProgram._kernels``).
+CACHE_VERSION = 4
 
 #: Top-level repro subpackages whose code determines compile output.
 #: ``simd``/``mimd`` (simulators) and ``analysis``/``viz`` are runtime

@@ -18,6 +18,7 @@ The stages, in order::
     opt-meta  automaton             -> StraightenedGraph (repro.opt passes)
     encode    CFG + chains          -> SimdProgram (CSI + hash encoding)
     plan      SimdProgram           -> ProgramPlan (dense executor tables)
+    kernels   ProgramPlan           -> KernelProgram (fused per-node code)
 
 The two ``opt-*`` stages run the :mod:`repro.opt` pass pipeline chosen
 by ``ConversionOptions.opt_level``; their per-pass timing/counter rows
@@ -197,6 +198,15 @@ def _stage_plan(ctx: CompileContext) -> dict:
     return ctx.plan.stats()
 
 
+def _stage_kernels(ctx: CompileContext) -> dict:
+    kern = ctx.program.kernels()
+    if kern is None:
+        # Static depths unresolvable: the machine stays on the plan
+        # path. Recorded, not fatal.
+        return {"kernel_nodes": 0}
+    return kern.stats()
+
+
 # ----------------------------------------------------------------------
 # optional analyze stages (repro.lint)
 # ----------------------------------------------------------------------
@@ -295,6 +305,7 @@ PIPELINE_STAGES: tuple[Stage, ...] = (
     Stage("opt-meta", _stage_opt_meta),
     Stage("encode", _stage_encode),
     Stage("plan", _stage_plan),
+    Stage("kernels", _stage_kernels),
 )
 
 STAGE_NAMES: tuple[str, ...] = tuple(s.name for s in PIPELINE_STAGES)
@@ -305,10 +316,11 @@ ANALYZE_META_STAGE = Stage("analyze-meta", _stage_analyze_meta)
 
 
 def stages_for(options) -> tuple[Stage, ...]:
-    """The stage list for ``options``: the fixed eight-stage pipeline,
+    """The stage list for ``options``: the fixed nine-stage pipeline,
     plus — when ``options.analyze`` is set — the ``analyze`` stage
     after ``opt-cfg`` (so explosion errors abort before ``convert``)
-    and ``analyze-meta`` after ``plan`` (races need the meta graph)."""
+    and ``analyze-meta`` after ``plan`` (races need the meta graph;
+    kernel generation runs only on lint-clean programs)."""
     if not getattr(options, "analyze", False):
         return PIPELINE_STAGES
     _preload_lint()
@@ -418,6 +430,12 @@ def _record_cached_stages(report: StageReport, payload: CachedCompile) -> None:
             "nodes": payload.program.node_count(),
             "cu_instructions": payload.program.control_unit_instructions(),
         },
+        # The generated kernel source travels inside the cached program
+        # (see KernelProgram.__getstate__) — a warm hit reports its
+        # stats without regenerating anything.
+        "kernels": lambda: (payload.program.kernels().stats()
+                            if payload.program.kernels() is not None
+                            else {"kernel_nodes": 0}),
     }
     for name in STAGE_NAMES:
         counters = derived.get(name, dict)()

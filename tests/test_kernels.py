@@ -1,0 +1,236 @@
+"""Differential tests for the fused-kernel SIMD executor.
+
+``SimdMachine(backend="kernels")`` runs one generated, compiled
+function per automaton node (:mod:`repro.codegen.kernels`); the
+``plan`` (dense tables) and ``interp`` (interpretive reference)
+backends stay available as differential oracles. The kernels are a
+host-side optimization: every accounting field of
+:class:`~repro.simd.machine.SimdResult` must be bit-identical across
+all three backends, and the generated source must travel with the
+program artifact through pickling and the compile cache.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.codegen.kernels import KernelProgram, compile_kernels
+from repro.pipeline import ConversionOptions, convert_source
+from repro.simd.machine import BACKENDS, SimdMachine
+from repro.workloads import STANDARD
+
+EXACT_FIELDS = (
+    "cycles",
+    "body_cycles",
+    "transition_cycles",
+    "enabled_pe_cycles",
+    "meta_transitions",
+)
+ARRAY_FIELDS = ("pc", "poly", "mono")
+
+
+def run_backends(result, npes, active=None, backends=BACKENDS):
+    runs = {}
+    for backend in backends:
+        machine = SimdMachine(npes=npes, costs=result.options.costs,
+                              backend=backend)
+        runs[backend] = machine.run(result.simd_program(), active=active)
+    return runs
+
+
+def assert_identical(a, b, label):
+    for fld in EXACT_FIELDS:
+        assert getattr(a, fld) == getattr(b, fld), (label, fld)
+    for fld in ARRAY_FIELDS:
+        assert np.array_equal(getattr(a, fld), getattr(b, fld)), (label, fld)
+    assert np.array_equal(a.returns, b.returns, equal_nan=True), label
+    assert a.node_visits == b.node_visits, label
+    assert abs(a.utilization - b.utilization) == 0, label
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("name", sorted(STANDARD))
+    @pytest.mark.parametrize("compress", (False, True))
+    def test_workload_bit_identical(self, name, compress):
+        src = STANDARD[name]()
+        result = convert_source(src, ConversionOptions(compress=compress))
+        for npes in (8, 33):
+            # Spawning workloads need idle PEs in the free pool.
+            active = npes // 2 if "spawn" in src else None
+            runs = run_backends(result, npes, active=active)
+            ref = runs["interp"]
+            for backend, res in runs.items():
+                assert_identical(res, ref, (name, compress, npes, backend))
+
+    def test_single_pe(self):
+        result = convert_source(STANDARD["mandelbrot"]())
+        runs = run_backends(result, 1)
+        assert_identical(runs["kernels"], runs["interp"], "single_pe")
+
+    def test_trace_falls_back_to_plan(self):
+        # Kernels record no per-PE trace; with trace=True the machine
+        # must run the plan path and still produce the oracle's trace.
+        result = convert_source(STANDARD["divergent_loops"]())
+        prog = result.simd_program()
+        a = SimdMachine(npes=8, costs=result.options.costs, trace=True,
+                        backend="kernels").run(prog)
+        b = SimdMachine(npes=8, costs=result.options.costs, trace=True,
+                        backend="interp").run(prog)
+        assert a.trace is not None
+        assert a.trace == b.trace
+        assert_identical(a, b, "trace")
+
+    def test_foreign_cost_model_falls_back(self):
+        # Kernels fold the compile-time cost model into constants, so a
+        # machine with a different model must not use them — and must
+        # still match the interpretive executor under that model.
+        from dataclasses import replace
+
+        from repro.ir.instr import DEFAULT_COSTS
+
+        result = convert_source(STANDARD["divergent_loops"]())
+        costs = replace(DEFAULT_COSTS,
+                        globalor_cost=DEFAULT_COSTS.globalor_cost + 3)
+        prog = result.simd_program()
+        a = SimdMachine(npes=8, costs=costs, backend="kernels").run(prog)
+        b = SimdMachine(npes=8, costs=costs, backend="interp").run(prog)
+        assert_identical(a, b, "foreign_costs")
+        # The folded-cost kernels would have produced different cycles.
+        k = SimdMachine(npes=8, costs=result.options.costs,
+                        backend="kernels").run(prog)
+        assert k.cycles != a.cycles
+
+    def test_constant_branch_empty_group(self):
+        # A block body that reduces to a single forwarded scalar push
+        # (here: the constant-false branch condition) emits no code at
+        # all inside its lane guard; the generator must still produce a
+        # syntactically valid suite (hypothesis-found regression).
+        src = """
+        main() {
+            poly int a; poly int i0;
+            a = procnum;
+            for (i0 = 0; i0 < 1; i0 += 1) {
+                if (0) { a = 0; }
+            }
+            return (0);
+        }
+        """
+        result = convert_source(src)
+        assert result.simd_program().kernels() is not None
+        runs = run_backends(result, 8)
+        ref = runs["interp"]
+        for backend, res in runs.items():
+            assert_identical(res, ref, ("empty_group", backend))
+
+    def test_unknown_backend_rejected(self):
+        from repro.errors import MachineError
+
+        with pytest.raises(MachineError, match="unknown backend"):
+            SimdMachine(npes=4, backend="jit")
+
+
+class TestMixedDepthDispatch:
+    """Dispatch chains whose members enter an entry at *different* stack
+    depths use the per-``pc`` depth tables precompiled on the plan (and
+    baked into the kernels as ``_K*_D*`` constants)."""
+
+    @pytest.mark.parametrize("name", ("divergent_phases", "collatz_depth"))
+    def test_workload_has_depth_tables(self, name):
+        result = convert_source(STANDARD[name](),
+                                ConversionOptions(compress=False))
+        plan = result.simd_program().plan()
+        assert plan.stats()["plan_depth_tables"] > 0
+
+    def test_mixed_depth_bit_identical(self):
+        result = convert_source(STANDARD["divergent_phases"](),
+                                ConversionOptions(compress=False))
+        kern = result.simd_program().kernels()
+        # The generated code actually takes the table-indexed path.
+        assert "_D" in kern.source and "dv = " in kern.source
+        runs = run_backends(result, 33)
+        ref = runs["interp"]
+        for backend, res in runs.items():
+            assert_identical(res, ref, ("mixed_depth", backend))
+
+
+class TestKernelProgram:
+    def test_cached_on_program(self):
+        prog = convert_source(STANDARD["divergent_loops"]()).simd_program()
+        assert prog.kernels() is prog.kernels()
+
+    def test_one_function_per_node(self):
+        prog = convert_source(STANDARD["odd_even_sort"]()).simd_program()
+        kern = prog.kernels()
+        assert set(kern.entry_names) == set(prog.nodes)
+        assert set(kern.fns) == set(prog.nodes)
+        assert kern.stats()["kernel_nodes"] == prog.node_count()
+        for fname in kern.entry_names.values():
+            assert f"def {fname}(" in kern.source
+
+    def test_digest_deterministic(self):
+        src = STANDARD["barrier_phases"]()
+        a = compile_kernels(convert_source(src).simd_program())
+        b = compile_kernels(convert_source(src).simd_program())
+        assert a.digest() == b.digest()
+        assert a.source == b.source
+
+    def test_pickle_recompiles_functions(self):
+        # Only the source text travels; functions are rebuilt lazily on
+        # first use (never unpickled — code objects don't pickle).
+        prog = convert_source(STANDARD["divergent_loops"]()).simd_program()
+        kern = prog.kernels()
+        kern.fns  # force compilation before pickling
+        clone = pickle.loads(pickle.dumps(kern))
+        assert clone._fns is None
+        assert clone.digest() == kern.digest()
+        assert set(clone.fns) == set(kern.fns)
+
+    def test_program_pickle_carries_kernels(self):
+        result = convert_source(STANDARD["mandelbrot"]())
+        prog = result.simd_program()
+        prog.kernels()
+        clone = pickle.loads(pickle.dumps(prog))
+        assert clone.kernels() is not None
+        assert clone.kernels().digest() == prog.kernels().digest()
+        a = SimdMachine(npes=8, costs=result.options.costs,
+                        backend="kernels").run(prog)
+        b = SimdMachine(npes=8, costs=result.options.costs,
+                        backend="kernels").run(clone)
+        assert_identical(a, b, "pickle")
+
+    def test_version_stamped(self):
+        from repro.codegen.kernels import KERNEL_VERSION
+
+        kern = convert_source(STANDARD["divergent_loops"]()) \
+            .simd_program().kernels()
+        assert kern.version == KERNEL_VERSION
+        assert kern.stats()["kernel_version"] == KERNEL_VERSION
+        assert isinstance(kern, KernelProgram)
+
+
+class TestCacheIntegration:
+    def test_warm_load_carries_kernel_source(self, tmp_path):
+        src = STANDARD["divergent_loops"]()
+        cold = convert_source(src, cache=str(tmp_path))
+        assert cold.report.cache == "miss"
+        cold_kern = cold.simd_program().kernels()
+        warm = convert_source(src, cache=str(tmp_path))
+        assert warm.report.cache == "hit"
+        # The kernel source was loaded with the artifact — not rebuilt.
+        assert warm.simd_program()._kernels != "unbuilt"
+        warm_kern = warm.simd_program().kernels()
+        assert warm_kern.source == cold_kern.source
+        assert warm_kern.digest() == cold_kern.digest()
+        a = SimdMachine(npes=8, costs=cold.options.costs,
+                        backend="kernels").run(cold.simd_program())
+        b = SimdMachine(npes=8, costs=warm.options.costs,
+                        backend="kernels").run(warm.simd_program())
+        assert_identical(a, b, "warm_cache")
+
+    def test_kernels_stage_reported(self):
+        r = convert_source(STANDARD["divergent_loops"]())
+        rec = r.report.stage("kernels")
+        assert rec.counters["kernel_nodes"] == \
+            r.simd_program().node_count()
+        assert rec.counters["kernel_bytes"] > 0

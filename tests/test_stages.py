@@ -28,7 +28,8 @@ main() {
 class TestStageOrder:
     def test_stage_names(self):
         assert STAGE_NAMES == ("parse", "sema", "lower", "opt-cfg",
-                               "convert", "opt-meta", "encode", "plan")
+                               "convert", "opt-meta", "encode", "plan",
+                               "kernels")
 
     def test_cold_report_runs_every_stage(self):
         r = convert_source(LISTING1_RUNNABLE)

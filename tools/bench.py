@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Backend benchmark: every library workload under every SIMD executor.
+
+Writes ``BENCH_5.json`` — per workload x backend (``kernels`` /
+``plan`` / ``interp``): simulated cycles, best wall time, PE
+utilization, and meta transitions — plus a ``scaling`` section timing
+the simulator-scaling workload at MasPar width (16K PEs), where the
+fused kernels must beat the plan-table executor.
+
+Exit status is nonzero if any backend disagrees on simulated results
+(they are bit-identical by contract) or if ``kernels`` is slower than
+``plan`` on the scaling workload.
+
+Usage::
+
+    python tools/bench.py [--out BENCH_5.json] [--npes 4096]
+                          [--reps 5] [--scaling-npes 16384]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import ConversionOptions, convert_source  # noqa: E402
+from repro.simd.machine import BACKENDS, SimdMachine  # noqa: E402
+from repro.workloads import STANDARD  # noqa: E402
+
+#: The workload pytest tracks in benchmarks/test_simulator_scaling.py.
+SCALING_WORKLOAD = """
+main() {
+    poly int x; poly int i;
+    x = procnum % 7;
+    for (i = 0; i < 8; i += 1) {
+        if (x % 2) { x = x * 3 + 1; } else { x = x / 2 + i; }
+    }
+    return (x);
+}
+"""
+
+MAX_STEPS = 1_000_000
+
+
+def _bench_one(result, backend: str, npes: int, active: int | None,
+               reps: int) -> dict:
+    prog = result.simd_program()
+    machine = SimdMachine(npes=npes, costs=result.options.costs,
+                          backend=backend)
+    res = machine.run(prog, active=active, max_steps=MAX_STEPS)  # warm
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        res = machine.run(prog, active=active, max_steps=MAX_STEPS)
+        best = min(best, time.perf_counter() - t0)
+    return {
+        "wall_ms": round(best * 1e3, 3),
+        "cycles": res.cycles,
+        "utilization": round(res.utilization, 6),
+        "meta_transitions": res.meta_transitions,
+    }
+
+
+def _bench_workload(name: str, source: str, npes: int, reps: int) -> dict:
+    result = convert_source(source, ConversionOptions())
+    result.simd_program().plan()
+    result.simd_program().kernels()
+    active = npes // 2 if "spawn" in source else None
+    rows = {be: _bench_one(result, be, npes, active, reps)
+            for be in BACKENDS}
+    ref = rows["interp"]
+    for be, row in rows.items():
+        for field in ("cycles", "utilization", "meta_transitions"):
+            if row[field] != ref[field]:
+                raise SystemExit(
+                    f"{name}: backend {be} diverges from interp on "
+                    f"{field}: {row[field]} != {ref[field]}")
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="BENCH_5.json")
+    ap.add_argument("--npes", type=int, default=1024,
+                    help="machine width for the workload library "
+                         "(odd_even_sort is quadratic in it)")
+    ap.add_argument("--scaling-npes", type=int, default=16384,
+                    help="machine width for the scaling check")
+    ap.add_argument("--reps", type=int, default=3)
+    args = ap.parse_args(argv)
+
+    workloads: dict[str, dict] = {}
+    for name, make in sorted(STANDARD.items()):
+        workloads[name] = _bench_workload(name, make(), args.npes,
+                                          args.reps)
+        fastest = min(workloads[name], key=lambda b: workloads[name][b]["wall_ms"])
+        print(f"{name:24s} " + "  ".join(
+            f"{be}={row['wall_ms']:8.2f}ms" for be, row in workloads[name].items())
+            + f"  fastest={fastest}")
+
+    scaling = _bench_workload("scaling", SCALING_WORKLOAD,
+                              args.scaling_npes, args.reps)
+    kern_ms = scaling["kernels"]["wall_ms"]
+    plan_ms = scaling["plan"]["wall_ms"]
+    interp_ms = scaling["interp"]["wall_ms"]
+    speedup_plan = plan_ms / kern_ms
+    speedup_interp = interp_ms / kern_ms
+    print(f"{'scaling':24s} kernels={kern_ms:.2f}ms plan={plan_ms:.2f}ms "
+          f"interp={interp_ms:.2f}ms -> kernels {speedup_plan:.2f}x vs "
+          f"plan, {speedup_interp:.2f}x vs interp "
+          f"({args.scaling_npes} PEs)")
+
+    payload = {
+        "bench": "BENCH_5",
+        "npes": args.npes,
+        "scaling_npes": args.scaling_npes,
+        "reps": args.reps,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": workloads,
+        "scaling": {
+            "rows": scaling,
+            "kernels_vs_plan": round(speedup_plan, 3),
+            "kernels_vs_interp": round(speedup_interp, 3),
+        },
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                              + "\n")
+    print(f"wrote {args.out}")
+
+    if speedup_plan < 1.0:
+        print(f"FAIL: kernels backend slower than plan on the scaling "
+              f"workload ({speedup_plan:.2f}x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
