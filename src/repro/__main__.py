@@ -201,12 +201,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = _convert(args)
     simd = simulate_simd(result, npes=args.npes, active=args.active,
                          max_steps=args.max_steps,
-                         backend=_backend(args))
+                         backend=_backend(args), shards=args.shards)
     print(f"returns: {simd.returns}")
     print(f"cycles: {simd.cycles} (body {simd.body_cycles}, "
           f"transitions {simd.transition_cycles})")
     print(f"utilization: {simd.utilization:.1%}; "
           f"meta transitions: {simd.meta_transitions}")
+    print(f"backend: {simd.backend_used} (shards {simd.shards})")
     _emit_report(args, result)
     if args.check:
         mimd = simulate_mimd(result, nprocs=args.npes, active=args.active,
@@ -224,7 +225,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     result = _convert(args)
     row = compare_msc_vs_interpreter(args.source, result, npes=args.npes,
                                      active=args.active,
-                                     backend=_backend(args))
+                                     backend=_backend(args),
+                                     shards=args.shards)
     print(format_table([row]))
     _emit_report(args, result)
     return 0
@@ -279,11 +281,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--npes", type=int, default=16)
     p.add_argument("--active", type=int, default=None)
     p.add_argument("--max-steps", type=int, default=1_000_000)
-    p.add_argument("--backend", choices=["kernels", "plan", "interp"],
+    p.add_argument("--backend",
+                   choices=["kernels", "kernels-mt", "plan", "plan-mt",
+                            "interp"],
                    default=None,
                    help="SIMD executor: fused generated kernels "
-                        "(default), the precompiled plan tables, or the "
-                        "interpretive reference — identical results")
+                        "(default), their sharded multi-core variant, "
+                        "the precompiled plan tables (serial or "
+                        "sharded), or the interpretive reference — "
+                        "identical results")
+    p.add_argument("--shards", type=int, default=None,
+                   help="PE-axis shard count for the -mt backends "
+                        "(default $REPRO_SHARDS or the CPU count; 1 "
+                        "runs the serial path)")
     p.add_argument("--no-plans", action="store_true",
                    help="alias for --backend interp (differential oracle)")
     p.add_argument("--check", action="store_true",
@@ -294,9 +304,13 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(p)
     p.add_argument("--npes", type=int, default=16)
     p.add_argument("--active", type=int, default=None)
-    p.add_argument("--backend", choices=["kernels", "plan", "interp"],
+    p.add_argument("--backend",
+                   choices=["kernels", "kernels-mt", "plan", "plan-mt",
+                            "interp"],
                    default=None,
                    help="SIMD executor backend (default kernels)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="PE-axis shard count for the -mt backends")
     p.add_argument("--no-plans", action="store_true",
                    help="alias for --backend interp")
     p.set_defaults(func=cmd_compare)

@@ -61,6 +61,16 @@ node-key -> function-name table); the compiled functions are rebuilt
 lazily and dropped on pickling, which is what lets the kernels travel
 inside the content-addressed compile cache — a warm hit loads the
 source and compiles it, regenerating nothing.
+
+Generated kernels are **shard-sliceable**: a kernel never indexes the
+PE axis with absolute ids of its own making — lane sets come from
+``np.flatnonzero`` over the ``pc`` array it was handed, widths from
+``pc.shape[0]``, and PE ids from ``st.pids``. A
+:class:`~repro.codegen.plan.NodePlan.shardable` node's kernel may
+therefore run on a :class:`~repro.simd.shards.ShardView` (a contiguous
+slice of the PE axis) exactly as on the full state; only cross-lane
+nodes (mono stores, router ops, spawn fills scanning the global free
+pool) are pinned to full-width execution.
 """
 
 from __future__ import annotations
@@ -74,19 +84,21 @@ from repro.codegen import plan as planmod
 from repro.ir.instr import BINARY_OPS, UNARY_OPS, Instr, Op
 
 #: Bump when the generated-code contract with the machine changes.
-KERNEL_VERSION = 1
+#: v2: kernels are certified shard-sliceable (see module docstring).
+KERNEL_VERSION = 2
 
 #: Ops that push one value and therefore carry an overflow check in
 #: :func:`repro.simd.vecops.exec_instr_at` (``_over(1)``).
 _PUSHING_OPS = frozenset({Op.PUSH, Op.DUP, Op.LD, Op.LDM, Op.PROCNUM,
                           Op.NPROC, Op.RPOP})
 
-#: Ops whose effect is visible across lanes: mono writes (broadcast,
-#: highest-indexed writer wins over the whole enabled set) and router
-#: reads/writes. Their presence pins a segment to the schedule-order
-#: execution; everything else is lane-private, so disjoint members can
-#: be re-serialized (see :meth:`_Generator._emit_body`).
-_CROSSLANE_OPS = frozenset({Op.STM, Op.STMI, Op.LDR, Op.STR})
+#: Cross-lane ops (mono writes, router reads/writes) — the one
+#: canonical set lives on the plan layer, which also uses it to decide
+#: node shardability. Their presence pins a segment to the
+#: schedule-order execution; everything else is lane-private, so
+#: disjoint members can be re-serialized (see
+#: :meth:`_Generator._emit_body`).
+_CROSSLANE_OPS = planmod.CROSSLANE_OPS
 
 #: Binary opcodes that are a single result expression over the operand
 #: gathers ``a`` (next-to-top) and ``b`` (top). Div/IDiv/Mod need their

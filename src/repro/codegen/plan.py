@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.ir.block import CondBr, Fall, Halt, Return, SpawnT
+from repro.ir.instr import Op
 
 #: Terminator kind codes. ``K_FALL`` covers barrier waits too —
 #: executing the barrier state means everyone arrived, so it proceeds
@@ -63,6 +64,15 @@ K_SPAWN = 5
 SRC_SINGLE = 0   # one member: reuse its lane list
 SRC_ALL = 1      # every member: reuse the segment's live-lane list
 SRC_SUBSET = 2   # a strict subset: gather the guard row by pc
+
+#: Ops whose effect is visible across lanes: mono writes (broadcast,
+#: highest-indexed writer wins over the whole enabled set) and router
+#: reads/writes. Everything else touches only the executing PE's column
+#: of the state arrays. A node containing one of these (or a spawn
+#: terminator, which claims PEs from the global free pool) is not
+#: *shardable*: the sharded executor of :mod:`repro.simd.shards` runs
+#: it serially on the full arrays instead.
+CROSSLANE_OPS = frozenset({Op.STM, Op.STMI, Op.LDR, Op.STR})
 
 
 @dataclass
@@ -104,6 +114,10 @@ class NodePlan:
     ``MetaNode.segments``."""
 
     segments: list
+    #: Every instruction of every segment is lane-private and no member
+    #: spawns: the node may execute on disjoint slices of the PE axis
+    #: (see :data:`CROSSLANE_OPS` and :mod:`repro.simd.shards`).
+    shardable: bool = False
 
 
 @dataclass
@@ -132,6 +146,9 @@ class ProgramPlan:
                 1 for sp in segments for t in (sp.depth_tables or ())
                 if t is not None
             ),
+            "plan_shardable_nodes": sum(
+                1 for np_ in self.nodes.values() if np_.shardable
+            ),
         }
 
 
@@ -147,8 +164,10 @@ def compile_plan(prog) -> ProgramPlan:
         weights = np.array([1 << b for b in range(n_bids)], dtype=object)
     plan = ProgramPlan(n_bids=n_bids, bit_weights=weights)
     for key, node in prog.nodes.items():
+        segments = [_compile_segment(seg, n_bids) for seg in node.segments]
         plan.nodes[key] = NodePlan(
-            segments=[_compile_segment(seg, n_bids) for seg in node.segments]
+            segments=segments,
+            shardable=_node_shardable(segments),
         )
     plan.static_depths = _entry_depth_dataflow(prog, plan)
     if plan.static_depths is not None:
@@ -156,6 +175,18 @@ def compile_plan(prog) -> ProgramPlan:
             for sp in nplan.segments:
                 _attach_static_depths(sp, plan.static_depths, n_bids)
     return plan
+
+
+def _node_shardable(segments: list[SegmentPlan]) -> bool:
+    """Whether every segment of a node is lane-private: no cross-lane
+    instruction and no spawn terminator (spawn fills scan the *global*
+    free pool)."""
+    for sp in segments:
+        if any(instr.op in CROSSLANE_OPS for instr in sp.instrs):
+            return False
+        if K_SPAWN in sp.kinds:
+            return False
+    return True
 
 
 def _entry_depth_dataflow(prog, plan: ProgramPlan) -> dict | None:

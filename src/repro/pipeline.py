@@ -194,23 +194,30 @@ def convert_source(
 
 def simulate_simd(result: ConversionResult, npes: int, *,
                   active: int | None = None, max_steps: int = 1_000_000,
-                  use_plans: bool = True, backend: str | None = None):
+                  use_plans: bool | None = None,
+                  backend: str | None = None, shards: int | None = None):
     """Execute the converted program on the SIMD machine simulator.
 
     ``active`` limits how many PEs start in ``main`` (the rest sit in
     the free pool for ``spawn`` to claim); default all. ``backend``
     picks the executor: ``"kernels"`` (fused generated code, the
-    default), ``"plan"`` (dense-table executor), or ``"interp"`` (the
-    interpretive reference) — bit-identical results across all three.
-    ``use_plans=False`` is the older spelling of ``backend="interp"``.
-    The precompiled plan and the generated kernel source travel with
-    the program artifact, so repeated (and warm-cache) runs never
-    rebuild them.
+    default), ``"kernels-mt"`` / ``"plan-mt"`` (the same semantics
+    with the PE axis sharded over ``shards`` workers), ``"plan"``
+    (dense-table executor), or ``"interp"`` (the interpretive
+    reference) — bit-identical results across all five; the returned
+    result's ``backend_used`` records which one actually ran (a
+    downgrade also warns). ``use_plans=False`` is the deprecated older
+    spelling of ``backend="interp"``. The precompiled plan and the
+    generated kernel source travel with the program artifact, so
+    repeated (and warm-cache) runs never rebuild them.
     """
-    from repro.simd.machine import SimdMachine
+    from repro.simd.machine import SimdMachine, resolve_backend
 
+    # Resolve here (one DeprecationWarning, pointed at our caller)
+    # rather than letting the machine re-normalize use_plans.
+    backend = resolve_backend(backend, use_plans)
     machine = SimdMachine(npes=npes, costs=result.options.costs,
-                          use_plans=use_plans, backend=backend)
+                          backend=backend, shards=shards)
     prog = result.simd_program()
     plan = result.exec_plan() if machine.use_plans else None
     return machine.run(prog, active=active, max_steps=max_steps, plan=plan)

@@ -20,6 +20,7 @@ aggregate.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,6 +31,7 @@ from repro.errors import MachineError
 from repro.hashenc.search import key_of_members
 from repro.ir.block import CondBr, Fall, Halt, Return, SpawnT
 from repro.ir.instr import DEFAULT_COSTS, CostModel
+from repro.simd import shards as shardsmod
 from repro.simd import vecops
 
 PC_DONE = -2
@@ -46,6 +48,14 @@ class SimdResult:
     ``enabled_pe_cycles / (npes * cycles)`` is PE utilization;
     ``meta_transitions`` counts automaton steps, and ``node_visits``
     the per-node execution counts.
+
+    ``backend_used`` names the executor that actually ran: it equals
+    the requested backend unless the machine had to fall back (trace
+    enabled, no compiled kernels, or a foreign cost model — each
+    downgrade also emits a :class:`RuntimeWarning`). ``shards`` is the
+    shard count the run used (always 1 for the serial backends; an
+    ``-mt`` request resolved to one shard keeps its name but reports
+    ``shards=1``).
     """
 
     npes: int
@@ -59,6 +69,8 @@ class SimdResult:
     enabled_pe_cycles: int
     meta_transitions: int
     node_visits: dict[frozenset, int]
+    backend_used: str = "interp"
+    shards: int = 1
     trace: dict | None = None  # per-PE [(block id, meta step)] when enabled
 
     @property
@@ -75,9 +87,37 @@ class SimdResult:
         return self.transition_cycles / self.cycles
 
 
-#: The selectable node-body executors, fastest first — all three
-#: produce bit-identical :class:`SimdResult`\s.
-BACKENDS = ("kernels", "plan", "interp")
+#: The selectable node-body executors, fastest first — all five
+#: produce bit-identical :class:`SimdResult`\s. The ``-mt`` variants
+#: shard the PE axis across a worker pool (:mod:`repro.simd.shards`).
+BACKENDS = ("kernels", "kernels-mt", "plan", "plan-mt", "interp")
+
+
+def resolve_backend(backend: str | None = None,
+                    use_plans: bool | None = None) -> str:
+    """Normalize the executor choice — the one helper behind both
+    :meth:`SimdMachine.__init__` and
+    :func:`repro.pipeline.simulate_simd`.
+
+    ``backend`` wins when given; the legacy ``use_plans`` spelling
+    (``False`` = ``"interp"``, ``True`` = the default ``"kernels"``)
+    is deprecated and emits a :class:`DeprecationWarning`. ``None`` for
+    both means ``"kernels"``."""
+    if use_plans is not None:
+        warnings.warn(
+            "use_plans is deprecated; pass backend='interp' instead of "
+            "use_plans=False (the default backend is 'kernels')",
+            DeprecationWarning, stacklevel=3)
+        if backend is None:
+            backend = "kernels" if use_plans else "interp"
+    if backend is None:
+        backend = "kernels"
+    if backend not in BACKENDS:
+        raise MachineError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{', '.join(BACKENDS)}"
+        )
+    return backend
 
 
 class SimdMachine:
@@ -94,38 +134,47 @@ class SimdMachine:
     stack_depth / rstack_depth:
         Operand and return-selector stack sizes per PE.
     use_plans:
-        Back-compat switch: ``False`` is shorthand for
-        ``backend="interp"``. Ignored when ``backend`` is given.
+        Deprecated back-compat switch: ``False`` is shorthand for
+        ``backend="interp"`` (:func:`resolve_backend` warns). Ignored
+        when ``backend`` is given.
     backend:
-        Which executor runs the node bodies — all three produce
+        Which executor runs the node bodies — all five produce
         bit-identical :class:`SimdResult`\\ s:
 
         - ``"kernels"`` (default): fused per-node functions generated by
           :mod:`repro.codegen.kernels` — one compiled kernel executes a
-          whole node. Falls back to ``"plan"`` per node when no kernel
-          is available (tracing on, cost model differs from the one the
-          program was emitted with, or unresolvable static depths).
+          whole node. Falls back to ``"plan"`` with a
+          :class:`RuntimeWarning` when the kernels are unusable
+          (tracing on, cost model differs from the one the program was
+          emitted with, or unresolvable static depths); the run's
+          :attr:`SimdResult.backend_used` records what actually ran.
+        - ``"kernels-mt"``: the kernels, with every shardable node's
+          PE axis split into ``shards`` contiguous slices executed on
+          a worker pool (:mod:`repro.simd.shards`). Same fallbacks as
+          ``"kernels"``, to ``"plan-mt"``.
         - ``"plan"``: the table-driven executor of
           :mod:`repro.codegen.plan` (the PR-1 fast path).
+        - ``"plan-mt"``: the table executor, sharded — the
+          differential oracle for ``"kernels-mt"``.
         - ``"interp"``: the original interpretive executor — the
           differential oracle.
+    shards:
+        Shard count for the ``-mt`` backends. Default ``None`` means
+        ``$REPRO_SHARDS`` or the host CPU count; the count is clamped
+        to ``npes``, and one shard runs the serial twin executor
+        (results are identical either way). Ignored (with a
+        :class:`RuntimeWarning`) for serial backends.
     """
 
     BACKENDS = BACKENDS
 
     def __init__(self, npes: int, costs: CostModel = DEFAULT_COSTS,
                  stack_depth: int = 64, rstack_depth: int = 256,
-                 trace: bool = False, use_plans: bool = True,
-                 backend: str | None = None):
+                 trace: bool = False, use_plans: bool | None = None,
+                 backend: str | None = None, shards: int | None = None):
         if npes < 1:
             raise MachineError("need at least one PE")
-        if backend is None:
-            backend = "kernels" if use_plans else "interp"
-        if backend not in self.BACKENDS:
-            raise MachineError(
-                f"unknown backend {backend!r}; expected one of "
-                f"{', '.join(self.BACKENDS)}"
-            )
+        backend = resolve_backend(backend, use_plans)
         self.npes = npes
         self.costs = costs
         self.stack_depth = stack_depth
@@ -133,6 +182,14 @@ class SimdMachine:
         self.trace_enabled = trace
         self.backend = backend
         self.use_plans = backend != "interp"
+        if backend in shardsmod.MT_BACKENDS:
+            self.nshards = shardsmod.resolve_shard_count(shards, npes)
+        else:
+            if shards is not None:
+                warnings.warn(
+                    f"shards={shards} has no effect with the serial "
+                    f"backend {backend!r}", RuntimeWarning, stacklevel=2)
+            self.nshards = 1
 
     # ------------------------------------------------------------------
     def run(self, prog: SimdProgram, active: int | None = None,
@@ -151,6 +208,59 @@ class SimdMachine:
         if not (1 <= active <= self.npes):
             raise MachineError(f"active={active} out of range 1..{self.npes}")
 
+        backend_used = self._effective_backend(prog)
+        mt = backend_used in shardsmod.MT_BACKENDS
+        nshards = self.nshards if mt else 1
+        if mt and nshards > 1:
+            try:
+                return self._run_mt(prog, active, max_steps, plan,
+                                    backend_used, nshards)
+            except shardsmod.ShardError as err:
+                # Exact in-order error reconstruction: the run is
+                # deterministic and failing runs discard machine state,
+                # so replaying on the serial twin surfaces exactly the
+                # error the serial backend would have raised —
+                # including its position across shard boundaries.
+                self._run_serial(prog, active, max_steps, plan,
+                                 shardsmod.SERIAL_TWIN[backend_used],
+                                 backend_used, nshards)
+                raise err.errors[0]  # replay passed: surface the original
+        # One shard degrades to the serial twin executor (results are
+        # identical by contract); the mt label and shard count stay on
+        # the result so callers see what was asked and resolved.
+        exec_backend = shardsmod.SERIAL_TWIN.get(backend_used, backend_used)
+        return self._run_serial(prog, active, max_steps, plan, exec_backend,
+                                backend_used, nshards)
+
+    def _effective_backend(self, prog: SimdProgram) -> str:
+        """Resolve the backend that will actually run ``prog`` —
+        warning on every downgrade (the pre-PR-6 machine fell back
+        silently, so benchmarks could mislabel runs)."""
+        backend = self.backend
+        if self.trace_enabled and backend not in ("plan", "interp"):
+            warnings.warn(
+                f"backend {backend!r} records no per-PE trace; running "
+                f"'plan' instead", RuntimeWarning, stacklevel=3)
+            return "plan"
+        if backend in ("kernels", "kernels-mt"):
+            fallback = "plan" if backend == "kernels" else "plan-mt"
+            kern = prog.kernels()
+            if kern is None:
+                warnings.warn(
+                    f"program has no compiled kernels (static stack "
+                    f"depths unresolvable); running {fallback!r} instead",
+                    RuntimeWarning, stacklevel=3)
+                return fallback
+            if kern.costs != self.costs:
+                warnings.warn(
+                    f"kernels fold a different cost model into their "
+                    f"constants than this machine's; running "
+                    f"{fallback!r} instead", RuntimeWarning, stacklevel=3)
+                return fallback
+        return backend
+
+    def _initial_state(self, prog: SimdProgram,
+                       active: int) -> tuple[vecops.PeState, np.ndarray]:
         st = vecops.PeState(self.npes, prog.n_poly, prog.n_mono,
                             self.stack_depth, self.rstack_depth)
         pc = np.full(self.npes, PC_IDLE, dtype=np.int64)
@@ -158,6 +268,38 @@ class SimdMachine:
         if start_bid is None:
             raise MachineError("start meta state must be a singleton (SPMD)")
         pc[:active] = start_bid
+        return st, pc
+
+    def _result(self, prog: SimdProgram, st: vecops.PeState,
+                pc: np.ndarray, cycles: int, body_cycles: int,
+                transition_cycles: int, enabled_pe_cycles: int,
+                transitions: int, visits: dict, trace: dict | None,
+                backend_used: str, nshards: int) -> SimdResult:
+        returns = np.full(self.npes, np.nan)
+        if prog.ret_slot is not None:
+            done = pc == PC_DONE
+            returns[done] = st.poly[prog.ret_slot, done]
+        return SimdResult(
+            npes=self.npes,
+            poly=st.poly,
+            mono=st.mono,
+            returns=returns,
+            pc=pc,
+            cycles=cycles,
+            body_cycles=body_cycles,
+            transition_cycles=transition_cycles,
+            enabled_pe_cycles=enabled_pe_cycles,
+            meta_transitions=transitions,
+            node_visits=visits,
+            backend_used=backend_used,
+            shards=nshards,
+            trace=trace,
+        )
+
+    def _run_serial(self, prog: SimdProgram, active: int, max_steps: int,
+                    plan: "planmod.ProgramPlan | None", exec_backend: str,
+                    backend_used: str, nshards: int) -> SimdResult:
+        st, pc = self._initial_state(prog, active)
 
         cycles = 0
         body_cycles = 0
@@ -167,20 +309,15 @@ class SimdMachine:
         visits: dict = {}
         trace: dict = {p: [] for p in range(self.npes)} if self.trace_enabled else None
         barrier_mask = key_of_members(prog.barrier_ids)
-        if not self.use_plans:
+        if exec_backend == "interp":
             plan = None
         elif plan is None:
             plan = prog.plan()
 
-        # Fused kernels: one generated function per node. Unavailable
-        # when tracing (kernels record no per-PE trace) or when this
-        # machine's cost model differs from the program's (kernels fold
-        # the costs into constants).
-        kfns = None
-        if self.backend == "kernels" and not self.trace_enabled:
-            kern = prog.kernels()
-            if kern is not None and kern.costs == self.costs:
-                kfns = kern.fns
+        # Fused kernels: one generated function per node (availability
+        # and cost-model compatibility were resolved — with warnings —
+        # by _effective_backend).
+        kfns = prog.kernels().fns if exec_backend == "kernels" else None
 
         current = prog.start
         steps = 0
@@ -255,24 +392,171 @@ class SimdMachine:
                 # Terminal node: everyone returned.
                 break
 
-        returns = np.full(self.npes, np.nan)
-        if prog.ret_slot is not None:
-            done = pc == PC_DONE
-            returns[done] = st.poly[prog.ret_slot, done]
-        return SimdResult(
-            npes=self.npes,
-            poly=st.poly,
-            mono=st.mono,
-            returns=returns,
-            pc=pc,
-            cycles=cycles,
-            body_cycles=body_cycles,
-            transition_cycles=transition_cycles,
-            enabled_pe_cycles=enabled_pe_cycles,
-            meta_transitions=transitions,
-            node_visits=visits,
-            trace=trace,
-        )
+        return self._result(prog, st, pc, cycles, body_cycles,
+                            transition_cycles, enabled_pe_cycles,
+                            transitions, visits, trace, backend_used,
+                            nshards)
+
+    def _run_mt(self, prog: SimdProgram, active: int, max_steps: int,
+                plan: "planmod.ProgramPlan | None", backend_used: str,
+                nshards: int) -> SimdResult:
+        """The sharded run loop: shardable nodes execute on ``nshards``
+        disjoint slices of the PE axis via the worker pool; cross-lane
+        nodes run serially on the full arrays. Per-shard aggregates
+        combine by tree-reduce, so dispatch — and every accounting
+        field — is bit-identical to the serial twin:
+
+        - per-segment control-unit cycles are lane-count independent,
+          and (absent spawn) a shard's live set within a node only
+          shrinks, so the shard that exits a node latest reproduces the
+          serial (body, transition) charge — combine is ``max``;
+        - enabled-PE cycles are per-lane — combine is ``sum``;
+        - the mid-node exit test is "no live PE anywhere" — combine is
+          ``all``; ``globalor`` is an OR — combine is :func:`~repro.
+          simd.shards.tree_or`.
+        """
+        st, pc = self._initial_state(prog, active)
+        if plan is None:
+            plan = prog.plan()
+        kfns = prog.kernels().fns if backend_used == "kernels-mt" else None
+        weights = plan.bit_weights
+        bounds = shardsmod.shard_bounds(self.npes, nshards)
+        views = [shardsmod.ShardView(st, lo, hi) for lo, hi in bounds]
+        pcs = [pc[lo:hi] for lo, hi in bounds]
+        pool = shardsmod.get_pool(nshards)
+        barrier_mask = key_of_members(prog.barrier_ids)
+
+        cycles = 0
+        body_cycles = 0
+        transition_cycles = 0
+        enabled_pe_cycles = 0
+        transitions = 0
+        visits: dict = {}
+
+        current = prog.start
+        steps = 0
+        while True:
+            steps += 1
+            if steps > max_steps:
+                raise MachineError(f"SIMD run exceeded {max_steps} meta steps")
+            node = prog.nodes[current]
+            nplan = plan.nodes[current]
+            visits[node.entry_members] = visits.get(node.entry_members, 0) + 1
+            need_agg = (node.barrier_target is not None
+                        or node.encoding is not None)
+            apc = None
+
+            kfn = kfns.get(current) if kfns is not None else None
+            if nplan.shardable:
+                def task(spc, view, kfn=kfn, node=node, nplan=nplan,
+                         need_agg=need_agg):
+                    if kfn is not None:
+                        out = kfn(spc, view)
+                    else:
+                        out = self._exec_node_plan_shard(node, nplan,
+                                                         spc, view)
+                    agg = (shardsmod.shard_globalor(spc, weights)
+                           if need_agg else 0)
+                    return out, agg
+
+                outs = pool.run([
+                    (lambda i=i: task(pcs[i], views[i]))
+                    for i in range(nshards)
+                ])
+                b = max(o[0][0] for o in outs)
+                t = max(o[0][1] for o in outs)
+                e = sum(o[0][2] for o in outs)
+                exited = all(o[0][3] for o in outs)
+                cycles += b + t
+                body_cycles += b
+                transition_cycles += t
+                enabled_pe_cycles += e
+                if exited:
+                    break
+                if need_agg:
+                    apc = shardsmod.tree_or(o[1] for o in outs)
+            else:
+                # Cross-lane node (mono store, router, spawn): full
+                # width, exactly the serial executor.
+                if kfn is not None:
+                    b, t, e, exited = kfn(pc, st)
+                    cycles += b + t
+                    body_cycles += b
+                    transition_cycles += t
+                    enabled_pe_cycles += e
+                else:
+                    exited = False
+                    for i, seg in enumerate(node.segments):
+                        c, e = self._exec_segment_plan(nplan.segments[i],
+                                                       pc, st, None, steps)
+                        cycles += c
+                        body_cycles += c
+                        enabled_pe_cycles += e
+                        if seg.can_exit:
+                            cycles += self.costs.globalor_cost
+                            transition_cycles += self.costs.globalor_cost
+                            if not np.any(pc >= 0):
+                                exited = True
+                                break
+                if exited:
+                    break
+                if need_agg:
+                    apc = self._globalor(pc, plan)
+
+            transitions += 1
+            if node.barrier_target is not None:
+                cycles += self.costs.globalor_cost
+                transition_cycles += self.costs.globalor_cost
+                if apc == 0:
+                    break
+                if apc & ~barrier_mask == 0:
+                    current = node.barrier_target
+                    continue
+            if node.encoding is not None:
+                cost = self.costs.globalor_cost + self.costs.dispatch_cost
+                cycles += cost
+                transition_cycles += cost
+                if apc == 0:
+                    break
+                if apc & ~barrier_mask:
+                    key = apc & ~barrier_mask
+                else:
+                    key = apc
+                current = node.encoding.lookup(key)
+            elif node.single_target is not None:
+                cycles += self.costs.branch_cost
+                transition_cycles += self.costs.branch_cost
+                current = node.single_target
+            else:
+                break
+
+        return self._result(prog, st, pc, cycles, body_cycles,
+                            transition_cycles, enabled_pe_cycles,
+                            transitions, visits, None, backend_used,
+                            nshards)
+
+    def _exec_node_plan_shard(self, node, nplan: planmod.NodePlan,
+                              pc: np.ndarray,
+                              st: "shardsmod.ShardView"
+                              ) -> tuple[int, int, int, bool]:
+        """One shard's slice of a whole (shardable) node on the plan
+        tables — the table-executor twin of a generated kernel, with
+        the kernel return convention ``(body, transition, enabled,
+        exited)``. The shard-local mid-node exit is sound because a
+        shard that empties early would only skip segments that are
+        no-ops on its (empty) slice."""
+        body = 0
+        tcost = 0
+        enabled = 0
+        for i, seg in enumerate(node.segments):
+            c, e = self._exec_segment_plan(nplan.segments[i], pc, st)
+            body += c
+            enabled += e
+            if seg.can_exit:
+                tcost += self.costs.globalor_cost
+                if not np.any(pc >= 0):
+                    return body, tcost, enabled, True
+        return body, tcost, enabled, False
 
     # ------------------------------------------------------------------
     def _globalor(self, pc: np.ndarray, plan=None) -> int:

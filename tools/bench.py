@@ -1,27 +1,42 @@
 #!/usr/bin/env python
 """Backend benchmark: every library workload under every SIMD executor.
 
-Writes ``BENCH_5.json`` — per workload x backend (``kernels`` /
-``plan`` / ``interp``): simulated cycles, best wall time, PE
+Writes ``<bench-id>.json`` (``--bench-id``, default ``BENCH_6``) — per
+workload x backend (``kernels`` / ``kernels-mt`` / ``plan`` /
+``plan-mt`` / ``interp``): simulated cycles, best wall time, PE
 utilization, and meta transitions — plus a ``scaling`` section timing
-the simulator-scaling workload at MasPar width (16K PEs), where the
-fused kernels must beat the plan-table executor.
+the simulator-scaling workload at MasPar width (16K PEs).
 
-Exit status is nonzero if any backend disagrees on simulated results
-(they are bit-identical by contract) or if ``kernels`` is slower than
-``plan`` on the scaling workload.
+Every row asserts ``SimdResult.backend_used`` matches the backend it
+claims to measure, so a silent fallback can never mislabel a run.
+
+Exit status is nonzero if
+
+- any backend disagrees on simulated results (bit-identical by
+  contract),
+- ``kernels`` is slower than ``plan`` on the scaling workload,
+- ``kernels-mt`` (at ``--shards``, default 4) fails the >= 1.5x
+  speedup over serial ``kernels`` on the scaling workload — enforced
+  when the host has >= 4 CPUs (or ``--require-mt-speedup``); recorded
+  informationally otherwise, or
+- simulated cycles regressed against the latest prior ``BENCH_*.json``
+  (cycles are machine-independent, so they are comparable across
+  hosts; wall times are not).
 
 Usage::
 
-    python tools/bench.py [--out BENCH_5.json] [--npes 4096]
-                          [--reps 5] [--scaling-npes 16384]
+    python tools/bench.py [--bench-id BENCH_6] [--out PATH]
+                          [--npes 1024] [--reps 3] [--shards 4]
+                          [--scaling-npes 16384] [--require-mt-speedup]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import re
 import sys
 import time
 from pathlib import Path
@@ -45,14 +60,20 @@ main() {
 """
 
 MAX_STEPS = 1_000_000
+MT_SPEEDUP_THRESHOLD = 1.5
 
 
 def _bench_one(result, backend: str, npes: int, active: int | None,
-               reps: int) -> dict:
+               reps: int, shards: int) -> dict:
     prog = result.simd_program()
-    machine = SimdMachine(npes=npes, costs=result.options.costs,
-                          backend=backend)
+    machine = SimdMachine(
+        npes=npes, costs=result.options.costs, backend=backend,
+        shards=shards if backend.endswith("-mt") else None)
     res = machine.run(prog, active=active, max_steps=MAX_STEPS)  # warm
+    if res.backend_used != backend:
+        raise SystemExit(
+            f"backend {backend!r} silently ran as "
+            f"{res.backend_used!r} — refusing to mislabel the row")
     best = float("inf")
     for _ in range(reps):
         t0 = time.perf_counter()
@@ -63,15 +84,18 @@ def _bench_one(result, backend: str, npes: int, active: int | None,
         "cycles": res.cycles,
         "utilization": round(res.utilization, 6),
         "meta_transitions": res.meta_transitions,
+        "backend_used": res.backend_used,
+        "shards": res.shards,
     }
 
 
-def _bench_workload(name: str, source: str, npes: int, reps: int) -> dict:
+def _bench_workload(name: str, source: str, npes: int, reps: int,
+                    shards: int) -> dict:
     result = convert_source(source, ConversionOptions())
     result.simd_program().plan()
     result.simd_program().kernels()
     active = npes // 2 if "spawn" in source else None
-    rows = {be: _bench_one(result, be, npes, active, reps)
+    rows = {be: _bench_one(result, be, npes, active, reps, shards)
             for be in BACKENDS}
     ref = rows["interp"]
     for be, row in rows.items():
@@ -83,43 +107,111 @@ def _bench_workload(name: str, source: str, npes: int, reps: int) -> dict:
     return rows
 
 
+def _latest_prior(out: Path, bench_id: str) -> Path | None:
+    """The highest-numbered ``BENCH_*.json`` below ``bench_id`` next to
+    the output file (the repo root in the Makefile/CI setup)."""
+    m = re.fullmatch(r"BENCH_(\d+)", bench_id)
+    if m is None:
+        return None
+    current = int(m.group(1))
+    best: tuple[int, Path] | None = None
+    for path in out.resolve().parent.glob("BENCH_*.json"):
+        pm = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if pm is None:
+            continue
+        n = int(pm.group(1))
+        if n < current and (best is None or n > best[0]):
+            best = (n, path)
+    return best[1] if best else None
+
+
+def _check_prior(prior_path: Path, workloads: dict, scaling: dict,
+                 npes: int, scaling_npes: int) -> list[str]:
+    """Simulated-cycle regressions vs the prior bench (comparable
+    across hosts; wall time is not). Returns failure messages."""
+    prior = json.loads(prior_path.read_text())
+    problems = []
+    if prior.get("npes") != npes or prior.get("scaling_npes") != scaling_npes:
+        return [f"{prior_path.name}: npes mismatch — cycles not comparable"]
+    rows = dict(prior.get("workloads", {}))
+    rows["scaling"] = prior.get("scaling", {}).get("rows", {})
+    here = dict(workloads)
+    here["scaling"] = scaling
+    for name, prior_rows in rows.items():
+        base = prior_rows.get("interp")
+        now = here.get(name, {}).get("interp")
+        if base is None or now is None:
+            continue
+        if now["cycles"] > base["cycles"]:
+            problems.append(
+                f"{name}: simulated cycles regressed vs "
+                f"{prior_path.name}: {now['cycles']} > {base['cycles']}")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--out", default="BENCH_5.json")
+    ap.add_argument("--bench-id", default="BENCH_6",
+                    help="id recorded in the payload and used for the "
+                         "default output name and the prior-bench scan")
+    ap.add_argument("--out", default=None,
+                    help="output path (default <bench-id>.json)")
     ap.add_argument("--npes", type=int, default=1024,
                     help="machine width for the workload library "
                          "(odd_even_sort is quadratic in it)")
     ap.add_argument("--scaling-npes", type=int, default=16384,
                     help="machine width for the scaling check")
     ap.add_argument("--reps", type=int, default=3)
+    ap.add_argument("--shards", type=int, default=4,
+                    help="shard count for the -mt backends")
+    ap.add_argument("--require-mt-speedup", action="store_true",
+                    help="fail if kernels-mt misses the scaling-speedup "
+                         "threshold even on a host with < 4 CPUs "
+                         "(default: enforced only when >= 4 CPUs)")
     args = ap.parse_args(argv)
+    out = Path(args.out if args.out else f"{args.bench_id}.json")
 
     workloads: dict[str, dict] = {}
     for name, make in sorted(STANDARD.items()):
         workloads[name] = _bench_workload(name, make(), args.npes,
-                                          args.reps)
-        fastest = min(workloads[name], key=lambda b: workloads[name][b]["wall_ms"])
+                                          args.reps, args.shards)
+        rows = workloads[name]
+        fastest = min(rows, key=lambda b: rows[b]["wall_ms"])
         print(f"{name:24s} " + "  ".join(
-            f"{be}={row['wall_ms']:8.2f}ms" for be, row in workloads[name].items())
+            f"{be}={row['wall_ms']:8.2f}ms" for be, row in rows.items())
             + f"  fastest={fastest}")
 
     scaling = _bench_workload("scaling", SCALING_WORKLOAD,
-                              args.scaling_npes, args.reps)
+                              args.scaling_npes, args.reps, args.shards)
     kern_ms = scaling["kernels"]["wall_ms"]
+    kern_mt_ms = scaling["kernels-mt"]["wall_ms"]
     plan_ms = scaling["plan"]["wall_ms"]
     interp_ms = scaling["interp"]["wall_ms"]
     speedup_plan = plan_ms / kern_ms
     speedup_interp = interp_ms / kern_ms
-    print(f"{'scaling':24s} kernels={kern_ms:.2f}ms plan={plan_ms:.2f}ms "
+    speedup_mt = kern_ms / kern_mt_ms
+    cpus = os.cpu_count() or 1
+    mt_enforced = args.require_mt_speedup or cpus >= 4
+    print(f"{'scaling':24s} kernels={kern_ms:.2f}ms "
+          f"kernels-mt={kern_mt_ms:.2f}ms plan={plan_ms:.2f}ms "
           f"interp={interp_ms:.2f}ms -> kernels {speedup_plan:.2f}x vs "
-          f"plan, {speedup_interp:.2f}x vs interp "
-          f"({args.scaling_npes} PEs)")
+          f"plan, {speedup_interp:.2f}x vs interp; kernels-mt "
+          f"{speedup_mt:.2f}x vs kernels at {args.shards} shards "
+          f"({args.scaling_npes} PEs, {cpus} CPUs)")
+
+    prior_path = _latest_prior(out, args.bench_id)
+    prior_problems = (
+        _check_prior(prior_path, workloads, scaling, args.npes,
+                     args.scaling_npes)
+        if prior_path is not None else [])
 
     payload = {
-        "bench": "BENCH_5",
+        "bench": args.bench_id,
         "npes": args.npes,
         "scaling_npes": args.scaling_npes,
         "reps": args.reps,
+        "shards": args.shards,
+        "cpu_count": cpus,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "workloads": workloads,
@@ -127,17 +219,40 @@ def main(argv: list[str] | None = None) -> int:
             "rows": scaling,
             "kernels_vs_plan": round(speedup_plan, 3),
             "kernels_vs_interp": round(speedup_interp, 3),
+            "kernels_mt_vs_kernels": round(speedup_mt, 3),
+        },
+        "mt_gate": {
+            "threshold": MT_SPEEDUP_THRESHOLD,
+            "speedup": round(speedup_mt, 3),
+            "enforced": mt_enforced,
+            "passed": speedup_mt >= MT_SPEEDUP_THRESHOLD,
+        },
+        "prior": {
+            "bench": prior_path.name if prior_path else None,
+            "cycles_ok": not prior_problems,
         },
     }
-    Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True)
-                              + "\n")
-    print(f"wrote {args.out}")
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
 
+    status = 0
     if speedup_plan < 1.0:
         print(f"FAIL: kernels backend slower than plan on the scaling "
               f"workload ({speedup_plan:.2f}x)", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    if speedup_mt < MT_SPEEDUP_THRESHOLD:
+        msg = (f"kernels-mt at {args.shards} shards is only "
+               f"{speedup_mt:.2f}x vs serial kernels on the scaling "
+               f"workload (threshold {MT_SPEEDUP_THRESHOLD}x)")
+        if mt_enforced:
+            print(f"FAIL: {msg}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"note: {msg}; not enforced on a {cpus}-CPU host")
+    for problem in prior_problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+        status = 1
+    return status
 
 
 if __name__ == "__main__":
