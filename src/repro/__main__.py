@@ -58,9 +58,11 @@ def _options(args: argparse.Namespace) -> ConversionOptions:
         werror=getattr(args, "werror", False),
         lint_select=tuple(getattr(args, "select", None) or ()),
         lint_ignore=tuple(getattr(args, "ignore", None) or ()),
-        # None = not given on the command line: let the dataclass default
-        # (REPRO_OPT_LEVEL or 1) decide.
+        max_resident_meta=getattr(args, "max_resident_meta", 0) or 0,
+        # None = not given on the command line: let the dataclass
+        # defaults (REPRO_OPT_LEVEL / REPRO_LAZY) decide.
         **({} if args.opt_level is None else {"opt_level": args.opt_level}),
+        **({} if not getattr(args, "lazy", False) else {"lazy": True}),
     )
 
 
@@ -93,6 +95,16 @@ def _add_conversion_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--max-meta-states", type=int, default=100_000)
     p.add_argument("--max-parked", type=int, default=8,
                    help="cap on simultaneously parked barrier states")
+    p.add_argument("--lazy", action="store_true", default=None,
+                   help="incremental conversion: discover, encode, and "
+                        "JIT-compile meta states as execution reaches "
+                        "them (explosion-prone programs run without "
+                        "materializing the whole automaton); default "
+                        "honors $REPRO_LAZY")
+    p.add_argument("--max-resident-meta", type=int, default=0,
+                   help="with --lazy, bound on compiled meta nodes kept "
+                        "resident (LRU eviction + deterministic "
+                        "re-expansion; 0 = unbounded)")
 
 
 def _add_lint_filters(p: argparse.ArgumentParser) -> None:
@@ -208,6 +220,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"utilization: {simd.utilization:.1%}; "
           f"meta transitions: {simd.meta_transitions}")
     print(f"backend: {simd.backend_used} (shards {simd.shards})")
+    if getattr(result.options, "lazy", False):
+        stats = result.lazy_program().stats()
+        print(f"lazy: {stats['lazy_discovered']} states discovered, "
+              f"{stats['lazy_expanded']} expanded, "
+              f"{stats['lazy_materialized']} compiled "
+              f"({stats['lazy_resident']} resident, "
+              f"{stats['lazy_evictions']} evicted)")
+        # Fold runtime discovery back into the compile cache: the next
+        # run of the same source + options resumes from these states.
+        from repro.stages.driver import store_lazy_progress
+
+        store_lazy_progress(_cache(args), result)
     _emit_report(args, result)
     if args.check:
         mimd = simulate_mimd(result, nprocs=args.npes, active=args.active,

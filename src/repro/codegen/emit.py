@@ -224,6 +224,39 @@ def encode_program(cfg: Cfg, graph,
     return prog
 
 
+def compile_node(cfg: Cfg, graph: MetaStateGraph, members: frozenset,
+                 costs: CostModel = DEFAULT_COSTS, use_csi: bool = True,
+                 encoder=None) -> MetaNode:
+    """Emit the single-state :class:`MetaNode` for ``members`` — the
+    per-state twin of :func:`encode_program` that lazy conversion uses
+    to materialize nodes as the runtime discovers them.
+
+    Single-state means the trivial (``-O0``) chain layout: one segment,
+    no straightening (chain merging needs global predecessor counts,
+    which a partial automaton cannot know yet). ``members`` must
+    already be expanded in ``graph`` (its ``table`` row recorded).
+
+    ``encoder`` optionally replaces :func:`encode_branch` for the
+    multiway dispatch — lazy mode passes an
+    :class:`repro.hashenc.incremental.IncrementalEncoder` bound to the
+    node so re-materializations extend the existing branch mapping
+    instead of re-searching from scratch.
+    """
+    segment = _make_segment(cfg, graph, members, costs, use_csi)
+    table = graph.table.get(members, {})
+    distinct_targets = set(table.values())
+    node = MetaNode(name=format_members(members), segments=[segment])
+    if len(table) > 1:
+        cases = {
+            key_of_members(key): target for key, target in table.items()
+        }
+        node.encoding = (encoder or encode_branch)(cases)
+    elif len(distinct_targets) == 1:
+        (node.single_target,) = distinct_targets
+    node.barrier_target = graph.barrier_entry.get(members)
+    return node
+
+
 def _make_segment(cfg: Cfg, graph: MetaStateGraph, members: frozenset,
                   costs: CostModel, use_csi: bool = True) -> Segment:
     threads = []

@@ -215,6 +215,36 @@ def compile_kernels(prog) -> KernelProgram | None:
     return gen.build()
 
 
+def compile_node_kernel(prog, plan, key, idx: int):
+    """JIT the fused kernel of a single node — the per-node twin of
+    :func:`compile_kernels` that lazy compilation calls as the runtime
+    discovers nodes.
+
+    ``prog.nodes[key]`` and ``plan.nodes[key]`` must already be
+    materialized (with static depths attached — see
+    :func:`repro.codegen.plan.compile_node_plan`); ``idx`` only names
+    the generated function and its constants, so any unique small
+    integer works. Returns ``(fn, source)`` where ``source`` is a
+    self-contained module compiling to exactly ``fn`` (what a resumed
+    or cache-loaded manager re-execs instead of regenerating), or
+    ``None`` when this node cannot be kernelized — the machine then
+    runs it on the table-driven plan path, exactly like an eager
+    program whose :class:`KernelProgram` skipped the node."""
+    if plan.static_depths is None:
+        return None
+    gen = _Generator(prog, plan)
+    name = f"node_{idx}"
+    try:
+        chunk = gen._emit_node(idx, name, key)
+    except KernelUnsupported:
+        return None
+    source = "\n".join(
+        [_MODULE_HEADER.format(version=KERNEL_VERSION), chunk])
+    namespace: dict = {}
+    exec(compile(source, f"<msc-jit-{name}>", "exec"), namespace)
+    return namespace[name], source
+
+
 # ----------------------------------------------------------------------
 # the generator
 # ----------------------------------------------------------------------

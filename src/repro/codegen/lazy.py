@@ -1,0 +1,202 @@
+"""Lazy meta-state compilation: discover, compile, and cache automaton
+nodes while the SIMD machine runs.
+
+Eager conversion materializes the whole up-to-``3^n`` automaton before
+a single PE cycle executes, so explosion-prone programs cannot compile
+at all (the MSC030 budget aborts them). :class:`LazyProgram` instead
+hands the runtime a *partial* program plus the live
+:class:`~repro.core.convert.ConversionEngine`, and serves the
+machine's miss-handler protocol: right before each meta step the
+machine calls :meth:`fetch`, which
+
+1. **expands** — asks the engine to (re)expand the state when its
+   transition row is missing or stale (barrier parking grew), and
+   invalidates every compiled artifact the growth staled;
+2. **compiles** — JITs the state's :class:`~repro.codegen.emit.
+   MetaNode` (trivial one-state layout), its
+   :class:`~repro.codegen.plan.NodePlan`, and — on the kernel backends
+   — its fused kernel, registering all three into the same dispatch
+   dicts the machine loops read (``program.nodes`` / ``plan.nodes`` /
+   :attr:`kfns`), so the step loop resumes with plain dict hits;
+3. **bounds residency** — with ``max_resident_meta`` set, an LRU of
+   compiled nodes is maintained and the least-recently-dispatched
+   node's artifacts are dropped. The engine's graph keeps the state's
+   members, parked set, and table row, so re-entering the node simply
+   re-runs step 2 — deterministically: the schedule, plan, and kernel
+   depend only on the CFG, members, and cost model, and the dispatch
+   encoding (whose exact hash function *may* differ after its
+   :class:`~repro.hashenc.incremental.IncrementalEncoder` extended)
+   routes every aggregate to the same successor at the same flat
+   ``dispatch_cost`` either way.
+
+The chain layout is the trivial one (one node per meta state, the
+``-O0`` layout): chain straightening needs whole-graph predecessor
+counts, which a partial automaton cannot know. An eager compile at
+``opt_level=0`` over the same options is therefore the cycle-exact
+twin of a lazy run — what the differential tests compare against.
+
+A :class:`LazyProgram` is rebuilt cheaply from a pickled engine
+(the content-addressed cache stores the engine snapshot instead of an
+eager program — see :mod:`repro.stages.driver`), so a warm compile
+resumes with every previously discovered state already expanded.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.codegen.emit import MetaNode, SimdProgram, compile_node
+from repro.codegen.kernels import compile_node_kernel
+from repro.codegen.plan import compile_node_plan, incremental_plan
+from repro.core.convert import ConversionEngine
+from repro.hashenc.incremental import IncrementalEncoder
+
+
+class LazyProgram:
+    """The incremental compilation manager lazy mode hands to
+    :class:`~repro.simd.machine.SimdMachine` as ``miss_handler``.
+
+    ``options`` is a :class:`~repro.pipeline.ConversionOptions`;
+    ``engine`` resumes a previous (possibly cache-loaded) engine
+    instead of starting from the entry state.
+    """
+
+    def __init__(self, cfg, options, engine: ConversionEngine | None = None):
+        self.cfg = cfg
+        self.options = options
+        self.costs = options.costs
+        self.use_csi = options.use_csi
+        if engine is None:
+            engine = ConversionEngine(cfg, options.convert_options())
+        self.engine = engine
+        self.graph = engine.graph
+        self.plan = incremental_plan(cfg)
+        self.program = SimdProgram(
+            nodes={},
+            start=self.graph.start,
+            barrier_ids=self.graph.barrier_ids,
+            n_poly=len(cfg.poly_slots),
+            n_mono=len(cfg.mono_slots),
+            ret_slot=cfg.ret_slot,
+            compressed=self.graph.compressed,
+            costs=self.costs,
+        )
+        # The machine resolves prog.plan() on its plan paths; point it
+        # at the incremental plan (never compile_plan on a partial
+        # program — its n_bids would be wrong for nodes still to come).
+        self.program._plan = self.plan
+        self.program._kernels = None
+        #: entry meta state -> compiled kernel fn; the kernel backends
+        #: read this dict in the step loop (the lazy twin of
+        #: ``KernelProgram.fns``).
+        self.kfns: dict = {}
+        #: entry meta state -> generated kernel source, kept across
+        #: eviction so re-materialization re-execs instead of
+        #: regenerating.
+        self.kernel_sources: dict = {}
+        self._kernel_names: dict = {}
+        # Nodes whose kernel generation raised KernelUnsupported: they
+        # stay on the table-driven path for good, exactly like an eager
+        # KernelProgram that skipped them.
+        self._kernel_failed: set = set()
+        self._encoders: dict = {}
+        self._lru: OrderedDict = OrderedDict()
+        self.max_resident = int(getattr(options, "max_resident_meta", 0) or 0)
+        self.materialized = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def supports_kernels(self) -> bool:
+        """Whether per-node kernels can be generated at all (the lazy
+        twin of ``compile_kernels`` returning ``None``: static stack
+        depths must be resolvable from the CFG)."""
+        return self.plan.static_depths is not None
+
+    def fetch(self, key, want_kernel: bool = False) -> MetaNode:
+        """The miss-handler: make ``key`` dispatchable and return its
+        node. Mutates ``program.nodes`` / ``plan.nodes`` / ``kfns`` in
+        place — the machine's loops re-read them every step."""
+        engine = self.engine
+        was_fresh = engine.fresh(key)
+        engine.ensure(key)
+        for stale in engine.take_dirty():
+            self._drop(stale)
+        if not was_fresh:
+            # Any artifact compiled before this (re)expansion baked in
+            # the old transition row.
+            self._drop(key)
+        node = self.program.nodes.get(key)
+        if node is None or (want_kernel and self.supports_kernels
+                            and key not in self.kfns
+                            and key not in self._kernel_failed):
+            node = self._materialize(key, want_kernel)
+        self._touch(key)
+        return node
+
+    def stats(self) -> dict:
+        """Discovered-vs-materialized accounting for the stage report
+        and ``--timings``."""
+        return {
+            "lazy_discovered": len(self.graph.states),
+            "lazy_expanded": len(self.graph.table),
+            "lazy_materialized": self.materialized,
+            "lazy_resident": len(self.program.nodes),
+            "lazy_evictions": self.evictions,
+            "lazy_max_resident": self.max_resident,
+            "lazy_kernels": len(self.kfns),
+        }
+
+    # ------------------------------------------------------------------
+    def _materialize(self, key, want_kernel: bool) -> MetaNode:
+        encoder = self._encoders.get(key)
+        if encoder is None:
+            encoder = self._encoders[key] = IncrementalEncoder()
+        node = compile_node(self.cfg, self.graph, key, self.costs,
+                            self.use_csi, encoder=encoder)
+        nplan = compile_node_plan(node, self.plan.n_bids,
+                                  self.plan.static_depths)
+        self.program.nodes[key] = node
+        self.plan.nodes[key] = nplan
+        self.materialized += 1
+        if want_kernel and self.supports_kernels \
+                and key not in self._kernel_failed:
+            idx = self._kernel_names.get(key)
+            if idx is None:
+                idx = self._kernel_names[key] = len(self._kernel_names)
+            source = self.kernel_sources.get(key)
+            if source is None:
+                got = compile_node_kernel(self.program, self.plan, key, idx)
+                if got is None:
+                    self._kernel_failed.add(key)
+                else:
+                    self.kfns[key], self.kernel_sources[key] = got
+            else:
+                # Re-materialization after eviction: the source depends
+                # only on CFG + members + costs, so re-exec it verbatim.
+                namespace: dict = {}
+                exec(compile(source, f"<msc-jit-node_{idx}>", "exec"),
+                     namespace)
+                self.kfns[key] = namespace[f"node_{idx}"]
+        return node
+
+    def _drop(self, key) -> None:
+        """Invalidate a state's compiled artifacts (stale row); its
+        encoder survives so re-encoding extends the same mapping."""
+        self.program.nodes.pop(key, None)
+        self.plan.nodes.pop(key, None)
+        self.kfns.pop(key, None)
+        self.kernel_sources.pop(key, None)
+        self._kernel_failed.discard(key)
+        self._lru.pop(key, None)
+
+    def _touch(self, key) -> None:
+        self._lru[key] = True
+        self._lru.move_to_end(key)
+        if self.max_resident > 0:
+            while len(self._lru) > self.max_resident:
+                victim, _ = self._lru.popitem(last=False)
+                self.program.nodes.pop(victim, None)
+                self.plan.nodes.pop(victim, None)
+                self.kfns.pop(victim, None)
+                self.evictions += 1

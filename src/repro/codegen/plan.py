@@ -177,6 +177,85 @@ def compile_plan(prog) -> ProgramPlan:
     return plan
 
 
+def incremental_plan(cfg) -> ProgramPlan:
+    """An empty :class:`ProgramPlan` sized for *any* program over
+    ``cfg`` — the starting point of lazy compilation.
+
+    Eager compiles derive ``n_bids`` from the finished program
+    (:func:`_max_bid`); a partial program grows, so the lazy manager
+    sizes the bit-weight and guard tables from the CFG's largest block
+    id up front (every meta-state member is a CFG block, so the bound
+    holds for every node that can ever appear). ``static_depths``
+    comes from :func:`cfg_entry_depths`, the whole-CFG twin of
+    :func:`_entry_depth_dataflow`."""
+    n_bids = max(cfg.blocks) + 1
+    if n_bids <= 63:
+        weights = np.array([1 << b for b in range(n_bids)], dtype=np.int64)
+    else:
+        weights = np.array([1 << b for b in range(n_bids)], dtype=object)
+    plan = ProgramPlan(n_bids=n_bids, bit_weights=weights)
+    plan.static_depths = cfg_entry_depths(cfg)
+    return plan
+
+
+def compile_node_plan(node, n_bids: int,
+                      static_depths: dict | None = None) -> NodePlan:
+    """Compile the :class:`NodePlan` of a single emitted node — the
+    per-node twin of :func:`compile_plan` that lazy compilation calls
+    as the runtime discovers nodes. ``static_depths`` is the
+    program-wide (or CFG-wide, see :func:`cfg_entry_depths`) entry
+    depth map; when given, the per-entry depth scalars/tables are
+    attached exactly as the eager path does."""
+    segments = [_compile_segment(seg, n_bids) for seg in node.segments]
+    nplan = NodePlan(segments=segments, shardable=_node_shardable(segments))
+    if static_depths is not None:
+        for sp in segments:
+            _attach_static_depths(sp, static_depths, n_bids)
+    return nplan
+
+
+def cfg_entry_depths(cfg) -> dict | None:
+    """Resolve ``bid -> absolute operand-stack depth at block entry``
+    from the CFG alone, before any meta state exists.
+
+    This is the lazy-mode twin of :func:`_entry_depth_dataflow`: the
+    plan segments mirror the CFG blocks instruction for instruction
+    (each member's schedule entries are exactly its block's code), so
+    propagating each block's net stack delta through the terminators
+    (Fall keeps the final depth, CondBr pops the condition, spawn
+    children restart at 0) yields the same fixpoint the eager dataflow
+    reaches over the finished plan. Returns ``None`` when any block is
+    reachable at two different depths or a depth goes negative."""
+    deltas = {
+        bid: sum(instr.stack_delta() for instr in blk.code)
+        for bid, blk in cfg.blocks.items()
+    }
+    depths: dict[int, int] = {cfg.entry: 0}
+    work = [cfg.entry]
+    while work:
+        bid = work.pop()
+        fin = depths[bid] + deltas[bid]
+        term = cfg.blocks[bid].terminator
+        if isinstance(term, Fall):
+            targets = ((term.target, fin),)
+        elif isinstance(term, CondBr):
+            targets = ((term.on_true, fin - 1), (term.on_false, fin - 1))
+        elif isinstance(term, SpawnT):
+            targets = ((term.child, 0), (term.cont, fin))
+        else:  # Return / Halt: no live successor
+            targets = ()
+        for t, td in targets:
+            if td < 0:
+                return None
+            prev = depths.get(t)
+            if prev is None:
+                depths[t] = td
+                work.append(t)
+            elif prev != td:
+                return None
+    return depths
+
+
 def _node_shardable(segments: list[SegmentPlan]) -> bool:
     """Whether every segment of a node is lane-private: no cross-lane
     instruction and no spawn terminator (spawn fills scan the *global*

@@ -13,12 +13,13 @@ the meta-state automaton from a MIMD state graph:
 """
 
 from repro.core.metastate import MetaStateGraph, format_members
-from repro.core.convert import ConvertOptions, convert
+from repro.core.convert import ConversionEngine, ConvertOptions, convert
 from repro.core.timesplit import TimeSplitOptions, time_split_state, split_block
 
 __all__ = [
     "MetaStateGraph",
     "format_members",
+    "ConversionEngine",
     "ConvertOptions",
     "convert",
     "TimeSplitOptions",

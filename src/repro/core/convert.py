@@ -132,59 +132,99 @@ class _ConvertMemo:
         return got
 
 
-def convert(cfg: Cfg, options: ConvertOptions = ConvertOptions()) -> MetaStateGraph:
-    """Build the meta-state automaton for ``cfg``.
+class ConversionEngine:
+    """Incremental driver of the subset construction.
 
-    This is the paper's ``meta_state_convert`` / ``reach`` pair
-    (sections 2.3 and 2.5) extended with the barrier algorithm of
-    section 2.6, implemented as a worklist fixpoint:
+    The engine owns the worklist, the :class:`_ConvertMemo`, the
+    parked-set bookkeeping, and the barrier logic of sections
+    2.3/2.5/2.6, and exposes them one meta state at a time:
 
-    - pop an unmarked meta state;
-    - enumerate the distinct unions of member transition choices;
-    - apply the barrier filter to each union, tracking at which barrier
-      states processes may be parked;
-    - record the transition table entry and enqueue new meta states.
+    - :meth:`expand` processes a single meta state against its current
+      parked-possible set, records its transition-table row in
+      ``self.graph``, and returns the successor states it registered;
+    - :meth:`drain` runs the classic eager fixpoint to completion —
+      :func:`convert` is now exactly "construct an engine and drain
+      it";
+    - lazy mode (:class:`repro.codegen.lazy.LazyProgram`) hands the
+      engine to the runtime and calls :meth:`ensure` right before each
+      meta state is dispatched, so only the aggregates a run actually
+      visits are ever converted.
+
+    Parked-possible sets grow monotonically. When registering a
+    successor grows the parked set of a state that was *already*
+    expanded, that state's table row may be stale (new all-at-barrier
+    targets can appear), so the engine re-enqueues it and records it
+    in the *dirty* set; an incremental consumer calls
+    :meth:`take_dirty` to invalidate whatever it compiled from the old
+    row, and :meth:`ensure` re-expands the state before its next
+    dispatch. Soundness of on-demand expansion follows from the same
+    monotonicity: every state is expanded no earlier than the arc that
+    reaches it at runtime is recorded, so its parked-possible set at
+    expansion time already covers every barrier the executed path can
+    have parked PEs at.
     """
-    barrier_ids = frozenset(
-        b.bid for b in cfg.blocks.values() if b.is_barrier_wait
-    )
-    start = frozenset((cfg.entry,))
-    if cfg.entry in barrier_ids:
-        raise ConversionError("program entry cannot be a barrier wait")
 
-    graph = MetaStateGraph(
-        start=start, barrier_ids=barrier_ids, compressed=options.compress
-    )
-    graph.states.add(start)
-    graph.parked_possible[start] = frozenset()
+    def __init__(self, cfg: Cfg, options: ConvertOptions | None = None):
+        self.cfg = cfg
+        self.options = options if options is not None else ConvertOptions()
+        self.barrier_ids = frozenset(
+            b.bid for b in cfg.blocks.values() if b.is_barrier_wait
+        )
+        start = frozenset((cfg.entry,))
+        if cfg.entry in self.barrier_ids:
+            raise ConversionError("program entry cannot be a barrier wait")
+        self.graph = MetaStateGraph(
+            start=start, barrier_ids=self.barrier_ids,
+            compressed=self.options.compress,
+        )
+        self.graph.states.add(start)
+        self.graph.parked_possible[start] = frozenset()
+        #: Worklist of meta states whose successors must be
+        #: (re)computed. A state re-enters the list when its
+        #: parked_possible set grows, since that can expose new
+        #: all-at-barrier targets (monotone fixpoint).
+        self.work: list[frozenset] = [start]
+        self.processed_with: dict[frozenset, frozenset] = {}
+        self.memo = _ConvertMemo(cfg)
+        self.passes = 0
+        #: Already-expanded states whose parked set has grown since
+        #: their last expansion: their recorded table rows (and any
+        #: artifact compiled from them) are stale.
+        self.dirty: set[frozenset] = set()
 
-    # Worklist of meta states whose successors must be (re)computed. A
-    # state re-enters the list when its parked_possible set grows, since
-    # that can expose new all-at-barrier targets (monotone fixpoint).
-    work: list[frozenset] = [start]
-    processed_with: dict[frozenset, frozenset] = {}
-    memo = _ConvertMemo(cfg)
-    passes = 0
+    def expanded(self, m: frozenset) -> bool:
+        """Whether ``m`` has ever been expanded."""
+        return m in self.processed_with
 
-    while work:
-        m = work.pop()
+    def fresh(self, m: frozenset) -> bool:
+        """Whether ``m``'s table row reflects its current parked set."""
+        return (m in self.processed_with
+                and self.processed_with[m] == self.graph.parked_possible[m])
+
+    def expand(self, m: frozenset) -> set[frozenset]:
+        """Process ``m`` against its current parked set and return its
+        successors (transition-table targets plus the runtime
+        all-at-barrier entry, if any)."""
+        graph = self.graph
+        if m not in graph.states:
+            raise ConversionError(
+                f"cannot expand unregistered meta state {sorted(m)}"
+            )
         parked = graph.parked_possible[m]
-        if processed_with.get(m) == parked:
-            continue
-        processed_with[m] = parked
-        passes += 1
+        self.processed_with[m] = parked
+        self.dirty.discard(m)
+        self.passes += 1
+        graph.barrier_entry.pop(m, None)
+        graph.invalidate_caches()
 
-        if options.compress:
-            self_exits = _convert_compressed_state(cfg, graph, work, m,
-                                                   parked, barrier_ids,
-                                                   options, memo)
-            if self_exits:
+        if self.options.compress:
+            if self._expand_compressed(m, parked):
                 graph.can_exit.add(m)
-            continue
+            return graph.successors(m)
 
         table: dict[frozenset, frozenset] = {}
         exits = False
-        for union in memo.unions(m, options.compress):
+        for union in self.memo.unions(m, False):
             if not union:
                 # Every member finished simultaneously. If no PE can be
                 # parked at a barrier the aggregate is empty and
@@ -192,17 +232,17 @@ def convert(cfg: Cfg, options: ConvertOptions = ConvertOptions()) -> MetaStateGr
                 # now the only live ones — they are all at barriers, so
                 # the transition enters the all-at-barrier meta state.
                 exits = True
-                if len(parked) > options.max_parked:
+                if len(parked) > self.options.max_parked:
                     raise ConversionError(
-                        f"more than {options.max_parked} simultaneously "
+                        f"more than {self.options.max_parked} simultaneously "
                         "parked barrier states"
                     )
                 for extra in _subsets(parked):
                     if extra:
-                        _enter(graph, work, extra, frozenset(), options)
+                        self._enter(extra, frozenset())
                         table[extra] = extra
                 continue
-            waits = union & barrier_ids
+            waits = union & self.barrier_ids
             if waits and waits != union:
                 # Not everyone reached the barrier: the barrier states
                 # are removed from the meta state; the PEs that reached
@@ -210,109 +250,144 @@ def convert(cfg: Cfg, options: ConvertOptions = ConvertOptions()) -> MetaStateGr
                 active = union - waits
                 key = active  # the encoded transition key masks barriers
                 new_parked = parked | waits
-                _enter(graph, work, active, new_parked, options)
+                self._enter(active, new_parked)
                 table[key] = active
             elif waits:
                 # union is entirely barrier states. At runtime the
                 # aggregate also contains every parked pc, so the
                 # all-at-barrier meta state is union plus any subset of
                 # the possibly-parked set that is actually occupied.
-                if len(parked) > options.max_parked:
+                if len(parked) > self.options.max_parked:
                     raise ConversionError(
-                        f"more than {options.max_parked} simultaneously "
+                        f"more than {self.options.max_parked} simultaneously "
                         "parked barrier states"
                     )
                 for extra in _subsets(parked - union):
                     target = union | extra
-                    _enter(graph, work, target, frozenset(), options)
+                    self._enter(target, frozenset())
                     table[target] = target
             else:
-                _enter(graph, work, union, parked, options)
+                self._enter(union, parked)
                 table[union] = union
         graph.table[m] = table
         if exits:
             graph.can_exit.add(m)
+        return graph.successors(m)
 
-    graph.stats["worklist_passes"] = passes
-    graph.verify(valid_blocks=set(cfg.blocks))
-    return graph
+    def ensure(self, m: frozenset) -> bool:
+        """Expand ``m`` until its row is fresh (expansion can grow the
+        state's own parked set via a self-loop, hence the loop).
+        Returns True when any expansion ran."""
+        ran = False
+        while not self.fresh(m):
+            self.expand(m)
+            ran = True
+        return ran
 
+    def drain(self) -> MetaStateGraph:
+        """Run the eager worklist fixpoint to completion, then verify
+        and return the finished graph."""
+        while self.work:
+            m = self.work.pop()
+            if self.fresh(m):
+                continue
+            self.expand(m)
+        graph = self.graph
+        graph.stats["worklist_passes"] = self.passes
+        graph.verify(valid_blocks=set(self.cfg.blocks))
+        return graph
 
-def _convert_compressed_state(cfg, graph, work, m, parked, barrier_ids,
-                              options, memo) -> bool:
-    """Successor computation under meta-state compression.
+    def take_dirty(self) -> set[frozenset]:
+        """Drain and return the set of already-expanded states whose
+        table rows went stale since the last call."""
+        got, self.dirty = self.dirty, set()
+        return got
 
-    With both successors always taken, each meta state has exactly one
-    candidate union, so transitions are unconditional (section 3.2.2:
-    "all entries to compressed meta states fall into this category").
-    Compression loses the invariant that every member is populated at
-    runtime, so two conditions become runtime checks rather than
-    aggregate-dispatched cases: program exit (possible whenever a
-    member is terminal) and all-at-barrier entry (``barrier_entry``).
+    def _expand_compressed(self, m: frozenset, parked: frozenset) -> bool:
+        """Successor computation under meta-state compression.
 
-    Returns True when the state can be the last one executed.
-    """
-    from repro.ir.block import Halt, Return
+        With both successors always taken, each meta state has exactly
+        one candidate union, so transitions are unconditional (section
+        3.2.2: "all entries to compressed meta states fall into this
+        category"). Compression loses the invariant that every member
+        is populated at runtime, so two conditions become runtime
+        checks rather than aggregate-dispatched cases: program exit
+        (possible whenever a member is terminal) and all-at-barrier
+        entry (``barrier_entry``).
 
-    (union,) = memo.unions(m, compress=True)
-    can_exit = any(
-        isinstance(cfg.blocks[b].terminator, (Return, Halt)) for b in m
-    )
-    table: dict[frozenset, frozenset] = {}
-    if union:
-        waits = union & barrier_ids
-        if waits and waits != union:
-            active = union - waits
-            _enter(graph, work, active, parked | waits, options)
-            table[active] = active
-            # Runtime alternative: every live PE is at a barrier.
-            btarget = waits | parked
-            _enter(graph, work, btarget, frozenset(), options)
-            graph.barrier_entry[m] = btarget
-        elif waits:
-            btarget = union | parked
-            _enter(graph, work, btarget, frozenset(), options)
-            table[btarget] = btarget
-        else:
-            _enter(graph, work, union, parked, options)
-            table[union] = union
-            if parked:
-                # Live PEs may all be parked even though some member of
-                # the union is non-barrier (its PE count can be zero).
-                btarget = frozenset(parked)
-                _enter(graph, work, btarget, frozenset(), options)
+        Returns True when the state can be the last one executed.
+        """
+        cfg, graph = self.cfg, self.graph
+        (union,) = self.memo.unions(m, compress=True)
+        can_exit = any(
+            isinstance(cfg.blocks[b].terminator, (Return, Halt)) for b in m
+        )
+        table: dict[frozenset, frozenset] = {}
+        if union:
+            waits = union & self.barrier_ids
+            if waits and waits != union:
+                active = union - waits
+                self._enter(active, parked | waits)
+                table[active] = active
+                # Runtime alternative: every live PE is at a barrier.
+                btarget = waits | parked
+                self._enter(btarget, frozenset())
                 graph.barrier_entry[m] = btarget
-    elif parked:
-        btarget = frozenset(parked)
-        _enter(graph, work, btarget, frozenset(), options)
-        graph.barrier_entry[m] = btarget
-    graph.table[m] = table
-    return can_exit
+            elif waits:
+                btarget = union | parked
+                self._enter(btarget, frozenset())
+                table[btarget] = btarget
+            else:
+                self._enter(union, parked)
+                table[union] = union
+                if parked:
+                    # Live PEs may all be parked even though some member
+                    # of the union is non-barrier (its PE count can be
+                    # zero).
+                    btarget = frozenset(parked)
+                    self._enter(btarget, frozenset())
+                    graph.barrier_entry[m] = btarget
+        elif parked:
+            btarget = frozenset(parked)
+            self._enter(btarget, frozenset())
+            graph.barrier_entry[m] = btarget
+        graph.table[m] = table
+        return can_exit
+
+    def _enter(self, members: frozenset, parked: frozenset) -> None:
+        """Register ``members`` as a meta state, growing its parked
+        set; dirty it when the growth stales an expanded row."""
+        graph = self.graph
+        if members not in graph.states:
+            graph.states.add(members)
+            graph.parked_possible[members] = parked
+            if len(graph.states) > self.options.max_meta_states:
+                raise ConversionError(
+                    f"meta-state space exceeded "
+                    f"{self.options.max_meta_states} states; "
+                    "enable compression, add barriers (sections 2.5-2.6), "
+                    "or convert lazily (--lazy)"
+                )
+            self.work.append(members)
+        else:
+            old = graph.parked_possible[members]
+            merged = old | parked
+            if merged != old:
+                graph.parked_possible[members] = merged
+                self.work.append(members)
+                if members in self.processed_with:
+                    self.dirty.add(members)
 
 
-def _enter(
-    graph: MetaStateGraph,
-    work: list,
-    members: frozenset,
-    parked: frozenset,
-    options: ConvertOptions,
-) -> None:
-    """Register ``members`` as a meta state, growing its parked set."""
-    if members not in graph.states:
-        graph.states.add(members)
-        graph.parked_possible[members] = parked
-        if len(graph.states) > options.max_meta_states:
-            raise ConversionError(
-                f"meta-state space exceeded {options.max_meta_states} states; "
-                "enable compression or add barriers (sections 2.5-2.6)"
-            )
-        work.append(members)
-    else:
-        old = graph.parked_possible[members]
-        merged = old | parked
-        if merged != old:
-            graph.parked_possible[members] = merged
-            work.append(members)
+def convert(cfg: Cfg, options: ConvertOptions | None = None) -> MetaStateGraph:
+    """Build the meta-state automaton for ``cfg``.
+
+    This is the paper's ``meta_state_convert`` / ``reach`` pair
+    (sections 2.3 and 2.5) extended with the barrier algorithm of
+    section 2.6: construct a :class:`ConversionEngine` and drain its
+    worklist fixpoint.
+    """
+    return ConversionEngine(cfg, options).drain()
 
 
 def _subsets(s: frozenset):

@@ -1,0 +1,201 @@
+"""Incremental multiway-branch encoding for lazy conversion.
+
+Eager compiles encode every node's dispatch once, after the whole
+automaton exists (:func:`repro.hashenc.search.encode_branch`). Under
+lazy conversion a node's transition table grows as the runtime
+discovers successors (and when barrier parking stales a row — see
+:class:`repro.core.convert.ConversionEngine`), so each node gets an
+:class:`IncrementalEncoder` that *extends* the existing mapping:
+
+- while the current hash function stays injective over the grown key
+  set (and wide enough for the new keys), only the jump table is
+  rebuilt — the function is reused verbatim;
+- when it collides, the Listing-5 family is searched again from
+  scratch;
+- when the dense family no longer fits — the search fell through to a
+  division hash whose table would be disproportionate to the case
+  count — the encoder switches to a :class:`TwoLevelEncoding`, an
+  FKS-style two-level perfect hash whose total table stays linear in
+  the number of cases.
+
+Which injective function dispatches a node is *not* observable in
+results or cycle accounting: ``dispatch_cost`` is charged per
+transition regardless of the function evaluated, and every injective
+function routes every encoded aggregate to the same successor. That is
+what makes eviction re-encoding (and this encoder's reuse-or-research
+policy) deterministic-by-construction at the level the differential
+suites compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConversionError
+from repro.hashenc.search import BranchEncoding, HashFn, find_hash
+
+#: A division fallback whose table exceeds this many slots per case is
+#: "disproportionate": switch to the two-level scheme instead.
+DENSE_SLOTS_PER_CASE = 8
+
+#: Above this many cases the Listing-5 family search is skipped
+#: entirely and the node goes straight to the two-level scheme.  The
+#: family search is per-candidate O(n) — fine for the dozens of cases
+#: real nodes have, but a lazy node in an explosion-prone region can
+#: legitimately carry thousands of transition keys (each ``3^b`` wide),
+#: and keys over 64 bits take the scalar big-int path, turning one
+#: search into minutes.  FKS buckets stay tiny regardless of n, so the
+#: two-level build is linear.
+FAMILY_SEARCH_LIMIT = 512
+
+#: Tighter limit for key sets wider than 64 bits: those take
+#: ``find_hash``'s scalar big-int path, whose two-shift family sweep
+#: costs ~100k candidate evaluations per search — fine once, fatal in
+#: a fetch loop materializing dozens of wide nodes.
+WIDE_FAMILY_SEARCH_LIMIT = 32
+
+
+@dataclass(frozen=True)
+class _TwoLevelFn:
+    """Stats shim so a :class:`TwoLevelEncoding` renders in
+    ``SimdProgram.hash_stats()`` like any other encoding."""
+
+    kind: str
+    table_size: int
+    width: int
+
+    @property
+    def eval_cost(self) -> int:
+        return HashFn._COSTS["mod"] + 1
+
+    def c_expr(self, var: str = "apc") -> str:
+        return f"two_level({var})"
+
+
+class TwoLevelEncoding:
+    """FKS-style two-level perfect hash with the
+    :class:`~repro.hashenc.search.BranchEncoding` lookup contract.
+
+    The first level buckets by ``key % p``; each bucket resolves its
+    few keys with its own Listing-5-family function (buckets are tiny,
+    so :func:`find_hash` always finds a small one). ``p`` is the
+    smallest modulus from ``n`` upward keeping the classic FKS balance
+    ``sum(bucket_size^2) <= 4n``, so the total table stays linear in
+    the case count no matter how adversarial the key set is.
+    """
+
+    def __init__(self, cases: dict[int, object], *,
+                 width: int | None = None):
+        if not cases:
+            raise ConversionError("no keys to encode")
+        keys = sorted(cases)
+        need = max(keys).bit_length()
+        self.width = max(64, need) if width is None else width
+        n = len(keys)
+        p = n
+        while True:
+            buckets: dict[int, list[int]] = {}
+            for k in keys:
+                buckets.setdefault(k % p, []).append(k)
+            if sum(len(b) ** 2 for b in buckets.values()) <= 4 * n:
+                break
+            p += 1
+        self.p = p
+        self.cases = dict(cases)
+        self.buckets: dict[int, tuple[HashFn, list]] = {}
+        for b, bkeys in buckets.items():
+            fn = _bucket_fn(bkeys, self.width)
+            table: list = [None] * fn.table_size
+            for k in bkeys:
+                table[fn.apply(k)] = cases[k]
+            self.buckets[b] = (fn, table)
+        self.fn = _TwoLevelFn(
+            kind="two-level",
+            table_size=p + sum(fn.table_size
+                               for fn, _ in self.buckets.values()),
+            width=self.width,
+        )
+
+    @property
+    def table_size(self) -> int:
+        return self.fn.table_size
+
+    @property
+    def load_factor(self) -> float:
+        return len(self.cases) / max(1, self.table_size)
+
+    def lookup(self, key: int):
+        """Dispatch: first-level modulus, then the bucket's function."""
+        got = self.buckets.get(key % self.p)
+        if got is not None:
+            fn, table = got
+            h = fn.apply(key)
+            if h < len(table) and table[h] is not None:
+                return table[h]
+        raise ConversionError(
+            f"aggregate {key:#x} reached an unencoded transition"
+        )
+
+
+def _bucket_fn(bkeys: list[int], width: int) -> HashFn:
+    """Second-level function for one FKS bucket.
+
+    Buckets are tiny (the balance bound caps ``sum(size^2)``), so the
+    textbook choice — the smallest modulus whose residues separate the
+    bucket — beats searching the Listing-5 family: a node in an
+    explosion-prone region can have thousands of buckets, and a family
+    search per bucket (128 shift positions x several op kinds over
+    wide keys) turns one encoding into tens of seconds.  The family
+    search still backs the *node-level* switch, where table-size and
+    eval-cost ranking matter; in here every table is a handful of
+    slots no matter what.
+    """
+    if len(bkeys) == 1:
+        return HashFn(kind="const", width=width)
+    for mod in range(len(bkeys), 64 * len(bkeys)):
+        if len({k % mod for k in bkeys}) == len(bkeys):
+            return HashFn(kind="mod", mod=mod, width=width)
+    return find_hash(bkeys, width=width)
+
+
+class IncrementalEncoder:
+    """Per-node encoder that extends the branch mapping as cases
+    appear. Callable with the full current ``{key: payload}`` dict
+    (the signature :func:`repro.codegen.emit.compile_node` expects),
+    returning a :class:`BranchEncoding` or :class:`TwoLevelEncoding`.
+    """
+
+    def __init__(self, *, width: int | None = None):
+        self.width = width
+        self.fn: HashFn | None = None
+
+    def __call__(self, cases: dict[int, object]):
+        keys = sorted(cases)
+        fn = self.fn
+        if fn is not None and max(keys).bit_length() <= fn.width:
+            seen = set()
+            for k in keys:
+                h = fn.apply(k)
+                if h in seen:
+                    fn = None  # collided on the grown set: re-search
+                    break
+                seen.add(h)
+        else:
+            fn = None
+        if fn is None:
+            limit = (WIDE_FAMILY_SEARCH_LIMIT
+                     if max(keys).bit_length() > 64
+                     else FAMILY_SEARCH_LIMIT)
+            if len(keys) > limit:
+                self.fn = None
+                return TwoLevelEncoding(cases, width=self.width)
+            fn = find_hash(keys, width=self.width)
+            if (fn.kind == "mod"
+                    and fn.table_size > DENSE_SLOTS_PER_CASE * len(keys)):
+                self.fn = None
+                return TwoLevelEncoding(cases, width=self.width)
+            self.fn = fn
+        table: list = [None] * fn.table_size
+        for key, payload in cases.items():
+            table[fn.apply(key)] = payload
+        return BranchEncoding(fn=fn, table=table, cases=dict(cases))

@@ -109,7 +109,11 @@ def lint_source(
 
     # Error-severity findings (e.g. an MSC030 explosion bound) mean the
     # back half must not run — that is the point of linting first.
-    if not has_errors(found):
+    # Lazy compiles never build a complete program/plan, so the
+    # ``meta``-phase analyzers (which verify those artifacts) have
+    # nothing to check — same rule as ``stages_for`` skipping
+    # ``analyze-meta``.
+    if not has_errors(found) and not getattr(options, "lazy", False):
         for name in _BACK_STAGES:
             stage_fns[name](cctx)
             stages_run.append(name)

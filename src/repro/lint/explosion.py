@@ -97,23 +97,46 @@ def analyze_explosion(ctx: LintContext) -> list[Diagnostic]:
     hard = max(10 * int(getattr(options, "max_meta_states", 0) or 0),
                HARD_FLOOR)
     if bound > hard:
+        lazy = bool(getattr(options, "lazy", False))
         hints = ["insert wait barriers to cut the region"]
         if not compressed:
             hints.append("--compress takes both arms per branch "
                          "(2^b instead of 3^b)")
         hints.append("--time-split rebalances the split states")
-        out.append(Diagnostic(
-            code="MSC030",
-            severity=Severity.ERROR,
-            message=(
-                f"meta-state explosion: a barrier-free region with "
-                f"{branches} branch blocks bounds reach at "
-                f"~{bound:.3g} meta states "
-                f"(cap {getattr(options, 'max_meta_states', 0)}); "
-                f"conversion would not terminate usefully"
-            ),
-            hint="; ".join(hints),
-        ))
+        if not lazy:
+            hints.append("--lazy converts incrementally, materializing "
+                         "only the states execution reaches")
+        if lazy:
+            # Lazy conversion only materializes states execution
+            # reaches, so the eager bound is no longer fatal — keep it
+            # visible as a warning (runtime could still walk the whole
+            # space on adversarial inputs).
+            out.append(Diagnostic(
+                code="MSC030",
+                severity=Severity.WARNING,
+                message=(
+                    f"meta-state explosion bound ~{bound:.3g} from a "
+                    f"barrier-free region with {branches} branch "
+                    f"blocks; lazy conversion materializes only "
+                    f"reachable states, but adversarial inputs can "
+                    f"still walk the whole space"
+                ),
+                hint="--max-resident-meta bounds resident compiled "
+                     "states; " + "; ".join(hints),
+            ))
+        else:
+            out.append(Diagnostic(
+                code="MSC030",
+                severity=Severity.ERROR,
+                message=(
+                    f"meta-state explosion: a barrier-free region with "
+                    f"{branches} branch blocks bounds reach at "
+                    f"~{bound:.3g} meta states "
+                    f"(cap {getattr(options, 'max_meta_states', 0)}); "
+                    f"conversion would not terminate usefully"
+                ),
+                hint="; ".join(hints),
+            ))
     elif bound > SOFT_THRESHOLD:
         out.append(Diagnostic(
             code="MSC030",

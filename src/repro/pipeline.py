@@ -47,6 +47,16 @@ def _default_opt_level() -> int:
     return min(max(level, 0), 2)
 
 
+def _default_lazy() -> bool:
+    """Lazy conversion by default when ``REPRO_LAZY`` is a nonzero
+    integer (the CI matrix leg that runs the differential suites under
+    lazy mode sets ``REPRO_LAZY=1``)."""
+    try:
+        return bool(int(os.environ.get("REPRO_LAZY", "0")))
+    except ValueError:
+        return False
+
+
 @dataclass(frozen=True)
 class ConversionOptions:
     """Options controlling the whole pipeline.
@@ -93,6 +103,25 @@ class ConversionOptions:
     lint_select / lint_ignore:
         Diagnostic-code prefixes to keep / drop (``MSC02`` matches the
         whole race family).
+    lazy:
+        Incremental (lazy) meta-state conversion: compile only the
+        entry state up front and hand the live
+        :class:`~repro.core.convert.ConversionEngine` to the runtime,
+        which expands / encodes / JIT-compiles meta states as execution
+        first reaches them. Explosion-prone programs whose *reachable*
+        state set is small run this way without materializing the
+        up-to-``3^n`` automaton; the eager explosion diagnostic
+        (``MSC030``) downgrades to a warning. Chain straightening is
+        skipped (a partial automaton has no global layout), so cycle
+        counts match an eager ``-O0`` compile exactly. Defaults to
+        ``REPRO_LAZY`` when the environment variable is set.
+    max_resident_meta:
+        With ``lazy``, bound on compiled meta nodes resident at once
+        (0 = unbounded). Beyond it the least-recently-dispatched node's
+        compiled artifacts are evicted; re-entering it re-compiles
+        deterministically from the retained conversion graph. Runtime
+        memory knob only — results and cycle counts are unaffected, and
+        it is excluded from the compile-cache fingerprint.
     """
 
     compress: bool = _CONVERT_DEFAULTS.compress
@@ -109,6 +138,8 @@ class ConversionOptions:
     werror: bool = False
     lint_select: tuple = ()
     lint_ignore: tuple = ()
+    lazy: bool = field(default_factory=_default_lazy)
+    max_resident_meta: int = 0
 
     def convert_options(self) -> ConvertOptions:
         """The :class:`~repro.core.convert.ConvertOptions` view of these
@@ -138,16 +169,32 @@ class ConversionResult:
     restarts: int = 0
     _program: object = field(default=None, init=False, repr=False,
                              compare=False)
+    #: Live ConversionEngine of a lazy compile (also the cache-loaded
+    #: snapshot on a warm hit); ``None`` for eager results.
+    _engine: object = field(default=None, init=False, repr=False,
+                            compare=False)
+    #: Cached LazyProgram manager, built on first simulation so repeated
+    #: runs keep their compiled nodes (the warm steady state).
+    _lazy: object = field(default=None, init=False, repr=False,
+                          compare=False)
     report: object = field(default=None, repr=False, compare=False)
 
     def simd_program(self):
         """The executable SIMD encoding (CSI-scheduled, hash-dispatched),
         built on first use (:func:`convert_source` pre-builds it, so
-        this only compiles for hand-assembled results)."""
+        this only compiles for hand-assembled results). Lazy results
+        have no complete program — use :meth:`lazy_program`."""
         if self._program is None:
             from repro.codegen.emit import encode_program
+            from repro.errors import ConversionError
             from repro.opt import straightened_for_level
 
+            if getattr(self.options, "lazy", False):
+                raise ConversionError(
+                    "lazy compile has no complete SIMD program (states "
+                    "materialize at runtime); use lazy_program() / "
+                    "simulate_simd(), or recompile without lazy"
+                )
             straightened = straightened_for_level(
                 self.graph, self.options.opt_level)
             self._program = encode_program(
@@ -155,6 +202,19 @@ class ConversionResult:
                 use_csi=self.options.use_csi,
             )
         return self._program
+
+    def lazy_program(self):
+        """The :class:`~repro.codegen.lazy.LazyProgram` manager of a
+        lazy compile — built on first use around the compile's engine
+        (or the cache-loaded engine snapshot) and kept on the result, so
+        states stay expanded and compiled across repeated simulations."""
+        if self._lazy is None:
+            from repro.codegen.lazy import LazyProgram
+
+            self._lazy = LazyProgram(self.cfg, self.options,
+                                     engine=self._engine)
+            self._engine = self._lazy.engine
+        return self._lazy
 
     def exec_plan(self):
         """The precompiled :class:`~repro.codegen.plan.ProgramPlan` of
@@ -218,9 +278,29 @@ def simulate_simd(result: ConversionResult, npes: int, *,
     backend = resolve_backend(backend, use_plans)
     machine = SimdMachine(npes=npes, costs=result.options.costs,
                           backend=backend, shards=shards)
+    if getattr(result.options, "lazy", False):
+        mgr = result.lazy_program()
+        out = machine.run(mgr.program, active=active, max_steps=max_steps,
+                          plan=mgr.plan, miss_handler=mgr)
+        _record_lazy_stats(result, mgr)
+        return out
     prog = result.simd_program()
     plan = result.exec_plan() if machine.use_plans else None
     return machine.run(prog, active=active, max_steps=max_steps, plan=plan)
+
+
+def _record_lazy_stats(result: ConversionResult, mgr) -> None:
+    """Fold the manager's discovered-vs-materialized counters into the
+    stage report as a ``lazy-exec`` record (replacing the previous
+    run's row, not accumulating), so ``--timings`` and
+    ``--report-json`` surface them alongside the compile stages."""
+    report = result.report
+    if report is None:
+        return
+    rec = report.stage("lazy-exec")
+    if rec is None:
+        rec = report.add("lazy-exec")
+    rec.counters = mgr.stats()
 
 
 def simulate_mimd(result: ConversionResult, nprocs: int, *,

@@ -194,7 +194,8 @@ class SimdMachine:
     # ------------------------------------------------------------------
     def run(self, prog: SimdProgram, active: int | None = None,
             max_steps: int = 1_000_000,
-            plan: "planmod.ProgramPlan | None" = None) -> SimdResult:
+            plan: "planmod.ProgramPlan | None" = None,
+            miss_handler=None) -> SimdResult:
         """Run ``prog`` with ``active`` PEs starting in the start meta
         state (default: all) and the rest idle in the free pool.
 
@@ -202,19 +203,27 @@ class SimdMachine:
         :class:`~repro.codegen.plan.ProgramPlan` for ``prog`` (e.g. the
         one the stage pipeline produced and cached); when omitted and
         ``use_plans`` is on, the program's own cached plan is used —
-        either way nothing is rebuilt per run."""
+        either way nothing is rebuilt per run.
+
+        ``miss_handler`` enables lazy conversion: a
+        :class:`~repro.codegen.lazy.LazyProgram` whose ``fetch(state,
+        want_kernel)`` is called before every meta step to expand,
+        compile, and register the state into ``prog.nodes`` /
+        ``plan.nodes`` / its kernel dict in place (and to enforce the
+        resident-node bound). ``prog`` and ``plan`` must then be the
+        handler's own partial ``program`` and incremental plan."""
         if active is None:
             active = self.npes
         if not (1 <= active <= self.npes):
             raise MachineError(f"active={active} out of range 1..{self.npes}")
 
-        backend_used = self._effective_backend(prog)
+        backend_used = self._effective_backend(prog, miss_handler)
         mt = backend_used in shardsmod.MT_BACKENDS
         nshards = self.nshards if mt else 1
         if mt and nshards > 1:
             try:
                 return self._run_mt(prog, active, max_steps, plan,
-                                    backend_used, nshards)
+                                    backend_used, nshards, miss_handler)
             except shardsmod.ShardError as err:
                 # Exact in-order error reconstruction: the run is
                 # deterministic and failing runs discard machine state,
@@ -223,16 +232,17 @@ class SimdMachine:
                 # including its position across shard boundaries.
                 self._run_serial(prog, active, max_steps, plan,
                                  shardsmod.SERIAL_TWIN[backend_used],
-                                 backend_used, nshards)
+                                 backend_used, nshards, miss_handler)
                 raise err.errors[0]  # replay passed: surface the original
         # One shard degrades to the serial twin executor (results are
         # identical by contract); the mt label and shard count stay on
         # the result so callers see what was asked and resolved.
         exec_backend = shardsmod.SERIAL_TWIN.get(backend_used, backend_used)
         return self._run_serial(prog, active, max_steps, plan, exec_backend,
-                                backend_used, nshards)
+                                backend_used, nshards, miss_handler)
 
-    def _effective_backend(self, prog: SimdProgram) -> str:
+    def _effective_backend(self, prog: SimdProgram,
+                           miss_handler=None) -> str:
         """Resolve the backend that will actually run ``prog`` —
         warning on every downgrade (the pre-PR-6 machine fell back
         silently, so benchmarks could mislabel runs)."""
@@ -244,6 +254,23 @@ class SimdMachine:
             return "plan"
         if backend in ("kernels", "kernels-mt"):
             fallback = "plan" if backend == "kernels" else "plan-mt"
+            if miss_handler is not None:
+                # Lazy mode: kernels are JIT-compiled per node by the
+                # handler; only global feasibility is checked up front.
+                if not miss_handler.supports_kernels:
+                    warnings.warn(
+                        f"program has no compiled kernels (static stack "
+                        f"depths unresolvable); running {fallback!r} "
+                        f"instead", RuntimeWarning, stacklevel=3)
+                    return fallback
+                if miss_handler.costs != self.costs:
+                    warnings.warn(
+                        f"kernels fold a different cost model into their "
+                        f"constants than this machine's; running "
+                        f"{fallback!r} instead", RuntimeWarning,
+                        stacklevel=3)
+                    return fallback
+                return backend
             kern = prog.kernels()
             if kern is None:
                 warnings.warn(
@@ -298,7 +325,8 @@ class SimdMachine:
 
     def _run_serial(self, prog: SimdProgram, active: int, max_steps: int,
                     plan: "planmod.ProgramPlan | None", exec_backend: str,
-                    backend_used: str, nshards: int) -> SimdResult:
+                    backend_used: str, nshards: int,
+                    miss_handler=None) -> SimdResult:
         st, pc = self._initial_state(prog, active)
 
         cycles = 0
@@ -316,8 +344,13 @@ class SimdMachine:
 
         # Fused kernels: one generated function per node (availability
         # and cost-model compatibility were resolved — with warnings —
-        # by _effective_backend).
-        kfns = prog.kernels().fns if exec_backend == "kernels" else None
+        # by _effective_backend). Lazy mode reads the handler's live
+        # kernel dict, which fetch() fills per discovered node.
+        if exec_backend == "kernels":
+            kfns = (miss_handler.kfns if miss_handler is not None
+                    else prog.kernels().fns)
+        else:
+            kfns = None
 
         current = prog.start
         steps = 0
@@ -325,6 +358,8 @@ class SimdMachine:
             steps += 1
             if steps > max_steps:
                 raise MachineError(f"SIMD run exceeded {max_steps} meta steps")
+            if miss_handler is not None:
+                miss_handler.fetch(current, want_kernel=kfns is not None)
             node = prog.nodes[current]
             visits[node.entry_members] = visits.get(node.entry_members, 0) + 1
 
@@ -399,7 +434,7 @@ class SimdMachine:
 
     def _run_mt(self, prog: SimdProgram, active: int, max_steps: int,
                 plan: "planmod.ProgramPlan | None", backend_used: str,
-                nshards: int) -> SimdResult:
+                nshards: int, miss_handler=None) -> SimdResult:
         """The sharded run loop: shardable nodes execute on ``nshards``
         disjoint slices of the PE axis via the worker pool; cross-lane
         nodes run serially on the full arrays. Per-shard aggregates
@@ -418,7 +453,11 @@ class SimdMachine:
         st, pc = self._initial_state(prog, active)
         if plan is None:
             plan = prog.plan()
-        kfns = prog.kernels().fns if backend_used == "kernels-mt" else None
+        if backend_used == "kernels-mt":
+            kfns = (miss_handler.kfns if miss_handler is not None
+                    else prog.kernels().fns)
+        else:
+            kfns = None
         weights = plan.bit_weights
         bounds = shardsmod.shard_bounds(self.npes, nshards)
         views = [shardsmod.ShardView(st, lo, hi) for lo, hi in bounds]
@@ -439,6 +478,8 @@ class SimdMachine:
             steps += 1
             if steps > max_steps:
                 raise MachineError(f"SIMD run exceeded {max_steps} meta steps")
+            if miss_handler is not None:
+                miss_handler.fetch(current, want_kernel=kfns is not None)
             node = prog.nodes[current]
             nplan = plan.nodes[current]
             visits[node.entry_members] = visits.get(node.entry_members, 0) + 1

@@ -38,7 +38,11 @@ from pathlib import Path
 #: is then invisible — old shards are simply never read again).
 #: v4: cached programs carry the generated fused-kernel source
 #: (``SimdProgram._kernels``).
-CACHE_VERSION = 4
+#: v5: lazy compiles cache the :class:`~repro.core.convert.
+#: ConversionEngine` snapshot (``CachedCompile.lazy_engine``) instead
+#: of an eager program, so a warm lazy run resumes with every
+#: previously discovered state already expanded.
+CACHE_VERSION = 5
 
 #: Top-level repro subpackages whose code determines compile output.
 #: ``simd``/``mimd`` (simulators) and ``analysis``/``viz`` are runtime
@@ -53,6 +57,14 @@ _COMPILER_PACKAGES = ("lang", "ir", "core", "csi", "hashenc", "opt",
 #: out of the fingerprint and plain compiles share one cache entry
 #: regardless of lint settings.
 _LINT_OPTION_FIELDS = ("analyze", "werror", "lint_select", "lint_ignore")
+
+#: Options that steer the *runtime* only, never any compiled artifact.
+#: ``max_resident_meta`` bounds how many lazily compiled nodes stay
+#: resident during execution — results, cycles, and every cacheable
+#: artifact are identical for any value — so it never splits cache
+#: entries. (``lazy`` itself *is* fingerprinted: lazy and eager
+#: compiles cache different bundles.)
+_RUNTIME_OPTION_FIELDS = ("max_resident_meta",)
 
 _code_fingerprint_memo: str | None = None
 
@@ -94,6 +106,8 @@ def options_fingerprint(options) -> str:
         value = getattr(options, f.name)
         if f.name in _LINT_OPTION_FIELDS and not analyzing:
             continue
+        if f.name in _RUNTIME_OPTION_FIELDS:
+            continue
         if f.name == "costs":
             cost_parts = [
                 (cf.name, _freeze(getattr(value, cf.name)))
@@ -127,12 +141,20 @@ def default_cache_root() -> Path:
 class CachedCompile:
     """The serialized artifact bundle of one compile: everything the
     parse→plan stages produce. ``program`` carries its precompiled
-    ``ProgramPlan`` inside, so a warm run goes straight to simulation."""
+    ``ProgramPlan`` inside, so a warm run goes straight to simulation.
+
+    Lazy compiles store ``program=None`` and ``lazy_engine`` instead:
+    the pickled :class:`~repro.core.convert.ConversionEngine` whose
+    graph holds every state discovered so far (the CLI re-stores the
+    bundle after a lazy run, so runtime discovery accumulates in the
+    cache). Plans and kernels are not stored — they re-JIT
+    deterministically per node on resume."""
 
     cfg: object
     graph: object
     restarts: int
     program: object
+    lazy_engine: object = None
 
 
 @dataclass

@@ -63,6 +63,7 @@ class CompileContext:
     restarts: int = 0
     program: object = None
     plan: object = None
+    engine: object = None           # ConversionEngine (lazy compiles)
     split_stats: dict = field(default_factory=dict)
     #: Per-pass StageRecord rows keyed by stage name, filled by the
     #: ``opt-*`` stages and nested under their stage records.
@@ -141,6 +142,8 @@ def _stage_convert(ctx: CompileContext) -> dict:
 
     options = ctx.options
     convert_options = options.convert_options()
+    if getattr(options, "lazy", False):
+        return _stage_convert_lazy(ctx, convert_options)
     if options.time_split:
         split_options = TimeSplitOptions(
             split_delta=options.split_delta,
@@ -163,9 +166,42 @@ def _stage_convert(ctx: CompileContext) -> dict:
     return counters
 
 
+def _stage_convert_lazy(ctx: CompileContext, convert_options) -> dict:
+    """Lazy conversion: build the incremental engine and expand only
+    the entry state. Everything downstream (straightening, encoding,
+    plans, kernels) is deferred to runtime discovery — see
+    :class:`repro.codegen.lazy.LazyProgram`. Time splitting needs the
+    full automaton to pick split points, so the two are incompatible."""
+    from repro.core.convert import ConversionEngine
+    from repro.errors import ConversionError
+
+    if ctx.options.time_split:
+        raise ConversionError(
+            "lazy conversion is incompatible with time splitting "
+            "(splitting selects states from the completed automaton); "
+            "drop --time-split or --lazy"
+        )
+    engine = ConversionEngine(ctx.cfg, convert_options)
+    engine.ensure(engine.graph.start)
+    ctx.engine = engine
+    ctx.graph = engine.graph
+    ctx.restarts = 0
+    return {
+        "lazy": 1,
+        "meta_states": ctx.graph.num_states(),
+        "meta_states_expanded": len(ctx.graph.table),
+        "restarts": 0,
+        "worklist_passes": engine.passes,
+    }
+
+
 def _stage_opt_meta(ctx: CompileContext) -> dict:
     from repro.opt import run_meta_passes
 
+    if getattr(ctx.options, "lazy", False):
+        # A partial automaton has no global layout to optimize; lazy
+        # execution always uses the trivial one-node-per-state layout.
+        return {"lazy_deferred": 1}
     ctx.straightened, records, totals = run_meta_passes(
         ctx.graph, ctx.options, valid_blocks=set(ctx.cfg.blocks),
     )
@@ -177,6 +213,8 @@ def _stage_encode(ctx: CompileContext) -> dict:
     from repro.codegen.emit import encode_program
 
     options = ctx.options
+    if getattr(options, "lazy", False):
+        return {"lazy_deferred": 1}
     ctx.program = encode_program(
         ctx.cfg, ctx.straightened, costs=options.costs,
         use_csi=options.use_csi,
@@ -194,11 +232,15 @@ def _stage_encode(ctx: CompileContext) -> dict:
 
 
 def _stage_plan(ctx: CompileContext) -> dict:
+    if getattr(ctx.options, "lazy", False):
+        return {"lazy_deferred": 1}
     ctx.plan = ctx.program.plan()
     return ctx.plan.stats()
 
 
 def _stage_kernels(ctx: CompileContext) -> dict:
+    if getattr(ctx.options, "lazy", False):
+        return {"lazy_deferred": 1}
     kern = ctx.program.kernels()
     if kern is None:
         # Static depths unresolvable: the machine stays on the plan
@@ -320,16 +362,19 @@ def stages_for(options) -> tuple[Stage, ...]:
     plus — when ``options.analyze`` is set — the ``analyze`` stage
     after ``opt-cfg`` (so explosion errors abort before ``convert``)
     and ``analyze-meta`` after ``plan`` (races need the meta graph;
-    kernel generation runs only on lint-clean programs)."""
+    kernel generation runs only on lint-clean programs). Lazy compiles
+    skip ``analyze-meta``: the meta-level analyzers inspect the full
+    automaton and program, which lazy mode never materializes."""
     if not getattr(options, "analyze", False):
         return PIPELINE_STAGES
     _preload_lint()
+    lazy = getattr(options, "lazy", False)
     out: list[Stage] = []
     for stage in PIPELINE_STAGES:
         out.append(stage)
         if stage.name == "opt-cfg":
             out.append(ANALYZE_STAGE)
-        elif stage.name == "plan":
+        elif stage.name == "plan" and not lazy:
             out.append(ANALYZE_META_STAGE)
     return tuple(out)
 
@@ -362,6 +407,7 @@ def run_pipeline(source: str, options, cache=None):
                 options=options, restarts=payload.restarts,
             )
             result._program = payload.program
+            result._engine = payload.lazy_engine
             result.report = report
             return result
         report.cache = "miss"
@@ -377,7 +423,7 @@ def run_pipeline(source: str, options, cache=None):
         t0 = time.perf_counter()
         cache.store(report.key, CachedCompile(
             cfg=ctx.cfg, graph=ctx.graph, restarts=ctx.restarts,
-            program=ctx.program,
+            program=ctx.program, lazy_engine=ctx.engine,
         ))
         report.store_seconds = time.perf_counter() - t0
 
@@ -386,8 +432,26 @@ def run_pipeline(source: str, options, cache=None):
         restarts=ctx.restarts,
     )
     result._program = ctx.program
+    result._engine = ctx.engine
     result.report = report
     return result
+
+
+def store_lazy_progress(cache, result) -> bool:
+    """Re-store a lazy compile's cache bundle after a run, folding the
+    states the runtime discovered back into the content-addressed
+    entry — the next compile of the same source + options resumes from
+    them instead of rediscovering. No-op for eager results or when
+    caching is off."""
+    cache = resolve_cache(cache)
+    engine = getattr(result, "_engine", None)
+    if cache is None or engine is None:
+        return False
+    key = compile_key(result.source, result.options)
+    return cache.store(key, CachedCompile(
+        cfg=result.cfg, graph=result.graph, restarts=result.restarts,
+        program=None, lazy_engine=engine,
+    ))
 
 
 def _analyze_cached(source: str, options, payload: CachedCompile,
@@ -410,7 +474,8 @@ def _analyze_cached(source: str, options, payload: CachedCompile,
     ctx.program = payload.program
     ctx.plan = payload.program.plan() if payload.program is not None else None
     ANALYZE_STAGE.execute(ctx, report)
-    ANALYZE_META_STAGE.execute(ctx, report)
+    if payload.program is not None:  # lazy bundles skip analyze-meta
+        ANALYZE_META_STAGE.execute(ctx, report)
     report.diagnostics = list(ctx.diagnostics)
     _check_werror(ctx)
 
@@ -419,24 +484,37 @@ def _record_cached_stages(report: StageReport, payload: CachedCompile) -> None:
     """On a cache hit, record every stage as skipped, with the counters
     that are cheaply re-derivable from the loaded artifacts (so a warm
     ``--timings`` table still shows the program's shape)."""
-    derived = {
-        "opt-cfg": lambda: {"blocks": len(payload.cfg.blocks)},
-        "convert": lambda: {
-            "meta_states": payload.graph.num_states(),
-            "restarts": payload.restarts,
-        },
-        "opt-meta": lambda: {"chains": payload.program.node_count()},
-        "encode": lambda: {
-            "nodes": payload.program.node_count(),
-            "cu_instructions": payload.program.control_unit_instructions(),
-        },
-        # The generated kernel source travels inside the cached program
-        # (see KernelProgram.__getstate__) — a warm hit reports its
-        # stats without regenerating anything.
-        "kernels": lambda: (payload.program.kernels().stats()
-                            if payload.program.kernels() is not None
-                            else {"kernel_nodes": 0}),
-    }
+    if payload.program is None:
+        # Lazy bundle: only the engine snapshot travels in the cache.
+        derived = {
+            "opt-cfg": lambda: {"blocks": len(payload.cfg.blocks)},
+            "convert": lambda: {
+                "lazy": 1,
+                "meta_states": payload.graph.num_states(),
+                "meta_states_expanded": len(payload.graph.table),
+                "restarts": payload.restarts,
+            },
+        }
+    else:
+        derived = {
+            "opt-cfg": lambda: {"blocks": len(payload.cfg.blocks)},
+            "convert": lambda: {
+                "meta_states": payload.graph.num_states(),
+                "restarts": payload.restarts,
+            },
+            "opt-meta": lambda: {"chains": payload.program.node_count()},
+            "encode": lambda: {
+                "nodes": payload.program.node_count(),
+                "cu_instructions":
+                    payload.program.control_unit_instructions(),
+            },
+            # The generated kernel source travels inside the cached
+            # program (see KernelProgram.__getstate__) — a warm hit
+            # reports its stats without regenerating anything.
+            "kernels": lambda: (payload.program.kernels().stats()
+                                if payload.program.kernels() is not None
+                                else {"kernel_nodes": 0}),
+        }
     for name in STAGE_NAMES:
         counters = derived.get(name, dict)()
         report.add(name, 0.0, cached=True, counters=counters)

@@ -210,11 +210,104 @@ main() {{
 """
 
 
+def branch_tree(depth: int = 6, mul: int = 5) -> str:
+    """A complete nested if/else tree of ``depth`` levels — ``2^depth
+    - 1`` branch blocks in one barrier-free region, so the eager
+    explosion bound is ``3^(2^depth - 1)`` and real conversion blows
+    past any practical ``max_meta_states`` from ``depth >= 6``. Each PE
+    walks exactly one root-to-leaf path (bit ``k`` of a hashed
+    ``procnum`` picks the arm at level ``k``), so the *runtime* only
+    ever reaches ``O(2^depth)`` meta states — the lazy-conversion
+    poster child. No rejoin happens until after the whole tree, which
+    is what keeps the divergence from collapsing back."""
+    if depth < 1:
+        raise ValueError("need depth >= 1")
+    lines: list[str] = []
+
+    def emit(level: int, index: int, indent: int) -> None:
+        pad = "    " * indent
+        if level == depth:
+            lines.append(f"{pad}acc = acc * {mul} + {index};")
+            return
+        lines.append(f"{pad}if ((x / {2 ** level}) % 2) {{")
+        emit(level + 1, 2 * index + 1, indent + 1)
+        lines.append(f"{pad}}} else {{")
+        emit(level + 1, 2 * index, indent + 1)
+        lines.append(f"{pad}}}")
+
+    emit(0, 0, 1)
+    body = "\n".join(lines)
+    return f"""
+main() {{
+    poly int x; poly int acc;
+    x = (procnum * 2654435761) % {2 ** depth};
+    acc = 1;
+{body}
+    return (acc % 65536 + x);
+}}
+"""
+
+
+def random_walks(stages: int = 24, lanes: int = 3, mod: int = 509) -> str:
+    """Data-dependent random walks: ``lanes`` divergent arms, each a
+    chain of ``stages`` stages whose do-while trip count (1-3) comes
+    from a per-PE seed recurrence. The reachable states form a product
+    lattice of the lanes' independent progress positions, so eager
+    conversion explodes combinatorially while each meta state stays
+    narrow (small ``CondBr`` member count — wide states are what make
+    eager *slow*; many narrow states are what make it *big*). Any one
+    execution touches only the states along its PEs' actual progress
+    profile."""
+    if lanes < 2:
+        raise ValueError("need at least two lanes")
+
+    def arm(g: int, indent: int) -> str:
+        pad = "    " * indent
+        parts = []
+        for i in range(stages):
+            parts.append(f"{pad}seed = (seed * 5 + {2 * i + g + 1}) "
+                         f"% {mod};")
+            parts.append(f"{pad}t = seed % 3 + 1;")
+            parts.append(f"{pad}do {{ t = t - 1; acc = acc + seed % 7; }} "
+                         f"while (t > 0);")
+        return "\n".join(parts)
+
+    def nest(g: int, indent: int) -> str:
+        pad = "    " * indent
+        if g == lanes - 1:
+            return arm(g, indent)
+        return (f"{pad}if (lane == {g}) {{\n"
+                f"{arm(g, indent + 1)}\n"
+                f"{pad}}} else {{\n"
+                f"{nest(g + 1, indent + 1)}\n"
+                f"{pad}}}")
+
+    return f"""
+main() {{
+    poly int lane; poly int seed; poly int t; poly int acc;
+    lane = procnum % {lanes};
+    seed = procnum * 37 + 11;
+    acc = 0;
+{nest(0, 1)}
+    return (acc % 10007 + lane);
+}}
+"""
+
+
 def all_sources() -> dict[str, str]:
     """Materialized ``name -> MIMDC source`` for the standard library —
     what cache warm-up, the CI compile-cache job, and cold-vs-warm
-    equivalence tests iterate over."""
+    equivalence tests iterate over. The :data:`EXPLOSION` workloads are
+    deliberately *not* included: they cannot compile eagerly."""
     return {name: make() for name, make in STANDARD.items()}
+
+
+def explosion_sources() -> dict[str, str]:
+    """Materialized ``name -> MIMDC source`` for the explosion-prone
+    workloads — programs whose eager conversion trips the MSC030 hard
+    bound (and genuinely exceeds ``max_meta_states``) but whose
+    runtime-reachable state set is small enough for ``--lazy``."""
+    return {name: make() for name, make in EXPLOSION.items()}
 
 
 def warm_cache(cache=True, options=None) -> list:
@@ -242,4 +335,12 @@ STANDARD = {
     "spawn_waves": lambda: spawn_waves(2),
     "mandelbrot": lambda: mandelbrot(16),
     "barrier_phases": lambda: barrier_phases(3),
+}
+
+#: Explosion-prone workloads, kept out of :data:`STANDARD` (eager
+#: compiles of these are expected to fail; the lazy differential suite
+#: and the lazy bench rows consume them).
+EXPLOSION = {
+    "branch_tree": lambda: branch_tree(6),
+    "random_walks": lambda: random_walks(24),
 }

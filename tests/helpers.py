@@ -199,12 +199,15 @@ CORPUS: list[tuple[str, str]] = [
     ("float_math", FLOAT_MATH),
 ]
 
-#: Option sets exercised against the corpus.
+#: Option sets exercised against the corpus. The time-split entries
+#: pin ``lazy=False``: time splitting needs the whole automaton, so it
+#: is incompatible with lazy conversion (and must stay eager even when
+#: ``REPRO_LAZY=1`` flips the default, as the lazy CI leg does).
 OPTION_MATRIX = [
     ConversionOptions(),
     ConversionOptions(compress=True),
-    ConversionOptions(time_split=True),
-    ConversionOptions(compress=True, time_split=True),
+    ConversionOptions(time_split=True, lazy=False),
+    ConversionOptions(compress=True, time_split=True, lazy=False),
 ]
 
 

@@ -1,0 +1,268 @@
+"""Lazy meta-state conversion: the incremental ConversionEngine, the
+LazyProgram miss-handler, and their differential contract against
+eager compilation.
+
+The contract has two tiers (docs/internals.md section 14):
+
+- *cold* lazy runs are result-identical to the MIMD oracle (returns and
+  memory), but on barrier-parking programs a state's first-visit table
+  row can have fewer cases than the eager parked fixpoint row, so
+  transition-cycle accounting may differ;
+- once the parked fixpoint over the visited region is reached (any
+  *warm* run), every counter is bit-identical to the eager compile laid
+  out with the trivial (single-state-chain) layout — the layout a
+  partial automaton is constrained to.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import ConversionOptions, convert_source, simulate_mimd, simulate_simd
+from repro import workloads
+from repro.codegen.emit import encode_program
+from repro.core.convert import (
+    ConversionEngine,
+    ConvertOptions,
+    _ConvertMemo,
+    candidate_unions,
+    convert,
+)
+from repro.errors import ConversionError
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+from repro.opt.meta_passes import StraightenedGraph
+from repro.simd.machine import SimdMachine
+
+from tests.helpers import LISTING3_SHAPE, assert_equivalent
+
+NPES = 8
+
+
+def lower(src: str):
+    return lower_program(analyze(parse(src)))
+
+
+def _active(name: str):
+    # spawn_waves needs free PEs for its workers (tests/test_workloads).
+    return 4 if name == "spawn_waves" else None
+
+
+def _bit_identical(a, b) -> None:
+    assert a.cycles == b.cycles
+    assert a.body_cycles == b.body_cycles
+    assert a.transition_cycles == b.transition_cycles
+    assert a.enabled_pe_cycles == b.enabled_pe_cycles
+    assert a.meta_transitions == b.meta_transitions
+    assert a.node_visits == b.node_visits
+    assert a.backend_used == b.backend_used
+    np.testing.assert_array_equal(a.returns, b.returns)
+
+
+# ----------------------------------------------------------------------
+# Warm lazy vs eager at the trivial layout: full bit-identity
+# ----------------------------------------------------------------------
+
+class TestWarmDifferential:
+    @pytest.mark.parametrize("compress", [False, True],
+                             ids=["plain", "compress"])
+    @pytest.mark.parametrize("name", sorted(workloads.STANDARD))
+    def test_warm_lazy_matches_eager_trivial_layout(self, name, compress):
+        src = workloads.STANDARD[name]()
+        active = _active(name)
+        opts = ConversionOptions(compress=compress, lazy=False)
+        eager = convert_source(src, opts, cache=False)
+        # The twin: same CFG and meta graph, single-state chain layout —
+        # exactly the layout lazy materialization is constrained to.
+        twin = encode_program(eager.cfg,
+                              StraightenedGraph.trivial(eager.graph),
+                              costs=opts.costs, use_csi=opts.use_csi)
+        lazy = convert_source(src, ConversionOptions(compress=compress,
+                                                     lazy=True), cache=False)
+        # Warm the manager: one run reaches the parked fixpoint over
+        # the visited region, after which accounting is exact.
+        simulate_simd(lazy, NPES, active=active, backend="interp")
+        for backend in ("kernels", "kernels-mt"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                machine = SimdMachine(NPES, costs=opts.costs,
+                                      backend=backend, shards=2)
+                ref = machine.run(twin, active=active)
+                got = simulate_simd(lazy, NPES, active=active,
+                                    backend=backend, shards=2)
+            _bit_identical(ref, got)
+
+
+# ----------------------------------------------------------------------
+# Cold lazy vs the MIMD oracle: result identity
+# ----------------------------------------------------------------------
+
+class TestColdOracle:
+    @pytest.mark.parametrize("name", sorted(workloads.STANDARD))
+    def test_cold_lazy_matches_mimd(self, name):
+        src = workloads.STANDARD[name]()
+        active = _active(name)
+        lazy = convert_source(src, ConversionOptions(lazy=True), cache=False)
+        simd = simulate_simd(lazy, NPES, active=active)
+        mimd = simulate_mimd(lazy, nprocs=NPES, active=active)
+        assert_equivalent(simd, mimd)
+
+    def test_lazy_result_has_no_simd_program(self):
+        lazy = convert_source(workloads.divergent_loops(3),
+                              ConversionOptions(lazy=True), cache=False)
+        with pytest.raises(ConversionError):
+            lazy.simd_program()
+
+    def test_lazy_exec_stats_recorded(self):
+        lazy = convert_source(workloads.divergent_loops(3),
+                              ConversionOptions(lazy=True), cache=False)
+        simulate_simd(lazy, NPES)
+        rec = next(r for r in lazy.report.records if r.name == "lazy-exec")
+        assert rec.counters["lazy_materialized"] > 0
+        assert (rec.counters["lazy_materialized"]
+                <= rec.counters["lazy_discovered"])
+
+
+# ----------------------------------------------------------------------
+# Explosion workloads: eager aborts, lazy runs
+# ----------------------------------------------------------------------
+
+class TestExplosionWorkloads:
+    @pytest.mark.parametrize("name", sorted(workloads.EXPLOSION))
+    def test_eager_conversion_explodes(self, name):
+        src = workloads.EXPLOSION[name]()
+        with pytest.raises(ConversionError):
+            convert_source(src, ConversionOptions(lazy=False), cache=False)
+
+    @pytest.mark.parametrize("name", sorted(workloads.EXPLOSION))
+    def test_lazy_matches_mimd_oracle(self, name):
+        src = workloads.EXPLOSION[name]()
+        lazy = convert_source(src, ConversionOptions(lazy=True), cache=False)
+        simd = simulate_simd(lazy, NPES)
+        mimd = simulate_mimd(lazy, nprocs=NPES)
+        assert_equivalent(simd, mimd)
+        stats = lazy.lazy_program().stats()
+        # The point of laziness: far fewer states materialized than
+        # discovered (the frontier alone is orders of magnitude wider).
+        assert stats["lazy_materialized"] * 10 < stats["lazy_discovered"]
+
+    def test_bounded_residency_is_bit_identical(self):
+        src = workloads.branch_tree(6)
+        unbounded = convert_source(src, ConversionOptions(lazy=True),
+                                   cache=False)
+        bounded = convert_source(
+            src, ConversionOptions(lazy=True, max_resident_meta=4),
+            cache=False)
+        ref = simulate_simd(unbounded, NPES)
+        got = simulate_simd(bounded, NPES)
+        _bit_identical(ref, got)
+        stats = bounded.lazy_program().stats()
+        assert stats["lazy_evictions"] > 0
+        assert stats["lazy_resident"] <= 4
+
+    def test_eviction_rerun_stays_identical(self):
+        # Deterministic re-expansion: a second run over an LRU-thrashed
+        # manager re-materializes evicted states and must not drift.
+        src = workloads.random_walks(12)
+        lazy = convert_source(
+            src, ConversionOptions(lazy=True, max_resident_meta=2),
+            cache=False)
+        first = simulate_simd(lazy, NPES)
+        second = simulate_simd(lazy, NPES)
+        _bit_identical(first, second)
+        assert lazy.lazy_program().stats()["lazy_evictions"] > 0
+
+
+# ----------------------------------------------------------------------
+# ConversionEngine unit behaviour
+# ----------------------------------------------------------------------
+
+class TestConversionEngine:
+    def test_drain_equals_eager_convert(self):
+        cfg = lower(workloads.barrier_phases(3))
+        engine = ConversionEngine(cfg)
+        drained = engine.drain()
+        eager = convert(lower(workloads.barrier_phases(3)))
+        assert drained.table == eager.table
+        assert drained.parked_possible == eager.parked_possible
+        assert drained.can_exit == eager.can_exit
+
+    def test_on_demand_expansion_converges_to_fixpoint(self):
+        cfg = lower(workloads.spawn_waves(2))
+        engine = ConversionEngine(cfg)
+        dirtied = set()
+        # BFS the whole graph through ensure(), the way the runtime
+        # would; collect every stale-row notification on the way.
+        seen = {engine.graph.start}
+        frontier = [engine.graph.start]
+        while frontier:
+            m = frontier.pop()
+            engine.ensure(m)
+            dirtied |= engine.take_dirty()
+            for s in engine.graph.successors(m):
+                if s not in seen:
+                    seen.add(s)
+                    frontier.append(s)
+        # Parked growth must have stale'd at least one expanded row on
+        # a spawn/barrier program...
+        assert dirtied
+        # ...and re-ensuring every dirtied state leaves the graph at
+        # the same fixpoint eager conversion reaches over these states.
+        for m in dirtied:
+            engine.ensure(m)
+        eager = convert(lower(workloads.spawn_waves(2)))
+        for m in seen:
+            assert engine.graph.table[m] == eager.table[m]
+
+    def test_fresh_tracks_parked_growth(self):
+        cfg = lower(LISTING3_SHAPE)
+        engine = ConversionEngine(cfg)
+        start = engine.graph.start
+        assert not engine.fresh(start)
+        engine.ensure(start)
+        assert engine.fresh(start)
+
+    def test_expand_unregistered_state_raises(self):
+        cfg = lower(LISTING3_SHAPE)
+        engine = ConversionEngine(cfg)
+        with pytest.raises(ConversionError):
+            engine.expand(frozenset({999}))
+
+
+# ----------------------------------------------------------------------
+# candidate_unions / _ConvertMemo edge cases
+# ----------------------------------------------------------------------
+
+class TestCandidateUnionEdges:
+    def test_empty_members_yield_single_empty_union(self):
+        cfg = lower(LISTING3_SHAPE)
+        assert candidate_unions(cfg, frozenset(), False) == {frozenset()}
+        assert candidate_unions(cfg, frozenset(), True) == {frozenset()}
+
+    def test_all_terminal_members_union_to_empty(self):
+        cfg = lower("main() { poly int x; return (x); }")
+        terminal = frozenset(
+            b.bid for b in cfg.blocks.values() if b.is_terminal
+        )
+        assert candidate_unions(cfg, terminal, False) == {frozenset()}
+
+    def test_memo_matches_uncached_and_caches(self):
+        cfg = lower(workloads.divergent_loops(3))
+        memo = _ConvertMemo(cfg)
+        members = frozenset({cfg.entry})
+        for compress in (False, True):
+            assert (memo.unions(members, compress)
+                    == candidate_unions(cfg, members, compress))
+        # Cached per (members, compress): same object back.
+        assert memo.unions(members, False) is memo.unions(members, False)
+        assert memo.unions(members, False) is not memo.unions(members, True)
+
+    def test_parked_cap_boundary(self):
+        cfg = lower(LISTING3_SHAPE)
+        # One barrier block parked: cap 1 is exactly enough...
+        convert(cfg, ConvertOptions(max_parked=1))
+        # ...and cap 0 is one short.
+        with pytest.raises(ConversionError, match="parked"):
+            convert(lower(LISTING3_SHAPE), ConvertOptions(max_parked=0))

@@ -105,6 +105,30 @@ class TestCorpus:
         assert bombs[0].severity == Severity.ERROR
         assert not result.ok()
 
+    def test_eager_explosion_hints_at_lazy(self):
+        path = CORPUS / "explosion_bomb.mimdc"
+        result = lint_source(path.read_text(), filename=path.name)
+        (bomb,) = [d for d in result.diagnostics if d.code == "MSC030"]
+        assert "--lazy" in bomb.hint
+
+    @pytest.mark.parametrize("stem", ["explosion_branch_tree",
+                                      "explosion_random_walks"])
+    def test_explosion_downgrades_to_warning_under_lazy(self, stem):
+        # The same programs that hard-error eagerly only warn when the
+        # compile is lazy: only reachable states materialize, so the
+        # eager bound is advisory, not fatal.
+        path = CORPUS / f"{stem}.mimdc"
+        src = path.read_text()
+        result = lint_source(src, ConversionOptions(lazy=True),
+                             filename=path.name)
+        bombs = [d for d in result.diagnostics if d.code == "MSC030"]
+        assert len(bombs) == 1
+        assert bombs[0].severity == Severity.WARNING
+        assert "--max-resident-meta" in bombs[0].hint
+        assert result.ok()
+        # Lazy lint stops after the cfg phase: no meta artifacts exist.
+        assert "convert" not in result.stages_run
+
 
 class TestWorkloadsClean:
     @pytest.mark.parametrize("name", sorted(all_sources()))

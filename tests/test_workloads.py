@@ -76,17 +76,21 @@ class TestPostconditions:
 
 class TestParameters:
     def test_phase_scaling_is_monotone(self):
+        # Pins lazy=False: the count compares whole eager automata.
         counts = []
         for k in (1, 2, 3):
             r = convert_source(workloads.divergent_phases(k),
-                               ConversionOptions(max_meta_states=300_000))
+                               ConversionOptions(max_meta_states=300_000,
+                                                 lazy=False))
             counts.append(r.graph.num_states())
         assert counts[0] < counts[1] < counts[2]
 
     def test_barrier_variant_shrinks(self):
         base = convert_source(workloads.divergent_phases(3),
-                              ConversionOptions(max_meta_states=300_000))
-        barr = convert_source(workloads.divergent_phases(3, barrier=True))
+                              ConversionOptions(max_meta_states=300_000,
+                                                lazy=False))
+        barr = convert_source(workloads.divergent_phases(3, barrier=True),
+                              ConversionOptions(lazy=False))
         assert barr.graph.num_states() < base.graph.num_states()
 
     def test_divergent_loops_ways(self):

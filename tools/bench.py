@@ -1,11 +1,14 @@
 #!/usr/bin/env python
 """Backend benchmark: every library workload under every SIMD executor.
 
-Writes ``<bench-id>.json`` (``--bench-id``, default ``BENCH_6``) — per
+Writes ``<bench-id>.json`` (``--bench-id``, default ``BENCH_7``) — per
 workload x backend (``kernels`` / ``kernels-mt`` / ``plan`` /
 ``plan-mt`` / ``interp``): simulated cycles, best wall time, PE
 utilization, and meta transitions — plus a ``scaling`` section timing
-the simulator-scaling workload at MasPar width (16K PEs).
+the simulator-scaling workload at MasPar width (16K PEs), and a
+``lazy`` section: warm lazy-vs-eager steady state on the scaling
+workload (gated at <= 10% overhead) and cold/warm rows for the
+explosion workloads only ``--lazy`` can run at all.
 
 Every row asserts ``SimdResult.backend_used`` matches the backend it
 claims to measure, so a silent fallback can never mislabel a run.
@@ -21,11 +24,15 @@ Exit status is nonzero if
   informationally otherwise, or
 - simulated cycles regressed against the latest prior ``BENCH_*.json``
   (cycles are machine-independent, so they are comparable across
-  hosts; wall times are not).
+  hosts; wall times are not), or
+- warm lazy execution of the scaling workload is more than 10% slower
+  than the eager compile of the same source (the steady-state
+  contract: once every visited state is materialized, the
+  miss-handler is a dictionary probe per meta step).
 
 Usage::
 
-    python tools/bench.py [--bench-id BENCH_6] [--out PATH]
+    python tools/bench.py [--bench-id BENCH_7] [--out PATH]
                           [--npes 1024] [--reps 3] [--shards 4]
                           [--scaling-npes 16384] [--require-mt-speedup]
 """
@@ -45,7 +52,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import ConversionOptions, convert_source  # noqa: E402
 from repro.simd.machine import BACKENDS, SimdMachine  # noqa: E402
-from repro.workloads import STANDARD  # noqa: E402
+from repro.pipeline import simulate_mimd, simulate_simd  # noqa: E402
+from repro.workloads import EXPLOSION, STANDARD  # noqa: E402
 
 #: The workload pytest tracks in benchmarks/test_simulator_scaling.py.
 SCALING_WORKLOAD = """
@@ -61,6 +69,12 @@ main() {
 
 MAX_STEPS = 1_000_000
 MT_SPEEDUP_THRESHOLD = 1.5
+LAZY_OVERHEAD_THRESHOLD = 1.10
+#: Machine width for the explosion rows: per-state expansion is 3^b in
+#: the *visited* state's branch-member count, which scales with how
+#: divergent the PE population is — 8 PEs keeps every visited state
+#: narrow (see docs/internals.md section 14).
+EXPLOSION_NPES = 8
 
 
 def _bench_one(result, backend: str, npes: int, active: int | None,
@@ -107,6 +121,74 @@ def _bench_workload(name: str, source: str, npes: int, reps: int,
     return rows
 
 
+def _lazy_run(result, npes: int, active: int | None) -> tuple[float, object]:
+    """One timed lazy ``kernels`` run through the miss-handler."""
+    mgr = result.lazy_program()
+    machine = SimdMachine(npes=npes, costs=result.options.costs,
+                          backend="kernels")
+    t0 = time.perf_counter()
+    res = machine.run(mgr.program, active=active, max_steps=MAX_STEPS,
+                      plan=mgr.plan, miss_handler=mgr)
+    return time.perf_counter() - t0, res
+
+
+def _bench_lazy(npes: int, reps: int) -> dict:
+    """The lazy section: steady-state overhead vs eager on the scaling
+    workload, plus cold/warm rows for the explosion workloads."""
+    eager = convert_source(SCALING_WORKLOAD,
+                           ConversionOptions(lazy=False), cache=None)
+    prog = eager.simd_program()
+    machine = SimdMachine(npes=npes, costs=eager.options.costs,
+                          backend="kernels")
+    machine.run(prog, max_steps=MAX_STEPS)  # warm
+    eager_best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        eager_res = machine.run(prog, max_steps=MAX_STEPS)
+        eager_best = min(eager_best, time.perf_counter() - t0)
+
+    lazy = convert_source(SCALING_WORKLOAD,
+                          ConversionOptions(lazy=True), cache=None)
+    cold_s, _ = _lazy_run(lazy, npes, None)  # materializes + warms
+    lazy_best = float("inf")
+    for _ in range(reps):
+        wall, lazy_res = _lazy_run(lazy, npes, None)
+        lazy_best = min(lazy_best, wall)
+    overhead = lazy_best / eager_best
+    steady = {
+        "eager_wall_ms": round(eager_best * 1e3, 3),
+        "lazy_warm_wall_ms": round(lazy_best * 1e3, 3),
+        "lazy_cold_wall_ms": round(cold_s * 1e3, 3),
+        "overhead": round(overhead, 3),
+        "threshold": LAZY_OVERHEAD_THRESHOLD,
+        "passed": overhead <= LAZY_OVERHEAD_THRESHOLD,
+        "eager_cycles": eager_res.cycles,
+        "lazy_cycles": lazy_res.cycles,
+        "stats": lazy.lazy_program().stats(),
+    }
+
+    explosion = {}
+    for name, make in sorted(EXPLOSION.items()):
+        result = convert_source(make(), ConversionOptions(lazy=True),
+                                cache=None)
+        cold_s, res = _lazy_run(result, EXPLOSION_NPES, None)
+        warm_best = float("inf")
+        for _ in range(reps):
+            wall, res = _lazy_run(result, EXPLOSION_NPES, None)
+            warm_best = min(warm_best, wall)
+        mimd = simulate_mimd(result, EXPLOSION_NPES, max_steps=MAX_STEPS)
+        if res.returns.tolist() != mimd.returns.tolist():
+            raise SystemExit(f"lazy {name} diverges from the MIMD oracle")
+        explosion[name] = {
+            "cold_wall_ms": round(cold_s * 1e3, 3),
+            "warm_wall_ms": round(warm_best * 1e3, 3),
+            "cycles": res.cycles,
+            "stats": result.lazy_program().stats(),
+        }
+    return {"steady_state": steady, "explosion": explosion,
+            "npes": npes, "explosion_npes": EXPLOSION_NPES}
+
+
 def _latest_prior(out: Path, bench_id: str) -> Path | None:
     """The highest-numbered ``BENCH_*.json`` below ``bench_id`` next to
     the output file (the repo root in the Makefile/CI setup)."""
@@ -151,7 +233,7 @@ def _check_prior(prior_path: Path, workloads: dict, scaling: dict,
 
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--bench-id", default="BENCH_6",
+    ap.add_argument("--bench-id", default="BENCH_7",
                     help="id recorded in the payload and used for the "
                          "default output name and the prior-bench scan")
     ap.add_argument("--out", default=None,
@@ -199,6 +281,20 @@ def main(argv: list[str] | None = None) -> int:
           f"{speedup_mt:.2f}x vs kernels at {args.shards} shards "
           f"({args.scaling_npes} PEs, {cpus} CPUs)")
 
+    lazy = _bench_lazy(args.scaling_npes, args.reps)
+    steady = lazy["steady_state"]
+    print(f"{'lazy':24s} eager={steady['eager_wall_ms']:.2f}ms "
+          f"lazy-warm={steady['lazy_warm_wall_ms']:.2f}ms "
+          f"({steady['overhead']:.3f}x, threshold "
+          f"{LAZY_OVERHEAD_THRESHOLD}x) "
+          f"lazy-cold={steady['lazy_cold_wall_ms']:.2f}ms")
+    for name, row in lazy["explosion"].items():
+        st = row["stats"]
+        print(f"{name:24s} [lazy-only] cold={row['cold_wall_ms']:.2f}ms "
+              f"warm={row['warm_wall_ms']:.2f}ms "
+              f"materialized={st['lazy_materialized']}"
+              f"/{st['lazy_discovered']} discovered")
+
     prior_path = _latest_prior(out, args.bench_id)
     prior_problems = (
         _check_prior(prior_path, workloads, scaling, args.npes,
@@ -215,6 +311,7 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "workloads": workloads,
+        "lazy": lazy,
         "scaling": {
             "rows": scaling,
             "kernels_vs_plan": round(speedup_plan, 3),
@@ -251,6 +348,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"note: {msg}; not enforced on a {cpus}-CPU host")
     for problem in prior_problems:
         print(f"FAIL: {problem}", file=sys.stderr)
+        status = 1
+    if not steady["passed"]:
+        print(f"FAIL: warm lazy execution is {steady['overhead']:.3f}x "
+              f"eager on the scaling workload (threshold "
+              f"{LAZY_OVERHEAD_THRESHOLD}x)", file=sys.stderr)
         status = 1
     return status
 
