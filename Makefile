@@ -11,12 +11,14 @@ props:
 	$(PY) -m pytest tests/test_properties.py tests/test_csi_exact.py -q
 
 # Backend benchmark (all five executors over the workload library +
-# the 16K-PE scaling check); writes BENCH_7.json and fails if the
+# the 16K-PE scaling check); writes BENCH_8.json and fails if the
 # fused kernels are slower than the plan executor, if kernels-mt at 4
 # shards misses its speedup gate (>= 4-CPU hosts), or if simulated
-# cycles regressed against the latest prior BENCH_*.json.
+# cycles regressed against the latest prior BENCH_*.json, or if
+# the frontier verifier misses its wall-time gate on an explosion
+# workload.
 bench:
-	$(PY) tools/bench.py --bench-id BENCH_7 --shards 4
+	$(PY) tools/bench.py --bench-id BENCH_8 --shards 4
 
 bench-pytest:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q -s

@@ -8,7 +8,9 @@ Subcommands mirror the prototype tool chain of section 4:
   cross-checking against the MIMD reference).
 - ``compare``  : the section-1 duel — MSC vs the interpreter baseline.
 - ``lint``     : run the :mod:`repro.lint` analyzer suite and print the
-  diagnostics (text or JSON) without emitting code.
+  diagnostics (text or JSON) without emitting code; ``--emit-witness``
+  writes oracle-confirmed findings as replayable counterexamples.
+- ``replay``   : re-run emitted witness files against the MIMD oracle.
 - ``cache``    : inspect or clear the compile cache.
 
 Compiles go through the stage pipeline and (unless ``--no-cache``) the
@@ -26,6 +28,8 @@ Examples::
     python -m repro run prog.mimdc --npes 64 --check
     python -m repro compare prog.mimdc --npes 1024
     python -m repro lint prog.mimdc --format json --ignore MSC04
+    python -m repro lint prog.mimdc --emit-witness witnesses/
+    python -m repro replay witnesses/prog--MSC020--00.mimdc
     python -m repro cache info
 """
 
@@ -59,6 +63,7 @@ def _options(args: argparse.Namespace) -> ConversionOptions:
         lint_select=tuple(getattr(args, "select", None) or ()),
         lint_ignore=tuple(getattr(args, "ignore", None) or ()),
         max_resident_meta=getattr(args, "max_resident_meta", 0) or 0,
+        verify_budget=getattr(args, "verify_budget", 5_000),
         # None = not given on the command line: let the dataclass
         # defaults (REPRO_OPT_LEVEL / REPRO_LAZY) decide.
         **({} if args.opt_level is None else {"opt_level": args.opt_level}),
@@ -105,6 +110,10 @@ def _add_conversion_flags(p: argparse.ArgumentParser) -> None:
                    help="with --lazy, bound on compiled meta nodes kept "
                         "resident (LRU eviction + deterministic "
                         "re-expansion; 0 = unbounded)")
+    p.add_argument("--verify-budget", type=int, default=5_000,
+                   help="with --analyze --lazy, cap on new meta states "
+                        "the incremental frontier verifier may expand "
+                        "(0 = unbounded; truncation reports MSC050)")
 
 
 def _add_lint_filters(p: argparse.ArgumentParser) -> None:
@@ -179,7 +188,17 @@ def cmd_compile(args: argparse.Namespace) -> int:
     elif args.emit == "graph":
         print(ascii_graph(result.graph))
     elif args.emit == "dot":
-        print(meta_graph_to_dot(result.graph))
+        unrealizable = None
+        if getattr(args, "mark_unrealizable", False) and \
+                not result.graph.compressed:
+            from repro.verify.frontier import realizable_states
+
+            realizable = realizable_states(result.cfg)
+            if realizable is not None:
+                unrealizable = {m for m in result.graph.states
+                                if m not in realizable
+                                and m != result.graph.start}
+        print(meta_graph_to_dot(result.graph, unrealizable=unrealizable))
     elif args.emit == "dot-opt":
         from repro.opt import straightened_for_level
         from repro.viz.dot import straightened_to_dot
@@ -263,13 +282,30 @@ def cmd_lint(args: argparse.Namespace) -> int:
     filename = "<stdin>" if args.source == "-" else args.source
     result = lint_source(source, _options(args), filename=filename,
                          select=tuple(args.select or ()),
-                         ignore=tuple(args.ignore or ()))
+                         ignore=tuple(args.ignore or ()),
+                         emit_witness_dir=args.emit_witness)
     if args.format == "json":
         print(render_json(result.diagnostics, filename=filename))
     else:
         print(render_text(result.diagnostics, source=source,
                           filename=filename))
+    for path in result.witnesses:
+        print(f"witness: {path}", file=sys.stderr)
     return 0 if result.ok(werror=args.werror) else 1
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.verify.witness import replay_witness
+
+    failures = 0
+    for path in args.witness:
+        report = replay_witness(path)
+        status = "ok" if report.ok else "FAIL"
+        print(f"{status}: {path}: {report.code} @ {report.nprocs} "
+              f"processors: {report.message}")
+        if not report.ok:
+            failures += 1
+    return 1 if failures else 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -298,6 +334,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--emit", default="summary",
                    choices=["summary", "mpl", "kernel", "graph", "dot",
                             "dot-opt", "cfg", "cfg-dot"])
+    p.add_argument("--mark-unrealizable", action="store_true",
+                   help="with --emit dot, draw meta states no execution "
+                        "can dispatch (dead-meta-prune candidates) "
+                        "dotted and gray")
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("run", help="execute on the SIMD machine")
@@ -345,7 +385,18 @@ def main(argv: list[str] | None = None) -> int:
     _add_lint_filters(p)
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="diagnostic output format")
+    p.add_argument("--emit-witness", metavar="DIR", default=None,
+                   help="write every oracle-confirmed MSC010/011/020/021 "
+                        "finding to DIR as a replayable .mimdc "
+                        "counterexample (see the replay subcommand)")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("replay",
+                       help="re-run emitted .mimdc counterexample "
+                            "witnesses against the MIMD oracle")
+    p.add_argument("witness", nargs="+",
+                   help="witness file(s) produced by lint --emit-witness")
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("cache", help="inspect or clear the compile cache")
     p.add_argument("action", choices=["info", "clear", "dir"])

@@ -104,6 +104,10 @@ class LazyProgram:
         self.max_resident = int(getattr(options, "max_resident_meta", 0) or 0)
         self.materialized = 0
         self.evictions = 0
+        #: High-water mark of simultaneously resident compiled nodes.
+        #: (``lazy_max_resident`` used to report the *configured cap* —
+        #: 0 for unbounded runs — instead of this observed peak.)
+        self.max_resident_seen = 0
 
     # ------------------------------------------------------------------
     @property
@@ -143,7 +147,7 @@ class LazyProgram:
             "lazy_materialized": self.materialized,
             "lazy_resident": len(self.program.nodes),
             "lazy_evictions": self.evictions,
-            "lazy_max_resident": self.max_resident,
+            "lazy_max_resident": self.max_resident_seen,
             "lazy_kernels": len(self.kfns),
         }
 
@@ -200,3 +204,6 @@ class LazyProgram:
                 self.plan.nodes.pop(victim, None)
                 self.kfns.pop(victim, None)
                 self.evictions += 1
+        # Post-trim, so a bounded run's peak never exceeds its cap.
+        self.max_resident_seen = max(self.max_resident_seen,
+                                     len(self.program.nodes))

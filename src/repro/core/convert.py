@@ -132,6 +132,12 @@ class _ConvertMemo:
         return got
 
 
+#: Public name of the conversion memo: the realizability walks in
+#: :mod:`repro.verify.frontier` resolve candidate unions with the same
+#: cached machinery the converter uses, so the two stay in lockstep.
+ConvertMemo = _ConvertMemo
+
+
 class ConversionEngine:
     """Incremental driver of the subset construction.
 

@@ -36,6 +36,8 @@ class LintResult:
     records: list[StageRecord] = field(default_factory=list)
     #: Pipeline stages that executed to feed the analyzers.
     stages_run: list[str] = field(default_factory=list)
+    #: Paths of counterexample files written by ``emit_witness_dir``.
+    witnesses: list[str] = field(default_factory=list)
 
     @property
     def errors(self) -> int:
@@ -70,6 +72,7 @@ def lint_source(
     filename: str = "<source>",
     select: Sequence[str] = (),
     ignore: Sequence[str] = (),
+    emit_witness_dir: str | None = None,
 ) -> LintResult:
     """Run the full analyzer suite over ``source``.
 
@@ -77,6 +80,9 @@ def lint_source(
     defaults are used when omitted.  ``select`` / ``ignore`` are code
     prefixes (``MSC02`` matches both race codes).  Parse and semantic
     errors raise; analyzer findings never do — inspect the result.
+    With ``emit_witness_dir`` set, every MSC010/011/020/021 finding the
+    MIMD oracle can reproduce is written there as a replayable
+    ``.mimdc`` counterexample (see :mod:`repro.verify.witness`).
     """
     from repro.pipeline import ConversionOptions
     from repro.stages import driver as stage_driver
@@ -91,6 +97,7 @@ def lint_source(
         "lower": stage_driver._stage_lower,
         "opt-cfg": stage_driver._stage_opt_cfg,
         "convert": stage_driver._stage_convert,
+        "convert-lazy": stage_driver._stage_convert_lazy,
         "opt-meta": stage_driver._stage_opt_meta,
         "encode": stage_driver._stage_encode,
         "plan": stage_driver._stage_plan,
@@ -108,22 +115,54 @@ def lint_source(
     found, records = analysis.run_phase(lctx, "cfg")
 
     # Error-severity findings (e.g. an MSC030 explosion bound) mean the
-    # back half must not run — that is the point of linting first.
-    # Lazy compiles never build a complete program/plan, so the
-    # ``meta``-phase analyzers (which verify those artifacts) have
-    # nothing to check — same rule as ``stages_for`` skipping
-    # ``analyze-meta``.
-    if not has_errors(found) and not getattr(options, "lazy", False):
-        for name in _BACK_STAGES:
-            stage_fns[name](cctx)
-            stages_run.append(name)
-        # Time splitting may have replaced the CFG during convert.
-        lctx.cfg = cctx.cfg
-        lctx.graph = cctx.graph
-        lctx.program = cctx.program
-        lctx.plan = cctx.plan
-        _, meta_records = analysis.run_phase(lctx, "meta")
-        records.extend(meta_records)
+    # eager back half must not run — that is the point of linting
+    # first.  Lazy compiles take the incremental route instead: build
+    # the conversion engine only, and let the meta-phase frontier
+    # analyzer drive it under its state budget, so even explosion-bound
+    # programs (MSC030 downgrades to a warning under --lazy) get meta
+    # diagnostics for the subgraph an execution would discover.
+    if not has_errors(found):
+        if getattr(options, "lazy", False):
+            stage_fns["convert-lazy"](cctx, options.convert_options())
+            stages_run.append("convert")
+            lctx.cfg = cctx.cfg
+            lctx.graph = cctx.graph
+            lctx.engine = cctx.engine
+            _, meta_records = analysis.run_phase(lctx, "meta")
+            records.extend(meta_records)
+        else:
+            for name in _BACK_STAGES:
+                stage_fns[name](cctx)
+                stages_run.append(name)
+            # Time splitting may have replaced the CFG during convert.
+            lctx.cfg = cctx.cfg
+            lctx.graph = cctx.graph
+            lctx.program = cctx.program
+            lctx.plan = cctx.plan
+            _, meta_records = analysis.run_phase(lctx, "meta")
+            records.extend(meta_records)
 
-    return LintResult(diagnostics=list(lctx.diagnostics),
-                      records=records, stages_run=stages_run)
+    result = LintResult(diagnostics=list(lctx.diagnostics),
+                        records=records, stages_run=stages_run)
+    if emit_witness_dir is not None and lctx.cfg is not None:
+        from pathlib import Path
+
+        from repro.verify.witness import emit_witnesses
+
+        result.witnesses = emit_witnesses(
+            source,
+            lctx.cfg,
+            lctx.scratch.get("witness_seeds", []),
+            emit_witness_dir,
+            stem=Path(filename).stem if filename != "<source>" else "witness",
+            frontier=lctx.scratch.get("frontier"),
+            costs=getattr(options, "costs", None) or _default_costs(),
+            opt_level=int(getattr(options, "opt_level", 1)),
+        )
+    return result
+
+
+def _default_costs():
+    from repro.ir.instr import DEFAULT_COSTS
+
+    return DEFAULT_COSTS

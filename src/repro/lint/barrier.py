@@ -30,55 +30,17 @@ from repro.ir.cfg import Cfg
 from repro.lint.dataflow import (
     EXIT,
     analyze_uniformity,
+    backward_closure,
     immediate_postdominator,
+    predecessor_map,
 )
 from repro.lint.diagnostics import Diagnostic, Severity, Span
 from repro.lint.driver import LintContext
+from repro.verify.witness import WitnessSeed
 
 #: Cap on distinct static barrier counts tracked per branch arm before
 #: the mismatch check gives up (keeps the DP linear).
 _MAX_COUNTS = 8
-
-
-def _reaches_barrier(cfg: Cfg, reachable: set[int]) -> set[int]:
-    """Blocks from which some barrier block is reachable (inclusive)."""
-    preds: dict[int, list[int]] = {b: [] for b in reachable}
-    for bid in reachable:
-        for s in cfg.blocks[bid].successors():
-            if s in preds:
-                preds[s].append(bid)
-    work = [b for b in reachable if cfg.blocks[b].is_barrier_wait]
-    seen = set(work)
-    while work:
-        bid = work.pop()
-        for p in preds[bid]:
-            if p not in seen:
-                seen.add(p)
-                work.append(p)
-    return seen
-
-
-def _exits_barrier_free(cfg: Cfg, reachable: set[int]) -> set[int]:
-    """Blocks that can reach ``return``/``halt`` along a path crossing
-    no barrier block (the block itself included in the path)."""
-    preds: dict[int, list[int]] = {b: [] for b in reachable}
-    for bid in reachable:
-        for s in cfg.blocks[bid].successors():
-            if s in preds:
-                preds[s].append(bid)
-    work = [
-        b for b in reachable
-        if isinstance(cfg.blocks[b].terminator, (Return, Halt))
-        and not cfg.blocks[b].is_barrier_wait
-    ]
-    seen = set(work)
-    while work:
-        bid = work.pop()
-        for p in preds[bid]:
-            if p not in seen and not cfg.blocks[p].is_barrier_wait:
-                seen.add(p)
-                work.append(p)
-    return seen
 
 
 def _arm_region(cfg: Cfg, start: int, join: int,
@@ -165,8 +127,23 @@ def analyze_barriers(ctx: LintContext) -> list[Diagnostic]:
     reachable = set(uni.entry_depths)
     if not any(cfg.blocks[b].is_barrier_wait for b in reachable):
         return []
-    rb = _reaches_barrier(cfg, reachable)
-    ef = _exits_barrier_free(cfg, reachable)
+    preds = predecessor_map(cfg, reachable)
+    # Blocks from which some barrier block is reachable (inclusive).
+    rb = backward_closure(
+        cfg, preds,
+        (b for b in reachable if cfg.blocks[b].is_barrier_wait),
+    )
+    # Blocks that can reach return/halt along a barrier-free path.
+    ef = backward_closure(
+        cfg, preds,
+        (
+            b for b in reachable
+            if isinstance(cfg.blocks[b].terminator, (Return, Halt))
+            and not cfg.blocks[b].is_barrier_wait
+        ),
+        cross_barriers=False,
+    )
+    seeds = ctx.scratch.setdefault("witness_seeds", [])
     out: list[Diagnostic] = []
     for bid in sorted(uni.divergent_branches):
         blk = cfg.blocks[bid]
@@ -193,6 +170,8 @@ def analyze_barriers(ctx: LintContext) -> list[Diagnostic]:
                 hint="make both arms reach the barrier, or move the "
                      "wait out of divergent control flow",
             ))
+            seeds.append(WitnessSeed(code="MSC010",
+                                     blocks=(bid, waits, exits)))
             continue
         # Count mismatch only when both arms rejoin through barriers.
         join = immediate_postdominator(uni.pdom, bid)
@@ -223,4 +202,6 @@ def analyze_barriers(ctx: LintContext) -> list[Diagnostic]:
                     hint="balance the number of wait statements on "
                          "both arms of the branch",
                 ))
+                seeds.append(WitnessSeed(code="MSC011",
+                                         blocks=(bid, t, f)))
     return out

@@ -29,6 +29,7 @@ recursion dispatch chains) are conservatively varying.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.ir.block import CondBr, SpawnT
 from repro.ir.cfg import Cfg
@@ -36,6 +37,46 @@ from repro.ir.instr import BINARY_OPS, UNARY_OPS, Instr, Op
 
 #: Virtual exit node: the single sink behind every Return/Halt.
 EXIT = -1
+
+
+def predecessor_map(cfg: Cfg, reachable: set[int]) -> dict[int, list[int]]:
+    """Predecessor lists over the reachable subgraph — the shared
+    substrate of every backward walk in the analyzers (the barrier
+    analyzer used to rebuild it once per query)."""
+    preds: dict[int, list[int]] = {b: [] for b in reachable}
+    for bid in reachable:
+        for s in cfg.blocks[bid].successors():
+            if s in preds:
+                preds[s].append(bid)
+    return preds
+
+
+def backward_closure(
+    cfg: Cfg,
+    preds: dict[int, list[int]],
+    seeds: Iterable[int],
+    *,
+    cross_barriers: bool = True,
+) -> set[int]:
+    """Blocks that can reach some seed block (seeds included).
+
+    With ``cross_barriers=False`` the walk refuses to step back onto a
+    barrier-wait block, so the closure only contains blocks reaching a
+    seed along a barrier-free path — the "can run to exit without
+    synchronizing" query of the deadlock detector.
+    """
+    work = list(seeds)
+    seen = set(work)
+    while work:
+        bid = work.pop()
+        for p in preds.get(bid, ()):
+            if p in seen:
+                continue
+            if not cross_barriers and cfg.blocks[p].is_barrier_wait:
+                continue
+            seen.add(p)
+            work.append(p)
+    return seen
 
 
 def postdominator_sets(cfg: Cfg) -> dict[int, set[int]]:

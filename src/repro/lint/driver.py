@@ -32,6 +32,7 @@ from repro.stages.report import StageRecord
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.codegen.emit import SimdProgram
     from repro.codegen.plan import ProgramPlan
+    from repro.core.convert import ConversionEngine
     from repro.core.metastate import MetaStateGraph
     from repro.ir.cfg import Cfg
     from repro.lang.ast import Program
@@ -59,6 +60,9 @@ class LintContext:
     graph: "MetaStateGraph | None" = None
     program: "SimdProgram | None" = None
     plan: "ProgramPlan | None" = None
+    #: Live conversion engine of a lazy compile: the frontier analyzer
+    #: drives it to verify the discovered subgraph incrementally.
+    engine: "ConversionEngine | None" = None
     diagnostics: list[Diagnostic] = field(default_factory=list)
     #: Cross-analyzer memo (entry depths, postdominator sets, ...) so
     #: analyzers sharing a phase don't recompute each other's inputs.
@@ -149,6 +153,7 @@ def default_registry() -> AnalyzerRegistry:
     """The standard analyzer suite, pipeline order within each phase."""
     from repro.lint.barrier import analyze_barriers
     from repro.lint.explosion import analyze_explosion
+    from repro.lint.frontier import analyze_frontier
     from repro.lint.races import analyze_races
     from repro.lint.srclint import analyze_source
     from repro.lint.verifier import verify_cfg, verify_meta
@@ -162,6 +167,8 @@ def default_registry() -> AnalyzerRegistry:
                  "meta-state explosion estimate (MSC030, MSC031)"),
         Analyzer("source", "cfg", analyze_source,
                  "source-level lints (MSC040, MSC041, MSC042)"),
+        Analyzer("frontier", "meta", analyze_frontier,
+                 "shared meta-frontier exploration (MSC050)"),
         Analyzer("verify-meta", "meta", verify_meta,
                  "meta graph / program / plan invariants (MSC002, MSC003)"),
         Analyzer("races", "meta", analyze_races,

@@ -1,0 +1,61 @@
+"""The frontier analyzer: one shared exploration per meta phase.
+
+Runs first among the ``meta``-phase analyzers and publishes a
+:class:`~repro.verify.frontier.FrontierResult` in the context scratch,
+so the verifier and the race detector query one explored frontier
+instead of re-walking the graph each.  Under ``--lazy`` the exploration
+drives the live :class:`~repro.core.convert.ConversionEngine`
+incrementally, bounded by ``ConversionOptions.verify_budget`` — that is
+what makes ``repro lint --analyze`` finish on explosion-scale programs:
+the diagnostics then cover the explored subgraph, and MSC050 (info)
+says so.
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.driver import LintContext
+from repro.verify.frontier import FrontierResult, explore
+
+
+def frontier_for(ctx: LintContext) -> FrontierResult:
+    """The phase's shared frontier, computing and caching it on first
+    use (analyzers run in order, but each stays usable standalone)."""
+    got = ctx.scratch.get("frontier")
+    if isinstance(got, FrontierResult):
+        return got
+    graph = ctx.graph
+    assert graph is not None
+    engine = ctx.engine
+    if engine is not None and getattr(ctx.options, "lazy", False):
+        budget = int(getattr(ctx.options, "verify_budget", 0)) or None
+        result = explore(graph, engine=engine, budget=budget)
+    else:
+        result = explore(graph)
+    ctx.scratch["frontier"] = result
+    return result
+
+
+def analyze_frontier(ctx: LintContext) -> list[Diagnostic]:
+    """Explore the meta graph; MSC050 when the exploration truncated."""
+    result = frontier_for(ctx)
+    if not result.truncated:
+        return []
+    detail = f"explored {result.explored} of {result.discovered} " \
+             f"discovered meta states"
+    if result.aborted is not None:
+        detail += f"; conversion stopped: {result.aborted}"
+    elif result.skipped_wide:
+        detail += (
+            f"; {result.skipped_wide} state(s) left unexpanded past the "
+            f"per-state expansion bound"
+        )
+    return [Diagnostic(
+        code="MSC050",
+        severity=Severity.INFO,
+        message=(
+            f"incremental verification truncated: {detail}; meta-phase "
+            f"diagnostics cover the explored subgraph only"
+        ),
+        hint="raise --verify-budget to widen the explored frontier",
+    )]

@@ -8,9 +8,13 @@ blocks co-resident in some reachable meta state touch the same shared
 location and at least one writes it, the result is schedule-dependent:
 a write-write race (MSC020) or a read-write race (MSC021).
 
-Following Attie (PAPERS.md), the check is pairwise: every unordered
-pair of member blocks of every meta state is examined independently,
-which is sound because a conflict is a property of two processes.
+Following Attie (PAPERS.md), the check is pairwise — a conflict is a
+property of two processes — but the pair enumeration is no longer: the
+co-resident pairs come from the shared explored frontier's bitset
+co-occurrence query (:mod:`repro.verify.frontier`), refined by the
+exact-parked lockstep walk, so the analyzer scales to frontiers the
+old nested per-state member loops could not touch and reports over
+exactly the subgraph an incremental (``--lazy``) verification explored.
 
 Shared locations are mono slots (one copy machine-wide) and poly slots
 accessed through the router (``LdR``/``StR`` reach *other* PEs'
@@ -31,6 +35,9 @@ from repro.ir.cfg import Cfg
 from repro.ir.instr import Instr, Op
 from repro.lint.diagnostics import Diagnostic, Severity, Span
 from repro.lint.driver import LintContext
+from repro.lint.frontier import frontier_for
+from repro.verify.frontier import lockstep_pairs
+from repro.verify.witness import WitnessSeed
 
 #: Sentinel for "some non-constant value" in mono-write value sets.
 _UNKNOWN = object()
@@ -94,66 +101,12 @@ def block_effects(code: list[Instr]) -> BlockEffects:
     return eff
 
 
-#: Visited-state cap for the co-residency refinement; past it the
-#: analyzer falls back to the (coarser) converted graph alone.
-_REACH_CAP = 20_000
-
-
 def co_resident_pairs(cfg: Cfg) -> set[frozenset[int]] | None:
-    """Path-sensitively recompute which block pairs can be active in
-    the same superstep; ``None`` when the walk exceeds :data:`_REACH_CAP`.
-
-    The converter unions the possibly-parked barrier set across every
-    visit of an active aggregate and then releases arbitrary *subsets*
-    of it, so its state set can contain aggregates — e.g. the
-    successors of two *sequential* barriers — that no execution
-    realizes.  This walk re-runs the lockstep advance with the parked
-    set kept exact per state: branch members contribute both arms (a
-    superset of every 3-way split the converter would make), barrier
-    successors park, and a release happens only when the active set
-    drains, exactly as the machine behaves.  Intersecting these pairs
-    with the graph's prunes the spurious cross-barrier reports while
-    keeping every realizable conflict.
-    """
-    pairs: set[frozenset[int]] = set()
-    seen: set[tuple[frozenset[int], frozenset[int]]] = set()
-    work: list[tuple[frozenset[int], frozenset[int]]] = [
-        (frozenset({cfg.entry}), frozenset())
-    ]
-    while work:
-        state = work.pop()
-        if state in seen:
-            continue
-        seen.add(state)
-        if len(seen) > _REACH_CAP:
-            return None
-        active, parked = state
-        members = sorted(active)
-        for i, a in enumerate(members):
-            for b in members[i + 1:]:
-                pairs.add(frozenset((a, b)))
-        new_active: set[int] = set()
-        new_parked = set(parked)
-        for bid in active:
-            if bid not in cfg.blocks:
-                continue
-            for s in cfg.blocks[bid].terminator.successors():
-                if cfg.blocks[s].is_barrier_wait:
-                    new_parked.add(s)
-                else:
-                    new_active.add(s)
-        if not new_active:
-            if not new_parked:
-                continue  # everyone returned/halted
-            released = {
-                s
-                for b in new_parked
-                for s in cfg.blocks[b].terminator.successors()
-            }
-            work.append((frozenset(released), frozenset()))
-        else:
-            work.append((frozenset(new_active), frozenset(new_parked)))
-    return pairs
+    """Path-sensitive co-residency refinement; ``None`` when the walk
+    overflows its cap.  Now a thin delegate to the exact-parked
+    lockstep walk in :func:`repro.verify.frontier.lockstep_pairs`,
+    where it is shared with the realizability machinery."""
+    return lockstep_pairs(cfg)
 
 
 def _slot_name(cfg: Cfg, slot: int, storage: str) -> str:
@@ -203,7 +156,7 @@ def _pair_conflicts(
 
 
 def analyze_races(ctx: LintContext) -> list[Diagnostic]:
-    """Walk the converted meta-state graph, pairwise per meta state."""
+    """Query the explored frontier's co-occurrence bitset, pairwise."""
     cfg, graph = ctx.cfg, ctx.graph
     assert cfg is not None and graph is not None
     effects: dict[int, BlockEffects] = {}
@@ -213,61 +166,55 @@ def analyze_races(ctx: LintContext) -> list[Diagnostic]:
             effects[bid] = block_effects(cfg.blocks[bid].code)
         return effects[bid]
 
+    pairs = frontier_for(ctx).block_pairs(valid_blocks=set(cfg.blocks))
     realizable = co_resident_pairs(cfg)
+    if realizable is not None:
+        pairs &= realizable
+    seeds = ctx.scratch.setdefault("witness_seeds", [])
     out: list[Diagnostic] = []
     reported: set[tuple[str, int, str, frozenset[int]]] = set()
-    for members in graph.states:
-        if len(members) < 2:
-            continue
-        ms = sorted(members)
-        for i, bid_a in enumerate(ms):
-            if bid_a not in cfg.blocks:
+    for pair in sorted(pairs, key=sorted):
+        bid_a, bid_b = sorted(pair)
+        for kind, slot, storage, benign in _pair_conflicts(
+                eff(bid_a), eff(bid_b)):
+            key = (kind, slot, storage, pair)
+            if key in reported:
                 continue
-            for bid_b in ms[i + 1:]:
-                if bid_b not in cfg.blocks:
-                    continue
-                if (realizable is not None
-                        and frozenset((bid_a, bid_b)) not in realizable):
-                    continue
-                for kind, slot, storage, benign in _pair_conflicts(
-                        eff(bid_a), eff(bid_b)):
-                    key = (kind, slot, storage,
-                           frozenset((bid_a, bid_b)))
-                    if key in reported:
-                        continue
-                    reported.add(key)
-                    code = "MSC020" if kind == "ww" else "MSC021"
-                    what = ("write-write" if kind == "ww"
-                            else "read-write")
-                    name = _slot_name(cfg, slot, storage)
-                    line = (cfg.blocks[bid_a].src_line
-                            or cfg.blocks[bid_b].src_line)
-                    span = Span(line) if line else None
-                    if benign:
-                        out.append(Diagnostic(
-                            code=code,
-                            severity=Severity.INFO,
-                            message=(
-                                f"benign {what} conflict on {name}: "
-                                f"blocks {bid_a} and {bid_b} are "
-                                f"co-resident in a meta state and both "
-                                f"store the same constant"
-                            ),
-                            span=span,
-                        ))
-                    else:
-                        out.append(Diagnostic(
-                            code=code,
-                            severity=Severity.WARNING,
-                            message=(
-                                f"{what} race on {name}: blocks "
-                                f"{bid_a} and {bid_b} are co-resident "
-                                f"in a meta state, so the CSI schedule "
-                                f"decides the access order"
-                            ),
-                            span=span,
-                            hint="separate the accesses with a wait "
-                                 "barrier so the blocks can never "
-                                 "share a meta state",
-                        ))
+            reported.add(key)
+            code = "MSC020" if kind == "ww" else "MSC021"
+            what = ("write-write" if kind == "ww"
+                    else "read-write")
+            name = _slot_name(cfg, slot, storage)
+            line = (cfg.blocks[bid_a].src_line
+                    or cfg.blocks[bid_b].src_line)
+            span = Span(line) if line else None
+            if benign:
+                out.append(Diagnostic(
+                    code=code,
+                    severity=Severity.INFO,
+                    message=(
+                        f"benign {what} conflict on {name}: "
+                        f"blocks {bid_a} and {bid_b} are "
+                        f"co-resident in a meta state and both "
+                        f"store the same constant"
+                    ),
+                    span=span,
+                ))
+            else:
+                out.append(Diagnostic(
+                    code=code,
+                    severity=Severity.WARNING,
+                    message=(
+                        f"{what} race on {name}: blocks "
+                        f"{bid_a} and {bid_b} are co-resident "
+                        f"in a meta state, so the CSI schedule "
+                        f"decides the access order"
+                    ),
+                    span=span,
+                    hint="separate the accesses with a wait "
+                         "barrier so the blocks can never "
+                         "share a meta state",
+                ))
+            seeds.append(WitnessSeed(code=code, blocks=(bid_a, bid_b),
+                                     detail=name))
     return out

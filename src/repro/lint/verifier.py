@@ -192,9 +192,13 @@ def _check_encodings(prog: SimdProgram) -> list[Diagnostic]:
 
 
 def verify_meta(ctx: LintContext) -> list[Diagnostic]:
-    """MSC002/MSC003: meta graph, emitted program, plan, encodings."""
+    """MSC002/MSC003: meta graph, emitted program, plan, encodings.
+
+    Lazy (incremental) lint runs have a partially-explored graph and no
+    emitted program/plan: only the graph invariants apply then.
+    """
     cfg, graph, program = ctx.cfg, ctx.graph, ctx.program
-    assert cfg is not None and graph is not None and program is not None
+    assert cfg is not None and graph is not None
     out: list[Diagnostic] = []
     try:
         graph.verify(set(cfg.blocks))
@@ -204,6 +208,8 @@ def verify_meta(ctx: LintContext) -> list[Diagnostic]:
             severity=Severity.ERROR,
             message=f"meta-state graph invariant violation: {exc.message}",
         ))
+        return out
+    if program is None:
         return out
     try:
         _verify_program(program, graph)

@@ -59,6 +59,9 @@ class MetaContext:
     graph: object
     options: object = None
     valid_blocks: set | None = None
+    #: The CFG the graph was converted from — realizability-driven
+    #: passes (``dead-meta-prune``) re-walk it; ``None`` disables them.
+    cfg: object = None
     straightened: object = None     # StraightenedGraph
 
     def verify(self) -> None:

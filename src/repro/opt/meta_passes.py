@@ -141,6 +141,45 @@ def _prune_pass(ctx: MetaContext) -> dict:
     return {"states_pruned": len(dead)}
 
 
+def _dead_meta_prune_pass(ctx: MetaContext) -> dict:
+    """Drop registered meta states no execution can dispatch.
+
+    The uncompressed converter over-approximates barrier releases by
+    enumerating every subset of the possibly-parked set, so the
+    automaton can carry aggregates that are reachable in the graph yet
+    dead at runtime.  :func:`repro.verify.frontier.realizable_states`
+    re-walks the CFG with the parked set kept exact; everything the
+    walk never dispatches is dropped before encoding.  Skipped for
+    compressed graphs (compression abandons the populated-members
+    invariant the walk needs) and when the walk overflows its cap —
+    both conservative: keeping dead states is always sound.
+    """
+    g = ctx.graph
+    if ctx.cfg is None or g.compressed:
+        return {"unrealizable_pruned": 0}
+    from repro.verify.frontier import realizable_states
+
+    realizable = realizable_states(ctx.cfg)
+    if realizable is None:
+        return {"unrealizable_pruned": 0, "realizability_capped": 1}
+    dead = {m for m in g.states if m not in realizable and m != g.start}
+    if not dead:
+        return {"unrealizable_pruned": 0}
+    for m in dead:
+        g.states.discard(m)
+        g.table.pop(m, None)
+        g.can_exit.discard(m)
+        g.parked_possible.pop(m, None)
+        g.barrier_entry.pop(m, None)
+    for tab in g.table.values():
+        for key in [k for k, t in tab.items() if t in dead]:
+            del tab[key]
+    for m in [m for m, t in g.barrier_entry.items() if t in dead]:
+        del g.barrier_entry[m]
+    g.invalidate_caches()
+    return {"unrealizable_pruned": len(dead)}
+
+
 def _straighten_pass(ctx: MetaContext) -> dict:
     ctx.straightened = StraightenedGraph.from_graph(ctx.graph)
     return {"chains": ctx.straightened.chain_count(),
@@ -161,15 +200,20 @@ def meta_pass_list(opt_level: int) -> list[Pass]:
     end with a layout pass — encoding needs the chains artifact."""
     if opt_level <= 0:
         return [Pass("layout", _trivial_layout_pass)]
+    if opt_level >= 2:
+        return [Pass("prune", _prune_pass),
+                Pass("dead-meta-prune", _dead_meta_prune_pass),
+                Pass("straighten", _straighten_pass)]
     return [Pass("prune", _prune_pass),
             Pass("straighten", _straighten_pass)]
 
 
 def run_meta_passes(graph: MetaStateGraph, options,
-                    valid_blocks: set | None = None):
+                    valid_blocks: set | None = None, cfg=None):
     """Run the meta-graph pipeline selected by ``options.opt_level``;
     returns ``(StraightenedGraph, per-pass records, summed counters)``."""
-    ctx = MetaContext(graph=graph, options=options, valid_blocks=valid_blocks)
+    ctx = MetaContext(graph=graph, options=options, valid_blocks=valid_blocks,
+                      cfg=cfg)
     manager = PassManager(
         meta_pass_list(getattr(options, "opt_level", 1)),
         verify_passes=getattr(options, "verify_passes", False),

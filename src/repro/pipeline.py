@@ -122,6 +122,13 @@ class ConversionOptions:
         deterministically from the retained conversion graph. Runtime
         memory knob only — results and cycle counts are unaffected, and
         it is excluded from the compile-cache fingerprint.
+    verify_budget:
+        With ``analyze`` under ``lazy``, cap on *new* meta states the
+        incremental frontier verifier may expand beyond what execution
+        already discovered (0 = unbounded). When the cap truncates the
+        exploration, meta-phase diagnostics cover the explored subgraph
+        and MSC050 (info) reports the truncation. Ignored by eager
+        compiles, whose automaton is already complete.
     """
 
     compress: bool = _CONVERT_DEFAULTS.compress
@@ -140,6 +147,7 @@ class ConversionOptions:
     lint_ignore: tuple = ()
     lazy: bool = field(default_factory=_default_lazy)
     max_resident_meta: int = 0
+    verify_budget: int = 5_000
 
     def convert_options(self) -> ConvertOptions:
         """The :class:`~repro.core.convert.ConvertOptions` view of these

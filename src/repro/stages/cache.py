@@ -42,7 +42,10 @@ from pathlib import Path
 #: ConversionEngine` snapshot (``CachedCompile.lazy_engine``) instead
 #: of an eager program, so a warm lazy run resumes with every
 #: previously discovered state already expanded.
-CACHE_VERSION = 5
+#: v6: analyze-mode compiles run the meta-phase analyzers on lazy
+#: bundles too (the incremental frontier verifier may grow the cached
+#: engine snapshot), so v5 lazy entries are invalidated.
+CACHE_VERSION = 6
 
 #: Top-level repro subpackages whose code determines compile output.
 #: ``simd``/``mimd`` (simulators) and ``analysis``/``viz`` are runtime
@@ -50,13 +53,14 @@ CACHE_VERSION = 5
 #: ``lint`` is included because analyze-mode compiles can fail (and so
 #: refuse to populate the cache) based on analyzer behavior.
 _COMPILER_PACKAGES = ("lang", "ir", "core", "csi", "hashenc", "opt",
-                      "codegen", "stages", "lint")
+                      "codegen", "stages", "lint", "verify")
 
 #: Options that only matter when the analyze stage is enabled.  With
 #: ``analyze`` off they cannot affect the artifacts, so they are left
 #: out of the fingerprint and plain compiles share one cache entry
 #: regardless of lint settings.
-_LINT_OPTION_FIELDS = ("analyze", "werror", "lint_select", "lint_ignore")
+_LINT_OPTION_FIELDS = ("analyze", "werror", "lint_select", "lint_ignore",
+                       "verify_budget")
 
 #: Options that steer the *runtime* only, never any compiled artifact.
 #: ``max_resident_meta`` bounds how many lazily compiled nodes stay

@@ -204,6 +204,7 @@ def _stage_opt_meta(ctx: CompileContext) -> dict:
         return {"lazy_deferred": 1}
     ctx.straightened, records, totals = run_meta_passes(
         ctx.graph, ctx.options, valid_blocks=set(ctx.cfg.blocks),
+        cfg=ctx.cfg,
     )
     ctx.pass_records["opt-meta"] = records
     return totals
@@ -315,7 +316,8 @@ def _stage_analyze_meta(ctx: CompileContext) -> dict:
 
     lc = LintContext(source=ctx.source, options=ctx.options,
                      ast=ctx.ast, sema=ctx.sema, cfg=ctx.cfg,
-                     graph=ctx.graph, program=ctx.program, plan=ctx.plan)
+                     graph=ctx.graph, program=ctx.program, plan=ctx.plan,
+                     engine=ctx.engine)
     found, records = _lint_driver(ctx.options).run_phase(lc, "meta")
     ctx.pass_records["analyze-meta"] = records
     ctx.diagnostics.extend(found)
@@ -363,18 +365,19 @@ def stages_for(options) -> tuple[Stage, ...]:
     after ``opt-cfg`` (so explosion errors abort before ``convert``)
     and ``analyze-meta`` after ``plan`` (races need the meta graph;
     kernel generation runs only on lint-clean programs). Lazy compiles
-    skip ``analyze-meta``: the meta-level analyzers inspect the full
-    automaton and program, which lazy mode never materializes."""
+    run ``analyze-meta`` too: the meta analyzers then verify the
+    engine's discovered frontier incrementally, driven (and bounded)
+    by the shared frontier analyzer — see
+    :mod:`repro.lint.frontier`."""
     if not getattr(options, "analyze", False):
         return PIPELINE_STAGES
     _preload_lint()
-    lazy = getattr(options, "lazy", False)
     out: list[Stage] = []
     for stage in PIPELINE_STAGES:
         out.append(stage)
         if stage.name == "opt-cfg":
             out.append(ANALYZE_STAGE)
-        elif stage.name == "plan" and not lazy:
+        elif stage.name == "plan":
             out.append(ANALYZE_META_STAGE)
     return tuple(out)
 
@@ -473,9 +476,9 @@ def _analyze_cached(source: str, options, payload: CachedCompile,
     ctx.graph = payload.graph
     ctx.program = payload.program
     ctx.plan = payload.program.plan() if payload.program is not None else None
+    ctx.engine = payload.lazy_engine
     ANALYZE_STAGE.execute(ctx, report)
-    if payload.program is not None:  # lazy bundles skip analyze-meta
-        ANALYZE_META_STAGE.execute(ctx, report)
+    ANALYZE_META_STAGE.execute(ctx, report)
     report.diagnostics = list(ctx.diagnostics)
     _check_werror(ctx)
 

@@ -1,0 +1,52 @@
+"""Frontier-based verification of the meta-state automaton.
+
+The analyzer suite (``repro.lint``) used to re-enumerate reachability
+per analyzer: the race detector walked every meta state's member pairs
+and the barrier analyzer ran its own hand-rolled CFG walks.  This
+package centralizes the state-space work:
+
+``frontier``
+    One deterministic breadth-first exploration of a
+    :class:`~repro.core.metastate.MetaStateGraph` — eager or driven
+    incrementally against a live
+    :class:`~repro.core.convert.ConversionEngine` — producing a
+    :class:`~repro.verify.frontier.FrontierResult` with parent
+    pointers (for counterexample paths) and a NumPy bitset membership
+    matrix (for co-residency queries).  Also home of the exact-parked
+    realizability walks that refine the converter's over-approximated
+    state set.
+
+``witness``
+    Replayable counterexamples: a diagnostic seed plus the frontier
+    path is confirmed against the reference MIMD machine and written
+    out as a self-contained ``.mimdc`` test case that ``repro replay``
+    re-runs.
+"""
+
+from repro.verify.frontier import (
+    FrontierResult,
+    explore,
+    lockstep_pairs,
+    realizable_states,
+)
+from repro.verify.witness import (
+    ReplayReport,
+    Witness,
+    WitnessSeed,
+    confirm_seed,
+    emit_witnesses,
+    replay_witness,
+)
+
+__all__ = [
+    "FrontierResult",
+    "explore",
+    "lockstep_pairs",
+    "realizable_states",
+    "ReplayReport",
+    "Witness",
+    "WitnessSeed",
+    "confirm_seed",
+    "emit_witnesses",
+    "replay_witness",
+]

@@ -1,0 +1,361 @@
+"""Bitset/frontier exploration of the meta-state automaton.
+
+:func:`explore` performs one deterministic breadth-first traversal of a
+:class:`~repro.core.metastate.MetaStateGraph`.  Run over a finished
+(eager) graph it simply visits every reachable state; handed a live
+:class:`~repro.core.convert.ConversionEngine` it *drives* the subset
+construction — calling :meth:`ensure` on each frontier state, feeding
+``take_dirty`` notifications back into the worklist so re-expanded
+states are re-scanned — which is how ``--analyze --lazy`` verifies
+explosion-prone programs incrementally: the exploration is bounded by a
+state budget (and by per-state expansion width), so a ``3^24`` frontier
+yields a truncated-but-sound picture of the subgraph instead of an
+aborted compile.
+
+The :class:`FrontierResult` answers the two questions the analyzers
+ask:
+
+- *which block pairs can be co-resident?* — a NumPy membership matrix
+  ``M`` (states x blocks) turns the former nested pairwise loops into
+  one ``M.T @ M`` co-occurrence product (:meth:`FrontierResult.block_pairs`);
+- *how do I reach this state?* — BFS parent pointers reconstruct a
+  start-to-state meta path for counterexample witnesses
+  (:meth:`FrontierResult.path_to`).
+
+Two realizability walks over the *CFG* complement the graph-side
+exploration.  :func:`lockstep_pairs` re-runs the lockstep advance with
+the parked barrier set kept exact per state, refining the converter's
+parked-set over-approximation for the race analyzer.
+:func:`realizable_states` is the branching variant: it resolves every
+candidate union under exact parked sets, yielding the set of meta
+states some execution can actually dispatch — the input of the
+``dead-meta-prune`` optimizer pass.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.convert import ConvertMemo
+from repro.errors import ConversionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.core.convert import ConversionEngine
+    from repro.core.metastate import MetaStateGraph
+    from repro.ir.cfg import Cfg
+
+MetaId = frozenset  # frozenset[int]: member MIMD state ids
+
+#: Visited-state cap of :func:`lockstep_pairs`; past it the walk gives
+#: up and the race analyzer falls back to the converted graph alone.
+LOCKSTEP_CAP = 20_000
+
+#: Visited-state cap of :func:`realizable_states`; past it the
+#: ``dead-meta-prune`` pass keeps every state (sound, just less tight).
+REALIZABILITY_CAP = 50_000
+
+#: Per-state expansion bound of the incremental exploration: a state
+#: whose candidate-union count can exceed this is not expanded (its
+#: membership still enters the bitset; the frontier just stops there).
+MAX_EXPANSION = 4_096
+
+
+def _state_key(m: frozenset[int]) -> tuple[int, tuple[int, ...]]:
+    """Deterministic sort key for meta states (width, then members)."""
+    return (len(m), tuple(sorted(m)))
+
+
+@dataclass
+class FrontierResult:
+    """Outcome of one :func:`explore` traversal.
+
+    ``order`` lists the explored states in BFS discovery order;
+    ``index`` maps each explored state to its row in that order (and in
+    the membership matrix).  ``parents`` holds the BFS tree: for every
+    *discovered* state, the explored state whose expansion first
+    reached it (``None`` for the start state).  ``discovered`` counts
+    every state registered in the graph — a superset of the explored
+    set whenever the exploration truncated.
+    """
+
+    order: list[frozenset[int]] = field(default_factory=list)
+    index: dict[frozenset[int], int] = field(default_factory=dict)
+    parents: dict[frozenset[int], frozenset[int] | None] = field(
+        default_factory=dict)
+    truncated: bool = False
+    #: States left unexpanded because their candidate-union count could
+    #: exceed the per-state expansion bound.
+    skipped_wide: int = 0
+    discovered: int = 0
+    #: Conversion error that aborted the incremental exploration, if any.
+    aborted: str | None = None
+
+    @property
+    def explored(self) -> int:
+        """Number of states the traversal actually visited."""
+        return len(self.order)
+
+    def __contains__(self, m: frozenset[int]) -> bool:
+        return m in self.index
+
+    def path_to(self, m: frozenset[int]) -> list[frozenset[int]]:
+        """Meta-state path from the start state to ``m`` along BFS
+        parent pointers (both endpoints included)."""
+        path = [m]
+        cur = m
+        while True:
+            parent = self.parents.get(cur)
+            if parent is None:
+                break
+            path.append(parent)
+            cur = parent
+        path.reverse()
+        return path
+
+    def first_superset(self, blocks: frozenset[int]) -> frozenset[int] | None:
+        """Earliest explored state containing every block in ``blocks``."""
+        for m in self.order:
+            if blocks <= m:
+                return m
+        return None
+
+    def block_pairs(
+        self, valid_blocks: set[int] | None = None
+    ) -> set[frozenset[int]]:
+        """Unordered block pairs co-resident in some explored state.
+
+        Builds the boolean membership matrix ``M`` over the explored
+        states (rows) and their member blocks (columns); the
+        co-occurrence product ``M.T @ M`` then yields every pair in one
+        vectorized step instead of a nested per-state member loop.
+        """
+        wide = [m for m in self.order if len(m) >= 2]
+        present: set[int] = set()
+        for m in wide:
+            present.update(m)
+        if valid_blocks is not None:
+            present &= valid_blocks
+        cols = sorted(present)
+        if len(cols) < 2 or not wide:
+            return set()
+        col = {b: i for i, b in enumerate(cols)}
+        mat = np.zeros((len(wide), len(cols)), dtype=np.int64)
+        for row, m in enumerate(wide):
+            for b in m:
+                c = col.get(b)
+                if c is not None:
+                    mat[row, c] = 1
+        co = mat.T @ mat
+        ii, jj = np.nonzero(np.triu(co, 1))
+        return {
+            frozenset((cols[i], cols[j]))
+            for i, j in zip(ii.tolist(), jj.tolist())
+        }
+
+
+def _expansion_bound(
+    engine: "ConversionEngine", m: frozenset[int], cap: int
+) -> int:
+    """Upper bound on the candidate-union count of expanding ``m``
+    (product of per-member choice counts), clamped just past ``cap``."""
+    bound = 1
+    compress = engine.options.compress
+    for bid in m:
+        bound *= len(engine.memo.choices(bid, compress))
+        if bound > cap:
+            return bound
+    return bound
+
+
+def explore(
+    graph: "MetaStateGraph",
+    engine: "ConversionEngine | None" = None,
+    budget: int | None = None,
+    max_expansion: int = MAX_EXPANSION,
+) -> FrontierResult:
+    """Deterministic BFS over ``graph`` from its start state.
+
+    With ``engine`` set, frontier states are expanded on demand via
+    :meth:`~repro.core.convert.ConversionEngine.ensure`, and states the
+    engine reports dirty (their parked set grew) are re-scanned until
+    the explored region is at fixpoint.  ``budget`` bounds the number
+    of *newly explored* states (re-scans are free); ``max_expansion``
+    bounds the candidate-union count any single expansion may incur.
+    Exploration also stops short of the engine's ``max_meta_states``
+    cap so driving the verifier can never abort a compile the runtime
+    itself would have completed.
+    """
+    start: frozenset[int] = graph.start
+    result = FrontierResult(parents={start: None})
+    order, index, parents = result.order, result.index, result.parents
+    queue: deque[frozenset[int]] = deque([start])
+    queued: set[frozenset[int]] = {start}
+    limit: int | None = None
+    if engine is not None:
+        limit = max(0, engine.options.max_meta_states - (max_expansion + 1024))
+    while True:
+        while queue:
+            m = queue.popleft()
+            queued.discard(m)
+            if m not in index:
+                if budget is not None and len(index) >= budget:
+                    result.truncated = True
+                    continue
+                index[m] = len(order)
+                order.append(m)
+            if engine is not None and not engine.fresh(m):
+                if limit is not None and len(graph.states) >= limit:
+                    result.truncated = True
+                elif _expansion_bound(engine, m, max_expansion) > max_expansion:
+                    result.skipped_wide += 1
+                    result.truncated = True
+                else:
+                    try:
+                        engine.ensure(m)
+                    except ConversionError as exc:
+                        result.truncated = True
+                        result.aborted = str(exc)
+                        queue.clear()
+                        queued.clear()
+                        break
+            for s in sorted(graph.successors(m), key=_state_key):
+                if s not in parents:
+                    parents[s] = m
+                if s not in index and s not in queued:
+                    queued.add(s)
+                    queue.append(s)
+        if engine is None or result.aborted is not None:
+            break
+        # Expansions may have staled already-scanned rows (their parked
+        # sets grew): re-scan them until the explored region settles.
+        stale = sorted(
+            (d for d in engine.take_dirty() if d in index), key=_state_key
+        )
+        if not stale:
+            break
+        for d in stale:
+            if d not in queued:
+                queued.add(d)
+                queue.append(d)
+    result.discovered = len(graph.states)
+    return result
+
+
+def lockstep_pairs(
+    cfg: "Cfg", cap: int = LOCKSTEP_CAP
+) -> set[frozenset[int]] | None:
+    """Path-sensitively recompute which block pairs can be active in
+    the same superstep; ``None`` when the walk exceeds ``cap``.
+
+    The converter unions the possibly-parked barrier set across every
+    visit of an active aggregate and then releases arbitrary *subsets*
+    of it, so its state set can contain aggregates — e.g. the
+    successors of two *sequential* barriers — that no execution
+    realizes.  This walk re-runs the lockstep advance with the parked
+    set kept exact per state: branch members contribute both arms (a
+    superset of every 3-way split the converter would make), barrier
+    successors park, and a release happens only when the active set
+    drains, exactly as the machine behaves.  Intersecting these pairs
+    with the graph's prunes the spurious cross-barrier reports while
+    keeping every realizable conflict.
+    """
+    pairs: set[frozenset[int]] = set()
+    seen: set[tuple[frozenset[int], frozenset[int]]] = set()
+    work: list[tuple[frozenset[int], frozenset[int]]] = [
+        (frozenset({cfg.entry}), frozenset())
+    ]
+    while work:
+        state = work.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        if len(seen) > cap:
+            return None
+        active, parked = state
+        members = sorted(active)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                pairs.add(frozenset((a, b)))
+        new_active: set[int] = set()
+        new_parked = set(parked)
+        for bid in active:
+            if bid not in cfg.blocks:
+                continue
+            for s in cfg.blocks[bid].terminator.successors():
+                if cfg.blocks[s].is_barrier_wait:
+                    new_parked.add(s)
+                else:
+                    new_active.add(s)
+        if not new_active:
+            if not new_parked:
+                continue  # everyone returned/halted
+            released = {
+                s
+                for b in new_parked
+                for s in cfg.blocks[b].terminator.successors()
+            }
+            work.append((frozenset(released), frozenset()))
+        else:
+            work.append((frozenset(new_active), frozenset(new_parked)))
+    return pairs
+
+
+def realizable_states(
+    cfg: "Cfg", cap: int = REALIZABILITY_CAP
+) -> set[frozenset[int]] | None:
+    """Meta states some execution can actually dispatch, or ``None``
+    when the walk exceeds ``cap``.
+
+    The (uncompressed) converter loses track of which possibly-parked
+    barriers are *occupied*, so it enumerates every subset at release
+    points; this walk keeps the parked set exact per ``(active,
+    parked)`` pair while still branching over every candidate union, so
+    it visits a superset of the aggregates any machine run can observe
+    but a subset of what the converter registers.  Every visited
+    aggregate is a state the converter's enumeration also produced
+    (``extra = parked`` is one of the enumerated subsets), hence the
+    result can be intersected directly with ``graph.states`` — the
+    complement is dead dispatch: the ``dead-meta-prune`` pass drops it.
+
+    Only meaningful for uncompressed graphs: compression abandons the
+    populated-members invariant this walk relies on.
+    """
+    barriers = frozenset(
+        b.bid for b in cfg.blocks.values() if b.is_barrier_wait
+    )
+    memo = ConvertMemo(cfg)
+    start = (frozenset((cfg.entry,)), frozenset())
+    seen: set[tuple[frozenset[int], frozenset[int]]] = {start}
+    work: list[tuple[frozenset[int], frozenset[int]]] = [start]
+    states: set[frozenset[int]] = set()
+    while work:
+        members, parked = work.pop()
+        states.add(members)
+        for union in memo.unions(members, False):
+            if not union:
+                # Every member ran to exit. The exactly-parked PEs (all
+                # populated) are the only live ones left.
+                if not parked:
+                    continue
+                nxt = (frozenset(parked), frozenset())
+            else:
+                waits = union & barriers
+                if waits == union:
+                    # All live PEs at barriers: the runtime aggregate is
+                    # the arriving waits plus every parked pc — exactly
+                    # parked, not an arbitrary subset of it.
+                    nxt = (union | parked, frozenset())
+                elif waits:
+                    nxt = (union - waits, parked | waits)
+                else:
+                    nxt = (union, parked)
+            if nxt not in seen:
+                if len(seen) >= cap:
+                    return None
+                seen.add(nxt)
+                work.append(nxt)
+    return states

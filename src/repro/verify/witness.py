@@ -1,0 +1,396 @@
+"""Replayable counterexamples for analyzer diagnostics.
+
+A *witness* turns an MSC010/011/020/021 finding into evidence: the
+analyzers record a :class:`WitnessSeed` (which blocks, which code),
+:func:`confirm_seed` re-runs the program on the reference MIMD machine
+(:class:`~repro.mimd.machine.MimdMachine`) over a small processor grid
+until the predicted violation is actually observed, and
+:func:`emit_witnesses` writes each confirmed case out as a
+self-contained ``.mimdc`` file: ``// msc-witness:`` directive comments
+(code, expectation, processor count, meta-state path, per-PE schedule)
+followed by the original source.  Because the directives are ordinary
+line comments, the file is itself a compilable test case —
+``repro replay`` (:func:`replay_witness`) recompiles it and re-runs the
+oracle to check the violation still reproduces.
+
+What "reproduces" means per code:
+
+``MSC010``
+    The deadlock-hazard schedule is observed: one PE parks at the
+    barrier behind the flagged arm while a distinct PE runs to exit
+    through the barrier-free arm.  (The reference machine implements a
+    lenient barrier over the *live* processor set — it releases the
+    waiters once their peers exit — so the run itself completes; a
+    strict barrier counting every started processor deadlocks exactly
+    this schedule, which is what the diagnostic warns about.  A machine
+    that does raise its barrier-deadlock error also confirms.)
+``MSC011``
+    Two distinct PEs take the two arms of the flagged divergent branch
+    (they then synchronize different textual barriers against each
+    other, which the run survives by design).
+``MSC020`` / ``MSC021``
+    Two distinct PEs execute the two conflicting blocks in overlapping
+    time windows, so no synchronization orders the accesses.
+
+Unconfirmed seeds are skipped, never written: every emitted witness has
+already reproduced once at emission time.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.metastate import format_members
+from repro.errors import MachineError
+from repro.ir.instr import DEFAULT_COSTS, CostModel
+from repro.ir.timing import block_time
+from repro.mimd.machine import MimdMachine
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.ir.cfg import Cfg
+    from repro.verify.frontier import FrontierResult
+
+#: Processor counts tried, in order, when confirming a seed.
+DEFAULT_NPROCS_GRID = (2, 4, 8)
+
+#: Block-step bound of confirmation/replay runs.
+MAX_REPLAY_STEPS = 200_000
+
+#: Per-PE schedule entries kept in the emitted directive comments.
+_SCHEDULE_CAP = 48
+
+_DIRECTIVE = "// msc-witness:"
+
+#: Expected observation per diagnostic code.
+_EXPECTATIONS = {
+    "MSC010": "deadlock-hazard",
+    "MSC011": "divergence",
+    "MSC020": "race",
+    "MSC021": "race",
+}
+
+
+@dataclass(frozen=True)
+class WitnessSeed:
+    """What an analyzer asks the oracle to demonstrate.
+
+    ``blocks`` is code-specific: ``(branch, waiting_arm, exiting_arm)``
+    for MSC010, ``(branch, true_arm, false_arm)`` for MSC011, and the
+    two conflicting blocks for MSC020/021.  ``detail`` is a free-form
+    label (the slot name for races) carried into the witness file.
+    """
+
+    code: str
+    blocks: tuple[int, ...]
+    detail: str = ""
+
+
+@dataclass
+class Witness:
+    """A confirmed seed: the processor count that reproduced it, the
+    per-PE trace of the confirming run (``None`` for deadlocks — the
+    machine aborts before returning one), and the meta-state path from
+    the explored frontier, when one names the conflict."""
+
+    seed: WitnessSeed
+    nprocs: int
+    trace: dict[int, list[tuple[int, int]]] | None
+    meta_path: tuple[frozenset[int], ...] = ()
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of re-running one witness file against the oracle."""
+
+    ok: bool
+    code: str
+    nprocs: int
+    message: str
+
+
+def _pids_visiting(
+    trace: dict[int, list[tuple[int, int]]], bid: int
+) -> set[int]:
+    return {
+        pid for pid, visits in trace.items()
+        if any(b == bid for b, _ in visits)
+    }
+
+
+def _divergence_observed(
+    trace: dict[int, list[tuple[int, int]]], arm_a: int, arm_b: int
+) -> bool:
+    """Two distinct PEs went down the two arms."""
+    pids_a = _pids_visiting(trace, arm_a)
+    pids_b = _pids_visiting(trace, arm_b)
+    return any(p != q for p in pids_a for q in pids_b)
+
+
+def _hazard_observed(
+    trace: dict[int, list[tuple[int, int]]],
+    cfg: "Cfg",
+    waits_arm: int,
+    exits_arm: int,
+) -> bool:
+    """One PE parked at a barrier behind ``waits_arm`` while a distinct
+    PE ran the barrier-free ``exits_arm`` — the schedule a strict
+    barrier deadlocks on."""
+    barrier_ids = {
+        b.bid for b in cfg.blocks.values() if b.is_barrier_wait
+    }
+    parked = {
+        pid for pid, visits in trace.items()
+        if any(b == waits_arm for b, _ in visits)
+        and any(b in barrier_ids for b, _ in visits)
+    }
+    exited = _pids_visiting(trace, exits_arm)
+    return any(p != q for p in parked for q in exited)
+
+
+def _race_observed(
+    trace: dict[int, list[tuple[int, int]]],
+    cfg: "Cfg",
+    costs: CostModel,
+    bid_a: int,
+    bid_b: int,
+) -> bool:
+    """Two distinct PEs executed the blocks in overlapping windows."""
+    def intervals(bid: int) -> list[tuple[int, int, int]]:
+        width = max(1, block_time(cfg, bid, costs))
+        return [
+            (pid, t, t + width)
+            for pid, visits in trace.items()
+            for b, t in visits
+            if b == bid
+        ]
+
+    for pa, sa, ea in intervals(bid_a):
+        for pb, sb, eb in intervals(bid_b):
+            if pa != pb and sa < eb and sb < ea:
+                return True
+    return False
+
+
+def _check_run(
+    cfg: "Cfg",
+    seed_code: str,
+    blocks: tuple[int, ...],
+    nprocs: int,
+    costs: CostModel,
+    max_steps: int = MAX_REPLAY_STEPS,
+) -> tuple[bool, dict[int, list[tuple[int, int]]] | None, str]:
+    """One oracle run; returns (observed, trace, message)."""
+    expect = _EXPECTATIONS.get(seed_code, "race")
+    machine = MimdMachine(nprocs, costs=costs, trace=True)
+    try:
+        result = machine.run(cfg, max_steps=max_steps)
+    except MachineError as exc:
+        if expect == "deadlock-hazard" and "deadlock" in str(exc):
+            return True, None, f"deadlocked on {nprocs} PEs: {exc}"
+        return False, None, f"machine error on {nprocs} PEs: {exc}"
+    if expect == "deadlock-hazard":
+        if len(blocks) >= 3 and _hazard_observed(
+                result.trace, cfg, blocks[1], blocks[2]):
+            return True, result.trace, (
+                f"a PE parked at the barrier behind block {blocks[1]} "
+                f"while a distinct PE exited through block {blocks[2]} "
+                f"on {nprocs} PEs (a strict barrier deadlocks this "
+                f"schedule)"
+            )
+        return False, result.trace, (
+            f"no park-while-peer-exits schedule observed on {nprocs} PEs"
+        )
+    if expect == "divergence":
+        if len(blocks) >= 3 and _divergence_observed(
+                result.trace, blocks[1], blocks[2]):
+            return True, result.trace, (
+                f"distinct PEs took blocks {blocks[1]} and {blocks[2]} "
+                f"on {nprocs} PEs"
+            )
+        return False, result.trace, (
+            f"no divergent arm split observed on {nprocs} PEs"
+        )
+    if len(blocks) >= 2 and _race_observed(
+            result.trace, cfg, costs, blocks[0], blocks[1]):
+        return True, result.trace, (
+            f"blocks {blocks[0]} and {blocks[1]} overlapped on distinct "
+            f"PEs with {nprocs} PEs"
+        )
+    return False, result.trace, (
+        f"no overlapping execution of blocks {blocks[0]} and {blocks[1]} "
+        f"on {nprocs} PEs"
+    )
+
+
+def confirm_seed(
+    cfg: "Cfg",
+    seed: WitnessSeed,
+    costs: CostModel = DEFAULT_COSTS,
+    nprocs_grid: Sequence[int] = DEFAULT_NPROCS_GRID,
+) -> Witness | None:
+    """Re-run the program over ``nprocs_grid`` until the seed's
+    violation is observed; ``None`` when no run reproduces it."""
+    for nprocs in nprocs_grid:
+        observed, trace, _ = _check_run(
+            cfg, seed.code, seed.blocks, nprocs, costs
+        )
+        if observed:
+            return Witness(seed=seed, nprocs=nprocs, trace=trace)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Emission
+
+
+def _witness_text(
+    witness: Witness, source: str, opt_level: int
+) -> str:
+    seed = witness.seed
+    lines = [
+        f"{_DIRECTIVE} code={seed.code}",
+        f"{_DIRECTIVE} expect={_EXPECTATIONS.get(seed.code, 'race')}",
+        f"{_DIRECTIVE} nprocs={witness.nprocs}",
+        f"{_DIRECTIVE} opt={opt_level}",
+        f"{_DIRECTIVE} blocks=" + ",".join(str(b) for b in seed.blocks),
+    ]
+    if seed.detail:
+        lines.append(f"{_DIRECTIVE} detail={seed.detail}")
+    if witness.meta_path:
+        lines.append(
+            f"{_DIRECTIVE} meta-path="
+            + " -> ".join(format_members(m) for m in witness.meta_path)
+        )
+    if witness.trace is not None:
+        for pid in sorted(witness.trace):
+            visits = witness.trace[pid]
+            if not visits:
+                continue
+            shown = ",".join(
+                f"{b}@{t}" for b, t in visits[:_SCHEDULE_CAP]
+            )
+            if len(visits) > _SCHEDULE_CAP:
+                shown += ",..."
+            lines.append(f"{_DIRECTIVE} pe{pid}={shown}")
+    body = source if source.endswith("\n") else source + "\n"
+    return "\n".join(lines) + "\n" + body
+
+
+def emit_witnesses(
+    source: str,
+    cfg: "Cfg",
+    seeds: Sequence[WitnessSeed],
+    directory: str | os.PathLike[str],
+    *,
+    stem: str = "witness",
+    frontier: "FrontierResult | None" = None,
+    costs: CostModel = DEFAULT_COSTS,
+    opt_level: int = 1,
+    nprocs_grid: Sequence[int] = DEFAULT_NPROCS_GRID,
+) -> list[str]:
+    """Confirm every distinct seed and write the reproducing ones to
+    ``directory`` as ``<stem>--<code>--<n>.mimdc`` files.  Returns the
+    written paths; unconfirmed seeds are silently skipped (emission is
+    best-effort, but everything emitted has reproduced once)."""
+    out_dir = Path(directory)
+    written: list[str] = []
+    seen: set[tuple[str, tuple[int, ...]]] = set()
+    counters: dict[str, int] = {}
+    for seed in seeds:
+        key = (seed.code, seed.blocks)
+        if key in seen:
+            continue
+        seen.add(key)
+        witness = confirm_seed(cfg, seed, costs=costs,
+                               nprocs_grid=nprocs_grid)
+        if witness is None:
+            continue
+        if frontier is not None and _EXPECTATIONS.get(seed.code) == "race":
+            state = frontier.first_superset(frozenset(seed.blocks[:2]))
+            if state is not None:
+                witness.meta_path = tuple(frontier.path_to(state))
+        out_dir.mkdir(parents=True, exist_ok=True)
+        n = counters.get(seed.code, 0)
+        counters[seed.code] = n + 1
+        path = out_dir / f"{stem}--{seed.code}--{n:02d}.mimdc"
+        path.write_text(_witness_text(witness, source, opt_level))
+        written.append(str(path))
+    return written
+
+
+# ----------------------------------------------------------------------
+# Replay
+
+
+def _parse_directives(text: str) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line.startswith(_DIRECTIVE):
+            continue
+        body = line[len(_DIRECTIVE):].strip()
+        key, sep, value = body.partition("=")
+        if sep:
+            out.setdefault(key.strip(), value.strip())
+    return out
+
+
+def _compile_cfg(source: str, opt_level: int) -> "Cfg":
+    """Recompile a witness through the same front half the linter used
+    (parse -> sema -> lower -> opt-cfg) at the recorded opt level."""
+    from repro.pipeline import ConversionOptions
+    from repro.stages import driver as stage_driver
+
+    options = ConversionOptions(opt_level=opt_level)
+    cctx = stage_driver.CompileContext(source=source, options=options)
+    for fn in (
+        stage_driver._stage_parse,
+        stage_driver._stage_sema,
+        stage_driver._stage_lower,
+        stage_driver._stage_opt_cfg,
+    ):
+        fn(cctx)
+    cfg = cctx.cfg
+    assert cfg is not None
+    return cfg
+
+
+def replay_witness(
+    path: str | os.PathLike[str],
+    costs: CostModel = DEFAULT_COSTS,
+) -> ReplayReport:
+    """Recompile a witness file and re-run the MIMD oracle, checking
+    the recorded violation still reproduces at the recorded processor
+    count."""
+    text = Path(path).read_text()
+    directives = _parse_directives(text)
+    code = directives.get("code", "")
+    if not code or "expect" not in directives:
+        return ReplayReport(
+            ok=False, code=code or "?", nprocs=0,
+            message="not a witness file: missing msc-witness directives",
+        )
+    try:
+        nprocs = int(directives.get("nprocs", "0"))
+        opt_level = int(directives.get("opt", "1"))
+        blocks = tuple(
+            int(b) for b in directives.get("blocks", "").split(",") if b
+        )
+    except ValueError:
+        return ReplayReport(
+            ok=False, code=code, nprocs=0,
+            message="malformed msc-witness directive values",
+        )
+    if nprocs < 1:
+        return ReplayReport(
+            ok=False, code=code, nprocs=nprocs,
+            message=f"invalid witness processor count {nprocs}",
+        )
+    cfg = _compile_cfg(text, opt_level)
+    observed, _, message = _check_run(cfg, code, blocks, nprocs, costs)
+    return ReplayReport(
+        ok=observed, code=code, nprocs=nprocs, message=message
+    )

@@ -51,8 +51,15 @@ def cfg_to_dot(cfg: Cfg, title: str = "MIMD state graph") -> str:
 
 
 def meta_graph_to_dot(graph: MetaStateGraph,
-                      title: str = "meta-state graph") -> str:
-    """Render the meta-state automaton (Figures 2/5/6 form)."""
+                      title: str = "meta-state graph",
+                      unrealizable: set | None = None) -> str:
+    """Render the meta-state automaton (Figures 2/5/6 form).
+
+    ``unrealizable`` — meta states no execution can dispatch (the
+    complement of :func:`repro.verify.frontier.realizable_states`) —
+    are drawn dotted and gray: exactly what the ``dead-meta-prune``
+    pass would drop at ``-O2``.
+    """
     lines = [
         "digraph meta {",
         f'  label="{_escape(title)}";',
@@ -69,6 +76,10 @@ def meta_graph_to_dot(graph: MetaStateGraph,
             attrs.append("penwidth=2")
         if m in graph.can_exit:
             attrs.append("peripheries=2")
+        if unrealizable and m in unrealizable:
+            attrs.append("style=dotted")
+            attrs.append("color=gray50")
+            attrs.append("fontcolor=gray50")
         lines.append(f"  {nid(m)} [{', '.join(attrs)}];")
     for src, dst in graph.arcs():
         style = ""

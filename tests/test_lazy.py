@@ -147,6 +147,9 @@ class TestExplosionWorkloads:
         # The point of laziness: far fewer states materialized than
         # discovered (the frontier alone is orders of magnitude wider).
         assert stats["lazy_materialized"] * 10 < stats["lazy_discovered"]
+        # The high-water mark is an observed peak, not the configured
+        # cap (which is 0 here — unbounded).
+        assert stats["lazy_max_resident"] >= stats["lazy_resident"] > 0
 
     def test_bounded_residency_is_bit_identical(self):
         src = workloads.branch_tree(6)
@@ -161,6 +164,8 @@ class TestExplosionWorkloads:
         stats = bounded.lazy_program().stats()
         assert stats["lazy_evictions"] > 0
         assert stats["lazy_resident"] <= 4
+        assert stats["lazy_max_resident"] >= stats["lazy_resident"]
+        assert stats["lazy_max_resident"] <= 4
 
     def test_eviction_rerun_stays_identical(self):
         # Deterministic re-expansion: a second run over an LRU-thrashed

@@ -93,7 +93,8 @@ class TestPassManager:
             "dead-slots", "renumber"]
         assert [p.name for p in meta_pass_list(0)] == ["layout"]
         assert [p.name for p in meta_pass_list(1)] == ["prune", "straighten"]
-        assert [p.name for p in meta_pass_list(2)] == ["prune", "straighten"]
+        assert [p.name for p in meta_pass_list(2)] == [
+            "prune", "dead-meta-prune", "straighten"]
 
     def test_o1_matches_inline_normalization(self):
         """-O1 must reproduce what lowering's normalize=True produces —

@@ -1,14 +1,18 @@
 #!/usr/bin/env python
 """Backend benchmark: every library workload under every SIMD executor.
 
-Writes ``<bench-id>.json`` (``--bench-id``, default ``BENCH_7``) — per
+Writes ``<bench-id>.json`` (``--bench-id``, default ``BENCH_8``) — per
 workload x backend (``kernels`` / ``kernels-mt`` / ``plan`` /
 ``plan-mt`` / ``interp``): simulated cycles, best wall time, PE
 utilization, and meta transitions — plus a ``scaling`` section timing
-the simulator-scaling workload at MasPar width (16K PEs), and a
-``lazy`` section: warm lazy-vs-eager steady state on the scaling
-workload (gated at <= 10% overhead) and cold/warm rows for the
-explosion workloads only ``--lazy`` can run at all.
+the simulator-scaling workload at MasPar width (16K PEs), a ``lazy``
+section: warm lazy-vs-eager steady state on the scaling workload
+(gated at <= 10% overhead) and cold/warm rows for the explosion
+workloads only ``--lazy`` can run at all, and a ``verifier`` section
+timing the incremental frontier verifier
+(:func:`repro.verify.frontier.explore`) over the explosion workloads'
+lazy engines — the graphs whose full frontier has ~3^24 states —
+gated at completing in seconds, not minutes.
 
 Every row asserts ``SimdResult.backend_used`` matches the backend it
 claims to measure, so a silent fallback can never mislabel a run.
@@ -28,11 +32,13 @@ Exit status is nonzero if
 - warm lazy execution of the scaling workload is more than 10% slower
   than the eager compile of the same source (the steady-state
   contract: once every visited state is materialized, the
-  miss-handler is a dictionary probe per meta step).
+  miss-handler is a dictionary probe per meta step), or
+- the budgeted frontier exploration of an explosion workload takes
+  longer than its wall-time gate.
 
 Usage::
 
-    python tools/bench.py [--bench-id BENCH_7] [--out PATH]
+    python tools/bench.py [--bench-id BENCH_8] [--out PATH]
                           [--npes 1024] [--reps 3] [--shards 4]
                           [--scaling-npes 16384] [--require-mt-speedup]
 """
@@ -75,6 +81,14 @@ LAZY_OVERHEAD_THRESHOLD = 1.10
 #: divergent the PE population is — 8 PEs keeps every visited state
 #: narrow (see docs/internals.md section 14).
 EXPLOSION_NPES = 8
+#: Newly explored states the verifier row may expand per workload.
+VERIFIER_BUDGET = 25_000
+#: Wall-time gate per workload for the budgeted exploration: "seconds,
+#: not minutes" — the frontier engine must stay usable interactively.
+VERIFIER_WALL_LIMIT_S = 60.0
+#: State-space cap for the verifier rows, far above the budget so the
+#: census guard never truncates the measured exploration.
+VERIFIER_MAX_META_STATES = 1_000_000
 
 
 def _bench_one(result, backend: str, npes: int, active: int | None,
@@ -189,6 +203,44 @@ def _bench_lazy(npes: int, reps: int) -> dict:
             "npes": npes, "explosion_npes": EXPLOSION_NPES}
 
 
+def _bench_verifier(reps: int) -> dict:
+    """The verifier section: budgeted incremental frontier exploration
+    over each explosion workload's lazy conversion engine.  Every rep
+    starts from a cold engine (exploration mutates it), so the row
+    measures real subset-construction driving, not cache hits."""
+    from repro.verify.frontier import explore
+
+    rows: dict[str, dict] = {}
+    for name, make in sorted(EXPLOSION.items()):
+        src = make()
+        best = float("inf")
+        frontier = None
+        for _ in range(reps):
+            result = convert_source(
+                src,
+                ConversionOptions(
+                    lazy=True, max_meta_states=VERIFIER_MAX_META_STATES),
+                cache=None)
+            engine = result._engine
+            t0 = time.perf_counter()
+            frontier = explore(result.graph, engine=engine,
+                               budget=VERIFIER_BUDGET)
+            best = min(best, time.perf_counter() - t0)
+        assert frontier is not None
+        rows[name] = {
+            "wall_s": round(best, 3),
+            "explored": frontier.explored,
+            "discovered": frontier.discovered,
+            "states_per_s": round(frontier.explored / best) if best else 0,
+            "truncated": frontier.truncated,
+            "limit_s": VERIFIER_WALL_LIMIT_S,
+            "passed": best <= VERIFIER_WALL_LIMIT_S,
+        }
+    return {"budget": VERIFIER_BUDGET,
+            "max_meta_states": VERIFIER_MAX_META_STATES,
+            "rows": rows}
+
+
 def _latest_prior(out: Path, bench_id: str) -> Path | None:
     """The highest-numbered ``BENCH_*.json`` below ``bench_id`` next to
     the output file (the repo root in the Makefile/CI setup)."""
@@ -233,7 +285,7 @@ def _check_prior(prior_path: Path, workloads: dict, scaling: dict,
 
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--bench-id", default="BENCH_7",
+    ap.add_argument("--bench-id", default="BENCH_8",
                     help="id recorded in the payload and used for the "
                          "default output name and the prior-bench scan")
     ap.add_argument("--out", default=None,
@@ -295,6 +347,14 @@ def main(argv: list[str] | None = None) -> int:
               f"materialized={st['lazy_materialized']}"
               f"/{st['lazy_discovered']} discovered")
 
+    verifier = _bench_verifier(args.reps)
+    for name, row in verifier["rows"].items():
+        print(f"{name:24s} [verifier] wall={row['wall_s']:.3f}s "
+              f"explored={row['explored']} "
+              f"discovered={row['discovered']} "
+              f"({row['states_per_s']} states/s, limit "
+              f"{VERIFIER_WALL_LIMIT_S:.0f}s)")
+
     prior_path = _latest_prior(out, args.bench_id)
     prior_problems = (
         _check_prior(prior_path, workloads, scaling, args.npes,
@@ -312,6 +372,7 @@ def main(argv: list[str] | None = None) -> int:
         "machine": platform.machine(),
         "workloads": workloads,
         "lazy": lazy,
+        "verifier": verifier,
         "scaling": {
             "rows": scaling,
             "kernels_vs_plan": round(speedup_plan, 3),
@@ -354,6 +415,13 @@ def main(argv: list[str] | None = None) -> int:
               f"eager on the scaling workload (threshold "
               f"{LAZY_OVERHEAD_THRESHOLD}x)", file=sys.stderr)
         status = 1
+    for name, row in verifier["rows"].items():
+        if not row["passed"]:
+            print(f"FAIL: frontier verifier took {row['wall_s']:.1f}s on "
+                  f"{name} (limit {VERIFIER_WALL_LIMIT_S:.0f}s): budgeted "
+                  f"exploration must complete in seconds, not minutes",
+                  file=sys.stderr)
+            status = 1
     return status
 
 
