@@ -289,6 +289,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_text(result.diagnostics, source=source,
                           filename=filename))
+    if args.facts:
+        width = max((len(r.name) for r in result.records), default=0)
+        for rec in result.records:
+            shown = ", ".join(
+                f"{k}={v}" for k, v in sorted(rec.counters.items()))
+            print(f"{rec.name.ljust(width)}  {shown}".rstrip())
     for path in result.witnesses:
         print(f"witness: {path}", file=sys.stderr)
     return 0 if result.ok(werror=args.werror) else 1
@@ -389,6 +395,10 @@ def main(argv: list[str] | None = None) -> int:
                    help="write every oracle-confirmed MSC010/011/020/021 "
                         "finding to DIR as a replayable .mimdc "
                         "counterexample (see the replay subcommand)")
+    p.add_argument("--facts", action="store_true",
+                   help="print each analyzer's fact and finding "
+                        "counters (uniform branches, solver iterations, "
+                        "certificates, explored states, ...)")
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("replay",

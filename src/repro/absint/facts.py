@@ -1,0 +1,441 @@
+"""Whole-program facts distilled from the absint fixpoints.
+
+:func:`compute_facts` runs the interval and must-init domains plus the
+uniform/varying classification and packages everything downstream
+consumers ask for: per-slot value ranges (the hypothesis differential
+test checks the MIMD oracle never observes a value outside them),
+use-before-def reads (MSC060), dead router stores (MSC061), barriers
+whose pass counts a divergent loop exit skews (MSC062), and the
+uniform-branch set that tightens the explosion estimator and drives
+the ``uniform-branch`` meta pass.
+
+:func:`certificates` is the deliberately *lightweight* subset — no
+interval solving — that the meta-phase ``certify`` analyzer can afford
+to recompute when the pipeline hands it a fresh context: sound
+race-freedom and deadlock-freedom arguments that hold for the whole
+program, not just the subgraph a truncated (MSC050) frontier explored.
+
+Two certificate routes exist, both polynomial:
+
+``lockstep``
+    No spawn and no divergent branch means every PE takes the same arm
+    of every branch in the same superstep, so each reachable aggregate
+    is a singleton — co-residence (the precondition of every MSC02x
+    race) and asymmetric barrier arrival (MSC01x) are impossible.
+
+``no-conflicts`` / ``no-barriers``
+    A universal pairwise check over *all* block effect footprints: when
+    no two blocks conflict on a mono slot or router-shared poly slot,
+    no reachable meta state can exhibit a race regardless of which
+    aggregates are realizable.  Deadlock-freedom holds trivially when
+    the program has no ``wait`` at all.
+
+Like the race analyzer, the race-free certificate speaks about
+conflicts between *distinct* co-resident blocks — the pairwise sense
+of Attie's normal form (PAPERS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.block import CondBr, SpawnT
+from repro.ir.cfg import Cfg
+from repro.lint.dataflow import (
+    UniformityInfo,
+    analyze_uniformity,
+    predecessor_map,
+)
+from repro.absint.domains import (
+    _U_LD,
+    _U_LDI,
+    _U_LDR,
+    _U_ST,
+    _U_STI,
+    _U_STR,
+    ZERO,
+    InitDomain,
+    Interval,
+    IntervalDomain,
+    MicroOp,
+)
+from repro.absint.solver import _reverse_postorder, solve
+
+
+@dataclass(frozen=True)
+class UninitRead:
+    """A poly slot read on some path before any store to it."""
+
+    slot: int
+    name: str
+    block: int
+    line: int
+
+
+@dataclass(frozen=True)
+class DeadRouterStore:
+    """A ``StR`` to a slot no instruction anywhere ever reads."""
+
+    slot: int
+    name: str
+    block: int
+    line: int
+
+
+@dataclass(frozen=True)
+class DivergentCycleBarrier:
+    """A barrier inside a cycle whose exit branch is divergent."""
+
+    barrier: int
+    branch: int
+    line: int
+    branch_line: int
+
+
+@dataclass(frozen=True)
+class Certificates:
+    """Sound whole-program guarantees (``None`` = not established).
+
+    Each certificate is a short ``route: reason`` string naming the
+    argument that proves it.
+    """
+
+    race_free: str | None = None
+    deadlock_free: str | None = None
+
+
+@dataclass
+class AbsintFacts:
+    """Everything the absint analyzers and the optimizer consume."""
+
+    #: Reachable ``CondBr`` blocks proven to take one arm on all PEs.
+    uniform_branches: frozenset[int]
+    #: Reachable ``CondBr`` blocks whose condition may vary across PEs.
+    divergent_branches: frozenset[int]
+    #: Poly slots whose copies cross the router (flow-insensitive).
+    escaped_slots: frozenset[int]
+    #: Per-poly-slot whole-program value range (zero-init included).
+    poly_ranges: dict[int, Interval]
+    #: Per-mono-slot whole-program value range.
+    mono_ranges: dict[int, Interval]
+    uninit_reads: tuple[UninitRead, ...]
+    dead_router_stores: tuple[DeadRouterStore, ...]
+    divergent_cycle_barriers: tuple[DivergentCycleBarrier, ...]
+    certificates: Certificates
+    #: Transfer applications the interval fixpoint took.
+    solver_iterations: int
+
+    def counters(self) -> dict[str, int]:
+        """Integer fact counts for the per-analyzer ``--timings`` row."""
+        return {
+            "uniform_branches": len(self.uniform_branches),
+            "divergent_branches": len(self.divergent_branches),
+            "escaped_slots": len(self.escaped_slots),
+            "solver_iterations": self.solver_iterations,
+            "certificates": sum(
+                1 for c in (self.certificates.race_free,
+                            self.certificates.deadlock_free) if c
+            ),
+        }
+
+
+# ----------------------------------------------------------------------
+# slot names
+# ----------------------------------------------------------------------
+def _poly_name(cfg: Cfg, slot: int) -> str:
+    for info in cfg.poly_slots:
+        if info.index == slot:
+            return info.name
+    return f"slot{slot}"
+
+
+# ----------------------------------------------------------------------
+# certificates
+# ----------------------------------------------------------------------
+def _shared_conflicts(cfg: Cfg, reachable: set[int]) -> bool:
+    """Could *any* two distinct blocks race on shared state?
+
+    Universal over block pairs — no reachability reasoning — so a
+    ``False`` answer certifies race-freedom for every meta state any
+    execution could ever aggregate, truncated frontier or not.
+    """
+    from repro.lint.races import block_effects
+
+    mono_writers: dict[int, set[int]] = {}
+    mono_readers: dict[int, set[int]] = {}
+    remote_writers: dict[int, set[int]] = {}
+    touchers: dict[int, set[int]] = {}
+    remote_readers: dict[int, set[int]] = {}
+    local_writers: dict[int, set[int]] = {}
+    for bid in reachable:
+        eff = block_effects(cfg.blocks[bid].code)
+        for s in eff.mono_writes:
+            mono_writers.setdefault(s, set()).add(bid)
+        for s in eff.mono_reads:
+            mono_readers.setdefault(s, set()).add(bid)
+        for s in eff.remote_writes:
+            remote_writers.setdefault(s, set()).add(bid)
+        for s in eff.remote_reads:
+            remote_readers.setdefault(s, set()).add(bid)
+        for s in eff.local_writes:
+            local_writers.setdefault(s, set()).add(bid)
+        for s in (eff.remote_writes | eff.remote_reads
+                  | eff.local_writes | eff.local_reads):
+            touchers.setdefault(s, set()).add(bid)
+        # Early exit on the slots this block touched: the maps only
+        # ever grow, so a conflict visible now stays a conflict.
+        for s in set(eff.mono_writes) | eff.mono_reads:
+            writers = mono_writers.get(s)
+            if writers and len(writers | mono_readers.get(s, set())) >= 2:
+                return True
+        for s in (eff.remote_writes | eff.remote_reads
+                  | eff.local_writes | eff.local_reads):
+            if remote_writers.get(s) and len(touchers[s]) >= 2:
+                return True
+            readers = remote_readers.get(s)
+            writers = local_writers.get(s)
+            if readers and writers and len(readers | writers) >= 2:
+                return True
+    return False
+
+
+def certificates(cfg: Cfg, uniformity: UniformityInfo) -> Certificates:
+    """Race-/deadlock-freedom certificates (see module docstring)."""
+    reachable = set(uniformity.entry_depths)
+    has_spawn = any(
+        isinstance(cfg.blocks[b].terminator, SpawnT) for b in reachable
+    )
+    has_barrier = any(
+        cfg.blocks[b].is_barrier_wait for b in reachable
+    )
+    race: str | None = None
+    deadlock: str | None = None
+    if not has_spawn and not uniformity.divergent_branches:
+        why = ("every reachable branch is uniform and nothing spawns, "
+               "so all PEs advance in lockstep and every reachable "
+               "aggregate is a singleton")
+        race = f"lockstep: {why} — distinct blocks are never co-resident"
+        deadlock = f"lockstep: {why} — all PEs reach each barrier together"
+    if race is None and not _shared_conflicts(cfg, reachable):
+        race = ("no-conflicts: no two blocks conflict on a mono slot or "
+                "router-shared poly slot, so no aggregate can race")
+    if deadlock is None and not has_barrier:
+        deadlock = "no-barriers: the program contains no wait barriers"
+    return Certificates(race_free=race, deadlock_free=deadlock)
+
+
+# ----------------------------------------------------------------------
+# MSC060/061/062 fact extraction
+# ----------------------------------------------------------------------
+def _uninit_reads(
+    cfg: Cfg,
+    reachable: set[int],
+    init_entry: dict[int, frozenset[int]],
+    compiled: dict[int, list[MicroOp]],
+) -> tuple[UninitRead, ...]:
+    """First ``Ld`` of each poly slot that some entry path reaches
+    before any store (array ``LdI`` and router ``LdR`` reads are
+    exempt: partial array init and remote snapshots are idiomatic).
+
+    Walks the interval domain's compiled micro-ops — same instruction
+    order, slot indices already decoded."""
+    out: list[UninitRead] = []
+    flagged: set[int] = set()
+    for bid in sorted(reachable):
+        init = set(init_entry.get(bid, frozenset()))
+        for tag, a1, a2 in compiled[bid]:
+            if tag == _U_LD:
+                if a1 not in init and a1 not in flagged:
+                    flagged.add(a1)
+                    out.append(UninitRead(
+                        slot=a1, name=_poly_name(cfg, a1),
+                        block=bid, line=cfg.blocks[bid].src_line or 0))
+            elif tag == _U_ST or (tag == _U_STI and a2 == 1):
+                init.add(a1)
+    return tuple(out)
+
+
+def _dead_router_stores(
+    cfg: Cfg, reachable: set[int],
+    compiled: dict[int, list[MicroOp]],
+) -> tuple[DeadRouterStore, ...]:
+    """``StR`` targets no instruction anywhere reads (locally, via the
+    router, or through an array window covering the slot)."""
+    read_slots: set[int] = set()
+    stores: list[tuple[int, int, int]] = []  # (slot, block, line)
+    for bid in sorted(reachable):
+        for tag, a1, a2 in compiled[bid]:
+            if tag == _U_LD or tag == _U_LDR:
+                read_slots.add(a1)
+            elif tag == _U_LDI:
+                read_slots.update(range(a1, a1 + a2))
+            elif tag == _U_STR:
+                stores.append((a1, bid, cfg.blocks[bid].src_line or 0))
+    out: list[DeadRouterStore] = []
+    flagged: set[int] = set()
+    for slot, bid, line in stores:
+        if slot in read_slots or slot in flagged:
+            continue
+        flagged.add(slot)
+        out.append(DeadRouterStore(slot=slot, name=_poly_name(cfg, slot),
+                                   block=bid, line=line))
+    return tuple(out)
+
+
+def _sccs(cfg: Cfg, reachable: set[int]) -> list[set[int]]:
+    """Tarjan's strongly connected components, iteratively."""
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    counter = 0
+    comps: list[set[int]] = []
+
+    for root in sorted(reachable):
+        if root in index:
+            continue
+        work: list[tuple[int, list[int]]] = [
+            (root, [s for s in sorted(cfg.blocks[root].successors())
+                    if s in reachable])
+        ]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            bid, succs = work[-1]
+            if succs:
+                s = succs.pop()
+                if s not in index:
+                    index[s] = low[s] = counter
+                    counter += 1
+                    stack.append(s)
+                    on_stack.add(s)
+                    work.append(
+                        (s, [t for t in sorted(cfg.blocks[s].successors())
+                             if t in reachable])
+                    )
+                elif s in on_stack:
+                    low[bid] = min(low[bid], index[s])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[bid])
+                if low[bid] == index[bid]:
+                    comp: set[int] = set()
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.add(w)
+                        if w == bid:
+                            break
+                    comps.append(comp)
+    return comps
+
+
+def _divergent_cycle_barriers(
+    cfg: Cfg,
+    reachable: set[int],
+    divergent_branches: frozenset[int],
+) -> tuple[DivergentCycleBarrier, ...]:
+    """Barriers in a cycle some PEs exit earlier than others.
+
+    A barrier inside a nontrivial SCC executes once per trip around the
+    cycle; when a *divergent* branch in the same SCC has an arm leaving
+    it, PEs can take differing trip counts, so their barrier pass
+    counts diverge.  A uniform exit (``phase < nproc``) keeps the
+    counts equal — that is what exempts the library's barrier loops.
+    """
+    out: list[DivergentCycleBarrier] = []
+    for comp in _sccs(cfg, reachable):
+        nontrivial = len(comp) > 1 or any(
+            s in comp for b in comp for s in cfg.blocks[b].successors()
+        )
+        if not nontrivial:
+            continue
+        barriers = sorted(b for b in comp if cfg.blocks[b].is_barrier_wait)
+        if not barriers:
+            continue
+        exits = sorted(
+            b for b in comp
+            if b in divergent_branches
+            and isinstance(cfg.blocks[b].terminator, CondBr)
+            and any(s not in comp for s in cfg.blocks[b].successors())
+        )
+        if not exits:
+            continue
+        branch = exits[0]
+        for b in barriers:
+            out.append(DivergentCycleBarrier(
+                barrier=b, branch=branch,
+                line=cfg.blocks[b].src_line or 0,
+                branch_line=cfg.blocks[branch].src_line or 0))
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# the main entry point
+# ----------------------------------------------------------------------
+def compute_facts(
+    cfg: Cfg, *, uniformity: UniformityInfo | None = None
+) -> AbsintFacts:
+    """Run both fixpoint domains and distill :class:`AbsintFacts`."""
+    uni = uniformity if uniformity is not None else analyze_uniformity(cfg)
+    reachable = set(uni.entry_depths)
+    uniform_branches = frozenset(
+        b for b in reachable
+        if isinstance(cfg.blocks[b].terminator, CondBr)
+        and b not in uni.divergent_branches
+    )
+
+    preds = predecessor_map(cfg, reachable)
+    rpo = _reverse_postorder(cfg, reachable)
+    interval_dom = IntervalDomain(cfg, uni.entry_depths,
+                                  compiled=uni.compiled or None)
+    ivals = solve(cfg, interval_dom, reachable=reachable,
+                  preds=preds, rpo=rpo)
+    init = solve(cfg, InitDomain(cfg, compiled=interval_dom.compiled),
+                 reachable=reachable, preds=preds, rpo=rpo)
+
+    poly_ranges: dict[int, Interval] = {}
+    for slot in range(len(cfg.poly_slots)):
+        if slot in interval_dom.escaped:
+            poly_ranges[slot] = interval_dom.poly_global.get(slot, ZERO)
+            continue
+        # Idle PEs keep the zero fill, so the entry state's [0, 0] is
+        # part of every slot's observable range.
+        joined = ZERO
+        for state in ivals.entry.values():
+            joined = joined.join(state[slot])
+        for state in ivals.exit.values():
+            joined = joined.join(state[slot])
+        poly_ranges[slot] = joined
+    mono_ranges = dict(interval_dom.mono_global)
+
+    return AbsintFacts(
+        uniform_branches=uniform_branches,
+        divergent_branches=frozenset(uni.divergent_branches),
+        escaped_slots=interval_dom.escaped,
+        poly_ranges=poly_ranges,
+        mono_ranges=mono_ranges,
+        uninit_reads=_uninit_reads(cfg, reachable, init.entry,
+                                   interval_dom.compiled),
+        dead_router_stores=_dead_router_stores(cfg, reachable,
+                                               interval_dom.compiled),
+        divergent_cycle_barriers=_divergent_cycle_barriers(
+            cfg, reachable, frozenset(uni.divergent_branches)),
+        certificates=certificates(cfg, uni),
+        solver_iterations=ivals.iterations,
+    )
+
+
+__all__ = [
+    "AbsintFacts",
+    "Certificates",
+    "DeadRouterStore",
+    "DivergentCycleBarrier",
+    "UninitRead",
+    "certificates",
+    "compute_facts",
+]

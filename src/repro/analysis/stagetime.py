@@ -68,10 +68,15 @@ def aggregate_reports(reports) -> dict:
     """Fold many reports into per-stage aggregate rows.
 
     Returns ``{"stages": {name: {"seconds", "runs", "cached"}},
-    "compiles", "cache_hits", "cache_misses", "total_seconds"}`` —
-    the shape the CI compile-cache job and sweep harnesses consume.
+    "substages", "compiles", "cache_hits", "cache_misses",
+    "total_seconds"}`` — the shape the CI compile-cache job and sweep
+    harnesses consume.  ``substages`` maps ``"stage/sub"`` (an opt pass
+    or one analyzer of the ``analyze`` stages) to the same row shape;
+    it is kept separate from ``stages`` because substage time is
+    already counted inside its parent stage.
     """
     stages: dict = {}
+    substages: dict = {}
     compiles = hits = misses = 0
     total = 0.0
     for report in reports:
@@ -90,8 +95,19 @@ def aggregate_reports(reports) -> dict:
                 row["cached"] += 1
             else:
                 row["runs"] += 1
+            for sub in rec.subrecords:
+                srow = substages.setdefault(
+                    f"{rec.name}/{sub.name}",
+                    {"seconds": 0.0, "runs": 0, "cached": 0},
+                )
+                srow["seconds"] += sub.seconds
+                if sub.cached:
+                    srow["cached"] += 1
+                else:
+                    srow["runs"] += 1
     return {
         "stages": stages,
+        "substages": substages,
         "compiles": compiles,
         "cache_hits": hits,
         "cache_misses": misses,

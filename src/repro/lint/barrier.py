@@ -29,10 +29,10 @@ from repro.ir.block import CondBr, Halt, Return
 from repro.ir.cfg import Cfg
 from repro.lint.dataflow import (
     EXIT,
-    analyze_uniformity,
     backward_closure,
     immediate_postdominator,
     predecessor_map,
+    uniformity_for,
 )
 from repro.lint.diagnostics import Diagnostic, Severity, Span
 from repro.lint.driver import LintContext
@@ -120,10 +120,7 @@ def analyze_barriers(ctx: LintContext) -> list[Diagnostic]:
     """MSC010 (deadlock) and MSC011 (count mismatch) over the CFG."""
     cfg = ctx.cfg
     assert cfg is not None
-    uni = analyze_uniformity(cfg,
-                             entry_depths=ctx.scratch.get("entry_depths"),
-                             pdom=ctx.scratch.get("pdom"))
-    ctx.scratch["pdom"] = uni.pdom
+    uni = uniformity_for(ctx)
     reachable = set(uni.entry_depths)
     if not any(cfg.blocks[b].is_barrier_wait for b in reachable):
         return []

@@ -29,11 +29,35 @@ recursion dispatch chains) are conservatively varying.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
+from repro.absint.domains import (
+    _U_BINARY,
+    _U_DUP,
+    _U_LD,
+    _U_LDI,
+    _U_LDM,
+    _U_LDMI,
+    _U_LDR,
+    _U_POP,
+    _U_PUSH,
+    _U_SEL,
+    _U_ST,
+    _U_STI,
+    _U_STM,
+    _U_STMI,
+    _U_STR,
+    _U_SWAP,
+    _U_UNARY,
+    PE_ID,
+    MicroOp,
+    compile_code,
+)
 from repro.ir.block import CondBr, SpawnT
 from repro.ir.cfg import Cfg
-from repro.ir.instr import BINARY_OPS, UNARY_OPS, Instr, Op
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.lint.driver import LintContext
 
 #: Virtual exit node: the single sink behind every Return/Halt.
 EXIT = -1
@@ -143,88 +167,117 @@ class UniformityInfo:
     entry_depths: dict[int, int] = field(default_factory=dict)
     #: Postdominator sets (kept for downstream analyses).
     pdom: dict[int, set[int]] = field(default_factory=dict)
+    #: Per-block micro-ops (:func:`repro.absint.domains.compile_code`),
+    #: shared with the absint domains so each block is decoded once.
+    compiled: dict[int, list[MicroOp]] = field(default_factory=dict)
 
 
-def _scan_block(
-    code: list[Instr],
+def _scan_ops(
+    ops: list[MicroOp],
     entry_depth: int,
     varying: set[int],
     in_divergent_ctx: bool,
-    new_varying: set[int],
 ) -> bool:
-    """Abstractly execute one block; grow ``new_varying`` with slots the
-    block may make varying and return whether the value left on top of
-    the stack (a branch condition) may be varying."""
+    """Abstractly execute one compiled block; grow ``varying`` with
+    slots the block may make varying and return whether the value left
+    on top of the stack (a branch condition) may be varying.
+
+    ``True`` on the boolean stack means "may differ across PEs".
+    Varying value sources (``ProcNum``, ``RPop``) are the micro-ops
+    pushing the :data:`~repro.absint.domains.PE_ID` interval; constant
+    and mono pushes carry other payloads.
+    """
     # Unknown entries (recursion dispatch selectors) are conservatively
     # varying.
     stack: list[bool] = [True] * entry_depth
-
-    def pop() -> bool:
-        return stack.pop() if stack else True
-
-    def mark(base: int, size: int = 1) -> None:
-        new_varying.update(range(base, base + size))
-
-    for ins in code:
-        op = ins.op
-        if op is Op.PUSH or op is Op.LDM or op is Op.NPROC:
+    for tag, a1, a2 in ops:
+        if tag == _U_BINARY:
+            b = stack.pop() if stack else True
+            a = stack.pop() if stack else True
+            stack.append(a or b)
+        elif tag == _U_PUSH:
+            stack.append(a1 is PE_ID)
+        elif tag == _U_LD:
+            stack.append(a1 in varying)
+        elif tag == _U_ST:
+            val = stack.pop() if stack else True
+            if val or in_divergent_ctx:
+                varying.add(a1)
+        elif tag == _U_LDM:
             stack.append(False)
-        elif op is Op.PROCNUM or op is Op.RPOP:
-            stack.append(True)
-        elif op is Op.LD:
-            stack.append(int(ins.arg or 0) in varying)
-        elif op is Op.DUP:
+        elif tag == _U_DUP:
             stack.append(stack[-1] if stack else True)
-        elif op is Op.SWAP:
+        elif tag == _U_SWAP:
             if len(stack) >= 2:
                 stack[-1], stack[-2] = stack[-2], stack[-1]
-        elif op is Op.POP:
-            for _ in range(int(ins.arg or 0)):
-                pop()
-        elif op is Op.RPUSH:
-            pass
-        elif op in BINARY_OPS:
-            b, a = pop(), pop()
-            stack.append(a or b)
-        elif op in UNARY_OPS:
+        elif tag == _U_POP:
+            del stack[max(0, len(stack) - a1):]
+        elif tag == _U_UNARY:
             if not stack:
                 stack.append(True)
-        elif op is Op.SEL:
-            v = pop() or pop() or pop()
-            stack.append(v)
-        elif op is Op.LDI:
-            idx = pop()
-            base, size = int(ins.arg or 0), int(ins.arg2 or 1)
-            spans = any(s in varying for s in range(base, base + size))
+        elif tag == _U_SEL:
+            b = stack.pop() if stack else True
+            a = stack.pop() if stack else True
+            c = stack.pop() if stack else True
+            stack.append(c or a or b)
+        elif tag == _U_LDI:
+            idx = stack.pop() if stack else True
+            spans = any(s in varying for s in range(a1, a1 + a2))
             stack.append(idx or spans)
-        elif op is Op.LDMI:
+        elif tag == _U_LDMI:
             # A poly index into a mono array reads different elements
             # per PE.
-            idx = pop()
-            stack.append(idx)
-        elif op is Op.LDR:
-            idx = pop()
-            stack.append(idx or int(ins.arg or 0) in varying)
-        elif op is Op.ST:
-            val = pop()
-            if val or in_divergent_ctx:
-                mark(int(ins.arg or 0))
-        elif op is Op.STI:
-            idx, val = pop(), pop()
+            stack.append(stack.pop() if stack else True)
+        elif tag == _U_LDR:
+            idx = stack.pop() if stack else True
+            stack.append(idx or a1 in varying)
+        elif tag == _U_STI:
+            idx = stack.pop() if stack else True
+            val = stack.pop() if stack else True
             if idx or val or in_divergent_ctx:
-                mark(int(ins.arg or 0), int(ins.arg2 or 1))
-        elif op is Op.STR:
+                varying.update(range(a1, a1 + a2))
+        elif tag == _U_STR:
             # Remote store: only the targeted PEs' slots change.
-            pop()
-            pop()
-            mark(int(ins.arg or 0))
-        elif op is Op.STM or op is Op.STMI:
+            if stack:
+                stack.pop()
+            if stack:
+                stack.pop()
+            varying.add(a1)
+        elif tag == _U_STM:
             # Mono stores broadcast: the shared value stays uniform.
-            for _ in range(ins.pops()):
-                pop()
-        else:  # pragma: no cover - exhaustive over the ISA
-            raise AssertionError(f"unhandled opcode {op}")
+            if stack:
+                stack.pop()
+        else:  # _U_STMI
+            if stack:
+                stack.pop()
+            if stack:
+                stack.pop()
     return stack[-1] if stack else True
+
+
+def uniformity_for(ctx: "LintContext") -> UniformityInfo:
+    """The phase's shared :class:`UniformityInfo`, computed once and
+    cached in the context scratch (the absint, barrier, and explosion
+    analyzers all key off the same classification)."""
+    cfg = ctx.cfg
+    assert cfg is not None
+    got = ctx.scratch.get("uniformity")
+    tag = ctx.scratch.get("uniformity_cfg")
+    if isinstance(got, UniformityInfo) and tag is cfg:
+        return got
+    if tag is not None and tag is not cfg:
+        # The scratch outlives CFG swaps (time splitting replaces the
+        # graph between the analyze phases): drop derived caches.
+        ctx.scratch.pop("entry_depths", None)
+        ctx.scratch.pop("pdom", None)
+    info = analyze_uniformity(cfg,
+                              entry_depths=ctx.scratch.get("entry_depths"),
+                              pdom=ctx.scratch.get("pdom"))
+    ctx.scratch["uniformity"] = info
+    ctx.scratch["uniformity_cfg"] = cfg
+    ctx.scratch.setdefault("entry_depths", info.entry_depths)
+    ctx.scratch.setdefault("pdom", info.pdom)
+    return info
 
 
 def analyze_uniformity(cfg: Cfg, entry_depths: dict | None = None,
@@ -239,6 +292,7 @@ def analyze_uniformity(cfg: Cfg, entry_depths: dict | None = None,
     if pdom is None:
         pdom = postdominator_sets(cfg)
     reachable = sorted(entry_depths)
+    compiled = {b: compile_code(cfg.blocks[b].code) for b in reachable}
     spawns = [b for b in reachable
               if isinstance(cfg.blocks[b].terminator, SpawnT)]
     dep_cache: dict[int, set[int]] = {}
@@ -252,13 +306,16 @@ def analyze_uniformity(cfg: Cfg, entry_depths: dict | None = None,
     divergent_blocks: set[int] = set()
     divergent_branches: set[int] = set()
     while True:
+        # Chaotic (in-place) iteration: scans read the freshest marks,
+        # so facts discovered early in a round propagate within it.
+        # Both sets only grow, so the fixpoint is unchanged — rounds
+        # just converge sooner.
         new_varying = set(varying)
         branch_varying: set[int] = set()
         for bid in reachable:
-            blk = cfg.blocks[bid]
-            top = _scan_block(blk.code, entry_depths[bid], varying,
-                              bid in divergent_blocks, new_varying)
-            if isinstance(blk.terminator, CondBr) and top:
+            top = _scan_ops(compiled[bid], entry_depths[bid],
+                            new_varying, bid in divergent_blocks)
+            if top and isinstance(cfg.blocks[bid].terminator, CondBr):
                 branch_varying.add(bid)
         new_blocks: set[int] = set()
         for src in [*branch_varying, *spawns]:
@@ -273,4 +330,5 @@ def analyze_uniformity(cfg: Cfg, entry_depths: dict | None = None,
         divergent_blocks=divergent_blocks,
         entry_depths=entry_depths,
         pdom=pdom,
+        compiled=compiled,
     )

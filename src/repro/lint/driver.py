@@ -142,6 +142,12 @@ class AnalysisDriver:
             dropped = len(stamped) - len(kept)
             if dropped:
                 counters["filtered"] = dropped
+            # Analyzers publish fact counts (uniform branches, explored
+            # states, certificates, ...) through the scratch; merged
+            # here they surface as --timings / --report-json sub-rows.
+            facts = ctx.scratch.get("fact_counters", {})
+            for key, value in facts.get(analyzer.name, {}).items():
+                counters.setdefault(key, value)
             records.append(StageRecord(name=analyzer.name, seconds=seconds,
                                        counters=counters))
             found.extend(kept)
@@ -151,9 +157,10 @@ class AnalysisDriver:
 
 def default_registry() -> AnalyzerRegistry:
     """The standard analyzer suite, pipeline order within each phase."""
+    from repro.absint.analyzers import analyze_absint, analyze_certify
     from repro.lint.barrier import analyze_barriers
+    from repro.lint.explore import analyze_frontier
     from repro.lint.explosion import analyze_explosion
-    from repro.lint.frontier import analyze_frontier
     from repro.lint.races import analyze_races
     from repro.lint.srclint import analyze_source
     from repro.lint.verifier import verify_cfg, verify_meta
@@ -161,6 +168,8 @@ def default_registry() -> AnalyzerRegistry:
     return AnalyzerRegistry([
         Analyzer("verify-cfg", "cfg", verify_cfg,
                  "re-check CFG structural invariants (MSC001)"),
+        Analyzer("absint", "cfg", analyze_absint,
+                 "abstract-interpretation facts (MSC060-MSC063)"),
         Analyzer("barrier", "cfg", analyze_barriers,
                  "barrier deadlock / count mismatch (MSC010, MSC011)"),
         Analyzer("explosion", "cfg", analyze_explosion,
@@ -169,6 +178,8 @@ def default_registry() -> AnalyzerRegistry:
                  "source-level lints (MSC040, MSC041, MSC042)"),
         Analyzer("frontier", "meta", analyze_frontier,
                  "shared meta-frontier exploration (MSC050)"),
+        Analyzer("certify", "meta", analyze_certify,
+                 "whole-program certificates (MSC064, MSC065)"),
         Analyzer("verify-meta", "meta", verify_meta,
                  "meta graph / program / plan invariants (MSC002, MSC003)"),
         Analyzer("races", "meta", analyze_races,

@@ -1,5 +1,9 @@
 """The frontier analyzer: one shared exploration per meta phase.
 
+(Previously ``repro.lint.frontier`` — renamed so the analyzer module
+no longer shadows the exploration machinery it drives,
+:mod:`repro.verify.frontier`, in imports and docs.)
+
 Runs first among the ``meta``-phase analyzers and publishes a
 :class:`~repro.verify.frontier.FrontierResult` in the context scratch,
 so the verifier and the race detector query one explored frontier
@@ -39,6 +43,11 @@ def frontier_for(ctx: LintContext) -> FrontierResult:
 def analyze_frontier(ctx: LintContext) -> list[Diagnostic]:
     """Explore the meta graph; MSC050 when the exploration truncated."""
     result = frontier_for(ctx)
+    ctx.scratch.setdefault("fact_counters", {})["frontier"] = {
+        "explored": result.explored,
+        "discovered": result.discovered,
+        "truncated": int(result.truncated),
+    }
     if not result.truncated:
         return []
     detail = f"explored {result.explored} of {result.discovered} " \

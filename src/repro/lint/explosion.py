@@ -25,7 +25,12 @@ from repro.ir.block import CondBr
 from repro.ir.cfg import Cfg
 from repro.ir.instr import CostModel
 from repro.ir.timing import block_time
-from repro.lint.dataflow import EXIT, immediate_postdominator, postdominator_sets
+from repro.lint.dataflow import (
+    EXIT,
+    immediate_postdominator,
+    postdominator_sets,
+    uniformity_for,
+)
 from repro.lint.diagnostics import Diagnostic, Severity, Span
 from repro.lint.driver import LintContext
 
@@ -64,35 +69,60 @@ def barrier_free_regions(cfg: Cfg) -> list[set[int]]:
     return regions
 
 
-def estimate_states(cfg: Cfg, compressed: bool) -> tuple[int, int, int]:
+def estimate_states(
+    cfg: Cfg, compressed: bool,
+    uniform_branches: frozenset[int] | set[int] = frozenset(),
+) -> tuple[int, int, int]:
     """``(bound, worst_branches, regions)`` for the whole program.
 
     ``bound`` is the largest per-region estimate: ``3^b`` uncompressed
     (each branch member yields true/false/both successor sets), ``2^b``
     compressed (both arms are always taken together; only progress skew
-    across branches multiplies).
+    across branches multiplies).  Branches in ``uniform_branches``
+    (proven by the absint uniformity facts to move every PE down one
+    arm) never contribute the "both" choice, so uncompressed they
+    multiply by 2, not 3 — the estimate tightens without losing
+    soundness.
     """
-    factor = 2 if compressed else 3
     bound = 1
     worst = 0
     regions = barrier_free_regions(cfg)
     for region in regions:
-        branches = sum(
-            1 for b in region if isinstance(cfg.blocks[b].terminator, CondBr)
-        )
-        estimate = factor ** branches
+        branches = [
+            b for b in region if isinstance(cfg.blocks[b].terminator, CondBr)
+        ]
+        if compressed:
+            estimate = 2 ** len(branches)
+        else:
+            uniform = sum(1 for b in branches if b in uniform_branches)
+            estimate = (3 ** (len(branches) - uniform)) * (2 ** uniform)
         if estimate > bound:
-            bound, worst = estimate, branches
+            bound, worst = estimate, len(branches)
     return bound, worst, len(regions)
 
 
 def analyze_explosion(ctx: LintContext) -> list[Diagnostic]:
-    """MSC030: pre-convert bound on ``reach`` growth."""
+    """MSC030: pre-convert bound on ``reach`` growth, tightened by the
+    shared uniformity facts (a uniform branch multiplies by 2, not 3)."""
     cfg = ctx.cfg
     assert cfg is not None
     options = ctx.options
     compressed = bool(getattr(options, "compress", False))
-    bound, branches, regions = estimate_states(cfg, compressed)
+    cached = ctx.scratch.get("explosion_estimate")
+    if (isinstance(cached, tuple) and len(cached) == 3
+            and cached[0] is cfg and cached[1] == compressed):
+        # The absint analyzer already estimated with its (identical)
+        # uniform-branch tightening earlier in this phase.
+        bound, branches, regions = cached[2]
+    else:
+        uni = uniformity_for(ctx)
+        uniform_branches = frozenset(
+            b for b in uni.entry_depths
+            if isinstance(cfg.blocks[b].terminator, CondBr)
+            and b not in uni.divergent_branches
+        )
+        bound, branches, regions = estimate_states(
+            cfg, compressed, uniform_branches=uniform_branches)
     out: list[Diagnostic] = []
     hard = max(10 * int(getattr(options, "max_meta_states", 0) or 0),
                HARD_FLOOR)
@@ -167,6 +197,7 @@ def _unbalanced_blocks(ctx: LintContext, cfg: Cfg) -> list[Diagnostic]:
         ctx.scratch["pdom"] = pdom
     reachable = cfg.reachable()
     out: list[Diagnostic] = []
+    times: dict[int, int] = {}  # block self-costs, shared across arms
     for bid in sorted(reachable):
         blk = cfg.blocks[bid]
         if not isinstance(blk.terminator, CondBr):
@@ -175,7 +206,7 @@ def _unbalanced_blocks(ctx: LintContext, cfg: Cfg) -> list[Diagnostic]:
         for arm in (blk.terminator.on_true, blk.terminator.on_false):
             cost = _max_path_cost(cfg, arm,
                                   immediate_postdominator(pdom, bid),
-                                  reachable, costs)
+                                  reachable, costs, times)
             if cost is None:
                 break
             arm_costs.append(cost)
@@ -204,11 +235,17 @@ def _unbalanced_blocks(ctx: LintContext, cfg: Cfg) -> list[Diagnostic]:
 
 
 def _max_path_cost(cfg: Cfg, start: int, join: int, reachable: set[int],
-                   costs: CostModel | None) -> int | None:
+                   costs: CostModel | None,
+                   times: dict[int, int] | None = None) -> int | None:
     """Max cost over acyclic paths ``start -> join``; ``None`` when the
-    arm region has a cycle (loops make static arm cost unbounded)."""
+    arm region has a cycle (loops make static arm cost unbounded).
+
+    ``times`` memoizes per-block self-costs across calls (the path memo
+    is join-dependent and stays local, the block cost is not)."""
     memo: dict[int, int | None] = {}
     on_path: set[int] = set()
+    if times is None:
+        times = {}
 
     def walk(bid: int) -> int | None:
         if bid == join or bid not in reachable:
@@ -218,8 +255,11 @@ def _max_path_cost(cfg: Cfg, start: int, join: int, reachable: set[int],
         if bid in memo:
             return memo[bid]
         on_path.add(bid)
-        here = (block_time(cfg, bid, costs) if costs is not None
-                else block_time(cfg, bid))
+        here = times.get(bid)
+        if here is None:
+            here = (block_time(cfg, bid, costs) if costs is not None
+                    else block_time(cfg, bid))
+            times[bid] = here
         best = 0
         for s in cfg.blocks[bid].successors():
             sub = walk(s)

@@ -35,7 +35,7 @@ from repro.ir.cfg import Cfg
 from repro.ir.instr import Instr, Op
 from repro.lint.diagnostics import Diagnostic, Severity, Span
 from repro.lint.driver import LintContext
-from repro.lint.frontier import frontier_for
+from repro.lint.explore import frontier_for
 from repro.verify.frontier import lockstep_pairs
 from repro.verify.witness import WitnessSeed
 
@@ -159,6 +159,15 @@ def analyze_races(ctx: LintContext) -> list[Diagnostic]:
     """Query the explored frontier's co-occurrence bitset, pairwise."""
     cfg, graph = ctx.cfg, ctx.graph
     assert cfg is not None and graph is not None
+    counters = ctx.scratch.setdefault("fact_counters", {}).setdefault(
+        "races", {})
+    # A race-free certificate (see repro.absint.facts) holds for the
+    # whole program, truncated frontier or not — the pairwise scan
+    # cannot find anything it has not already excluded.
+    certs = ctx.scratch.get("certificates")
+    if certs is not None and getattr(certs, "race_free", None):
+        counters["suppressed_by_certificate"] = 1
+        return []
     effects: dict[int, BlockEffects] = {}
 
     def eff(bid: int) -> BlockEffects:
@@ -170,6 +179,7 @@ def analyze_races(ctx: LintContext) -> list[Diagnostic]:
     realizable = co_resident_pairs(cfg)
     if realizable is not None:
         pairs &= realizable
+    counters["pairs_checked"] = len(pairs)
     seeds = ctx.scratch.setdefault("witness_seeds", [])
     out: list[Diagnostic] = []
     reported: set[tuple[str, int, str, frozenset[int]]] = set()

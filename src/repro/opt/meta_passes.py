@@ -180,6 +180,69 @@ def _dead_meta_prune_pass(ctx: MetaContext) -> dict:
     return {"unrealizable_pruned": len(dead)}
 
 
+def _uniform_branch_pass(ctx: MetaContext) -> dict:
+    """Drop aggregates only a divergent split of a *uniform* branch
+    could reach.
+
+    The subset construction gives every two-exit member three choices —
+    true arm, false arm, both — but a branch whose condition is uniform
+    moves every co-resident PE down the same arm, so its "both" choice
+    is never realizable.  That argument needs the co-resident PEs'
+    store histories to be synchronized, which holds when nothing can
+    skew their progress before the branch: the eligible set is the
+    uniform branches whose barrier-free region contains no divergent
+    branch and no spawn (PEs enter a region together — at program
+    start or a barrier release — and without divergence inside it they
+    stay in lockstep).  The restricted realizability walk then prunes
+    the two-arm aggregates exactly like ``dead-meta-prune`` prunes
+    parked-set over-approximation.
+    """
+    g = ctx.graph
+    if ctx.cfg is None or g.compressed:
+        return {"uniform_pruned": 0}
+    from repro.ir.block import CondBr, SpawnT
+    from repro.lint.dataflow import analyze_uniformity
+    from repro.lint.explosion import barrier_free_regions
+    from repro.verify.frontier import realizable_states
+
+    cfg = ctx.cfg
+    uni = analyze_uniformity(cfg)
+    reachable = set(uni.entry_depths)
+    eligible: set[int] = set()
+    for region in barrier_free_regions(cfg):
+        members = region & reachable
+        if any(b in uni.divergent_branches
+               or isinstance(cfg.blocks[b].terminator, SpawnT)
+               for b in members):
+            continue
+        eligible.update(
+            b for b in members
+            if isinstance(cfg.blocks[b].terminator, CondBr)
+        )
+    if not eligible:
+        return {"uniform_pruned": 0}
+    realizable = realizable_states(
+        cfg, uniform_branches=frozenset(eligible))
+    if realizable is None:
+        return {"uniform_pruned": 0, "realizability_capped": 1}
+    dead = {m for m in g.states if m not in realizable and m != g.start}
+    if not dead:
+        return {"uniform_pruned": 0}
+    for m in dead:
+        g.states.discard(m)
+        g.table.pop(m, None)
+        g.can_exit.discard(m)
+        g.parked_possible.pop(m, None)
+        g.barrier_entry.pop(m, None)
+    for tab in g.table.values():
+        for key in [k for k, t in tab.items() if t in dead]:
+            del tab[key]
+    for m in [m for m, t in g.barrier_entry.items() if t in dead]:
+        del g.barrier_entry[m]
+    g.invalidate_caches()
+    return {"uniform_pruned": len(dead)}
+
+
 def _straighten_pass(ctx: MetaContext) -> dict:
     ctx.straightened = StraightenedGraph.from_graph(ctx.graph)
     return {"chains": ctx.straightened.chain_count(),
@@ -203,6 +266,7 @@ def meta_pass_list(opt_level: int) -> list[Pass]:
     if opt_level >= 2:
         return [Pass("prune", _prune_pass),
                 Pass("dead-meta-prune", _dead_meta_prune_pass),
+                Pass("uniform-branch", _uniform_branch_pass),
                 Pass("straighten", _straighten_pass)]
     return [Pass("prune", _prune_pass),
             Pass("straighten", _straighten_pass)]

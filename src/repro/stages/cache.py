@@ -45,15 +45,19 @@ from pathlib import Path
 #: v6: analyze-mode compiles run the meta-phase analyzers on lazy
 #: bundles too (the incremental frontier verifier may grow the cached
 #: engine snapshot), so v5 lazy entries are invalidated.
-CACHE_VERSION = 6
+#: v7: the absint analyzers (MSC06x + certificates) joined the
+#: analyze stages and ``-O2`` gained the ``uniform-branch`` meta pass,
+#: so both analyzed and plain ``-O2`` artifacts change shape.
+CACHE_VERSION = 7
 
 #: Top-level repro subpackages whose code determines compile output.
 #: ``simd``/``mimd`` (simulators) and ``analysis``/``viz`` are runtime
 #: consumers of the artifacts, not producers, so they do not invalidate.
 #: ``lint`` is included because analyze-mode compiles can fail (and so
-#: refuse to populate the cache) based on analyzer behavior.
+#: refuse to populate the cache) based on analyzer behavior; ``absint``
+#: both feeds the lint verdict and steers the ``uniform-branch`` pass.
 _COMPILER_PACKAGES = ("lang", "ir", "core", "csi", "hashenc", "opt",
-                      "codegen", "stages", "lint", "verify")
+                      "codegen", "stages", "lint", "verify", "absint")
 
 #: Options that only matter when the analyze stage is enabled.  With
 #: ``analyze`` off they cannot affect the artifacts, so they are left

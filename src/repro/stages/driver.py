@@ -70,6 +70,11 @@ class CompileContext:
     pass_records: dict = field(default_factory=dict)
     #: Lint diagnostics accumulated by the ``analyze`` stages.
     diagnostics: list = field(default_factory=list)
+    #: Cross-phase analyzer memo (uniformity, absint facts, ...):
+    #: ``analyze-meta`` reuses what ``analyze`` computed, mirroring the
+    #: shared :class:`~repro.lint.driver.LintContext` of
+    #: :func:`repro.lint.api.lint_source`.
+    lint_scratch: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -301,7 +306,8 @@ def _stage_analyze(ctx: CompileContext) -> dict:
     from repro.lint.driver import LintContext
 
     lc = LintContext(source=ctx.source, options=ctx.options,
-                     ast=ctx.ast, sema=ctx.sema, cfg=ctx.cfg)
+                     ast=ctx.ast, sema=ctx.sema, cfg=ctx.cfg,
+                     scratch=ctx.lint_scratch)
     found, records = _lint_driver(ctx.options).run_phase(lc, "cfg")
     ctx.pass_records["analyze"] = records
     ctx.diagnostics.extend(found)
@@ -317,7 +323,7 @@ def _stage_analyze_meta(ctx: CompileContext) -> dict:
     lc = LintContext(source=ctx.source, options=ctx.options,
                      ast=ctx.ast, sema=ctx.sema, cfg=ctx.cfg,
                      graph=ctx.graph, program=ctx.program, plan=ctx.plan,
-                     engine=ctx.engine)
+                     engine=ctx.engine, scratch=ctx.lint_scratch)
     found, records = _lint_driver(ctx.options).run_phase(lc, "meta")
     ctx.pass_records["analyze-meta"] = records
     ctx.diagnostics.extend(found)
@@ -368,7 +374,7 @@ def stages_for(options) -> tuple[Stage, ...]:
     run ``analyze-meta`` too: the meta analyzers then verify the
     engine's discovered frontier incrementally, driven (and bounded)
     by the shared frontier analyzer — see
-    :mod:`repro.lint.frontier`."""
+    :mod:`repro.lint.explore`."""
     if not getattr(options, "analyze", False):
         return PIPELINE_STAGES
     _preload_lint()

@@ -305,7 +305,8 @@ def lockstep_pairs(
 
 
 def realizable_states(
-    cfg: "Cfg", cap: int = REALIZABILITY_CAP
+    cfg: "Cfg", cap: int = REALIZABILITY_CAP,
+    *, uniform_branches: frozenset[int] = frozenset(),
 ) -> set[frozenset[int]] | None:
     """Meta states some execution can actually dispatch, or ``None``
     when the walk exceeds ``cap``.
@@ -321,6 +322,14 @@ def realizable_states(
     result can be intersected directly with ``graph.states`` — the
     complement is dead dispatch: the ``dead-meta-prune`` pass drops it.
 
+    ``uniform_branches`` further restricts the walk: for those branch
+    members the "both arms" choice is dropped, since every co-resident
+    PE evaluates the same condition value and takes the same arm.  The
+    *caller* owes the soundness argument — the set must only contain
+    branches whose condition is synchronized across co-resident PEs
+    (see ``opt.meta_passes._uniform_branch_pass``: uniform branches in
+    barrier-free regions with no divergence to skew PE progress).
+
     Only meaningful for uncompressed graphs: compression abandons the
     populated-members invariant this walk relies on.
     """
@@ -328,6 +337,24 @@ def realizable_states(
         b.bid for b in cfg.blocks.values() if b.is_barrier_wait
     )
     memo = ConvertMemo(cfg)
+    restricted: dict[frozenset, set[frozenset]] = {}
+
+    def unions(members: frozenset) -> set[frozenset]:
+        if not uniform_branches:
+            return memo.unions(members, False)
+        got = restricted.get(members)
+        if got is None:
+            acc: set[frozenset] = {frozenset()}
+            for bid in sorted(members):
+                choices = memo.choices(bid, False)
+                if bid in uniform_branches and len(choices) == 3:
+                    # [{t}, {f}, {t,f}] — drop the two-arm split.
+                    both = max(choices, key=len)
+                    choices = [c for c in choices if c != both]
+                acc = {u | c for u in acc for c in choices}
+            got = restricted[members] = acc
+        return got
+
     start = (frozenset((cfg.entry,)), frozenset())
     seen: set[tuple[frozenset[int], frozenset[int]]] = {start}
     work: list[tuple[frozenset[int], frozenset[int]]] = [start]
@@ -335,7 +362,7 @@ def realizable_states(
     while work:
         members, parked = work.pop()
         states.add(members)
-        for union in memo.unions(members, False):
+        for union in unions(members):
             if not union:
                 # Every member ran to exit. The exactly-parked PEs (all
                 # populated) are the only live ones left.

@@ -1,0 +1,283 @@
+"""The absint package: fixpoint domains, fact extraction, certificates,
+and the ``uniform-branch`` ``-O2`` meta pass.
+
+The headline test is differential: the whole-program slot ranges the
+interval fixpoint publishes must contain every value the reference MIMD
+machine ever leaves in memory, for any machine width and active count —
+abstract-interpretation soundness, sampled with hypothesis.  The
+tightening tests pin the acceptance numbers: the uniform-branch facts
+cut the eager explosion estimate strictly on real library workloads,
+and the ``-O2`` pass that consumes the same facts prunes meta states
+without disturbing the SIMD/MIMD equivalence oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ConversionOptions,
+    convert_source,
+    simulate_mimd,
+    simulate_simd,
+)
+from repro.__main__ import main
+from repro.absint import compute_facts
+from repro.absint.domains import ZERO, Interval
+from repro.analysis.stagetime import aggregate_reports
+from repro.errors import MachineError
+from repro.lint.api import lint_source
+from repro.mimd.machine import MimdMachine
+from repro.stages import driver as stage_driver
+from repro.workloads import all_sources
+
+CORPUS = Path(__file__).parent / "lint_corpus"
+
+WORKLOADS = sorted(all_sources())
+
+
+def cfg_of(source: str, options: ConversionOptions | None = None):
+    """Front half of the pipeline only — no meta conversion."""
+    ctx = stage_driver.CompileContext(
+        source=source, options=options or ConversionOptions())
+    stage_driver._stage_parse(ctx)
+    stage_driver._stage_sema(ctx)
+    stage_driver._stage_lower(ctx)
+    stage_driver._stage_opt_cfg(ctx)
+    return ctx.cfg
+
+
+@lru_cache(maxsize=None)
+def workload_facts(name: str):
+    """(cfg, facts) for a library workload; facts are width-independent,
+    so one fixpoint serves every sampled machine size."""
+    cfg = cfg_of(all_sources()[name])
+    return cfg, compute_facts(cfg)
+
+
+# ----------------------------------------------------------------------
+# interval algebra and unit facts
+# ----------------------------------------------------------------------
+class TestIntervals:
+    def test_algebra(self):
+        a = Interval(3.0, 9.0, integral=True)
+        assert a.join(ZERO) == Interval(0.0, 9.0, integral=True)
+        assert a.contains(3.0) and a.contains(9.0)
+        assert not a.contains(2.0) and not a.contains(float("nan"))
+        bottom = Interval(1.0, 0.0)
+        assert bottom.is_bottom and bottom.join(a) == a
+
+    def test_procnum_mod_range(self):
+        # `procnum % 7 + 3` concretizes to {3..9}; the published range
+        # joins in the [0, 0] zero fill idle PEs keep.
+        cfg = cfg_of("""
+            main() {
+                poly int x;
+                x = procnum % 7 + 3;
+                return (x);
+            }
+        """)
+        facts = compute_facts(cfg)
+        (slot,) = [s.index for s in cfg.poly_slots if s.name == "main.x"]
+        assert facts.poly_ranges[slot] == Interval(0.0, 9.0, integral=True)
+        assert facts.divergent_branches == frozenset()
+
+    def test_widening_terminates_on_unbounded_counter(self):
+        # The loop counter has no static bound: widening must push the
+        # high end to +inf in finitely many transfer applications
+        # instead of chasing the ascending chain forever.
+        cfg = cfg_of((CORPUS / "divergent_loop_barrier.mimdc").read_text())
+        facts = compute_facts(cfg)
+        (slot,) = [s.index for s in cfg.poly_slots if s.name == "main.i"]
+        ival = facts.poly_ranges[slot]
+        assert ival.lo == 0.0 and math.isinf(ival.hi)
+        assert 0 < facts.solver_iterations < 10 * len(cfg.blocks) + 100
+
+
+# ----------------------------------------------------------------------
+# differential soundness vs the MIMD oracle
+# ----------------------------------------------------------------------
+class TestRangeSoundness:
+    @given(name=st.sampled_from(WORKLOADS),
+           nprocs=st.integers(min_value=2, max_value=9),
+           data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_mimd_never_escapes_published_ranges(self, name, nprocs, data):
+        cfg, facts = workload_facts(name)
+        active = data.draw(st.integers(min_value=1, max_value=nprocs),
+                           label="active")
+        try:
+            mimd = MimdMachine(nprocs=nprocs).run(
+                cfg, active=active, max_steps=200_000)
+        except MachineError:
+            # e.g. a spawn workload with no idle PE left; the sampled
+            # configuration is simply not runnable.
+            return
+        for slot in range(mimd.poly.shape[0]):
+            ival = facts.poly_ranges[slot]
+            values = mimd.poly[slot]
+            assert np.all(values >= ival.lo) and np.all(values <= ival.hi), (
+                name, slot, ival, values)
+        for slot in range(mimd.mono.shape[0]):
+            ival = facts.mono_ranges.get(slot, ZERO)
+            assert ival.contains(float(mimd.mono[slot])), (name, slot, ival)
+
+    def test_no_msc06x_false_positives_on_library(self):
+        # Every library workload is known-good: the MSC060/061/062 fact
+        # extractors must stay silent on all of them.
+        for name in WORKLOADS:
+            _, facts = workload_facts(name)
+            assert facts.uninit_reads == (), name
+            assert facts.dead_router_stores == (), name
+            assert facts.divergent_cycle_barriers == (), name
+
+
+# ----------------------------------------------------------------------
+# the explosion estimator tightening
+# ----------------------------------------------------------------------
+class TestUniformTightening:
+    @pytest.mark.parametrize("name,raw,tight", [
+        ("odd_even_sort", 729, 324),
+        ("tree_reduction", 81, 36),
+    ])
+    def test_strictly_tighter_on_real_workloads(self, name, raw, tight):
+        from repro.lint.explosion import estimate_states
+
+        cfg, facts = workload_facts(name)
+        assert estimate_states(cfg, False)[0] == raw
+        assert estimate_states(
+            cfg, False, uniform_branches=facts.uniform_branches)[0] == tight
+        assert tight < raw
+
+    def test_uniform_branches_partition_cond_blocks(self):
+        from repro.ir.block import CondBr
+
+        for name in WORKLOADS:
+            cfg, facts = workload_facts(name)
+            conds = {b for b in facts.uniform_branches
+                     | facts.divergent_branches}
+            assert facts.uniform_branches.isdisjoint(
+                facts.divergent_branches), name
+            for b in conds:
+                assert isinstance(cfg.blocks[b].terminator, CondBr), name
+
+
+# ----------------------------------------------------------------------
+# certificates
+# ----------------------------------------------------------------------
+class TestCertificates:
+    def test_lockstep_route_on_uniform_program(self):
+        cfg = cfg_of((CORPUS / "uniform_chain.mimdc").read_text())
+        facts = compute_facts(cfg)
+        assert facts.certificates.race_free is not None
+        assert facts.certificates.race_free.startswith("lockstep")
+        assert facts.certificates.deadlock_free is not None
+
+    def test_truncated_frontier_gets_certified(self):
+        # The explosion-bound random walks: lazy conversion runs, the
+        # frontier truncates at its budget (MSC050), and the absint
+        # certificates stand in for the enumeration it could not finish
+        # — with no spurious race/deadlock findings anywhere.
+        src = (CORPUS / "explosion_random_walks.mimdc").read_text()
+        result = lint_source(src, ConversionOptions(lazy=True))
+        codes = {d.code for d in result.diagnostics}
+        assert {"MSC050", "MSC064", "MSC065"} <= codes
+        assert not any(c.startswith("MSC01") or c.startswith("MSC02")
+                       for c in codes)
+
+    def test_complete_frontier_needs_no_certificate(self):
+        # Small lazy program: exploration finishes, so MSC064/MSC065
+        # would be noise and must not be emitted.
+        src = (CORPUS / "uniform_chain.mimdc").read_text()
+        result = lint_source(src, ConversionOptions(lazy=True))
+        codes = {d.code for d in result.diagnostics}
+        assert "MSC050" not in codes
+        assert "MSC064" not in codes and "MSC065" not in codes
+
+
+# ----------------------------------------------------------------------
+# the -O2 uniform-branch meta pass
+# ----------------------------------------------------------------------
+UNIFORM_REGION_SRC = """
+main() {
+    poly int x; poly int u;
+    u = nproc % 3;
+    x = procnum;
+    if (u > 0) { x = x + 1; } else { x = x + 2; }
+    wait;
+    if (x % 2) { x = x * 2; }
+    return (x);
+}
+"""
+
+
+def _uniform_pass_counters(result):
+    for rec in result.report.records:
+        if rec.name == "opt-meta":
+            for sub in rec.subrecords:
+                if sub.name == "uniform-branch":
+                    return sub.counters
+    return None
+
+
+class TestUniformBranchPass:
+    def test_prunes_and_stays_bit_identical(self):
+        returns = {}
+        for level in (1, 2):
+            opts = ConversionOptions(opt_level=level, verify_passes=True)
+            result = convert_source(UNIFORM_REGION_SRC, opts, cache=None)
+            simd = simulate_simd(result, npes=6)
+            mimd = simulate_mimd(result, nprocs=6)
+            assert np.array_equal(simd.returns, mimd.returns,
+                                  equal_nan=True), level
+            assert np.array_equal(simd.poly, mimd.poly), level
+            assert np.array_equal(simd.mono, mimd.mono), level
+            returns[level] = (simd.returns, len(result.graph.states))
+        counters = _uniform_pass_counters(
+            convert_source(UNIFORM_REGION_SRC,
+                           ConversionOptions(opt_level=2), cache=None))
+        assert counters is not None and counters["uniform_pruned"] >= 1
+        # The pass only removes states; the observable results match.
+        assert np.array_equal(returns[1][0], returns[2][0], equal_nan=True)
+        assert returns[2][1] < returns[1][1]
+
+    def test_noop_on_divergent_regions(self):
+        # Divergence in the only barrier-free region makes every branch
+        # ineligible: the pass must report zero prunes, not guess.
+        result = convert_source(all_sources()["divergent_loops"],
+                                ConversionOptions(opt_level=2), cache=None)
+        counters = _uniform_pass_counters(result)
+        assert counters is not None and counters["uniform_pruned"] == 0
+
+
+# ----------------------------------------------------------------------
+# surfacing: --facts, per-analyzer substage aggregation
+# ----------------------------------------------------------------------
+class TestSurfacing:
+    def test_lint_facts_flag_prints_counter_rows(self, tmp_path, capsys):
+        path = tmp_path / "prog.mimdc"
+        path.write_text((CORPUS / "uniform_chain.mimdc").read_text())
+        assert main(["lint", str(path), "--facts"]) == 0
+        out = capsys.readouterr().out
+        assert "absint" in out
+        assert "uniform_branches=" in out and "solver_iterations=" in out
+        assert "certify" in out and "race_free=" in out
+
+    def test_aggregate_reports_splits_out_analyzers(self):
+        result = convert_source(all_sources()["tree_reduction"],
+                                ConversionOptions(analyze=True), cache=None)
+        agg = aggregate_reports([result.report])
+        assert "analyze/absint" in agg["substages"]
+        assert "analyze-meta/certify" in agg["substages"]
+        row = agg["substages"]["analyze/absint"]
+        assert row["runs"] == 1 and row["seconds"] >= 0.0
+        # Substage time is part of the parent stage: keep it out of the
+        # top-level rows the CI warm-pass gate sums.
+        assert not any("/" in k for k in agg["stages"])

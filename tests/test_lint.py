@@ -227,10 +227,10 @@ class TestPipelineIntegration:
         assert r.report.stage_names() == list(ANALYZED_STAGES)
         analyze = r.report.stage("analyze")
         assert [s.name for s in analyze.subrecords] == \
-            ["verify-cfg", "barrier", "explosion", "source"]
+            ["verify-cfg", "absint", "barrier", "explosion", "source"]
         meta = r.report.stage("analyze-meta")
         assert [s.name for s in meta.subrecords] == \
-            ["frontier", "verify-meta", "races"]
+            ["frontier", "certify", "verify-meta", "races"]
         assert all(s.seconds >= 0 for s in analyze.subrecords)
 
     def test_report_carries_diagnostics(self):

@@ -94,7 +94,7 @@ class TestPassManager:
         assert [p.name for p in meta_pass_list(0)] == ["layout"]
         assert [p.name for p in meta_pass_list(1)] == ["prune", "straighten"]
         assert [p.name for p in meta_pass_list(2)] == [
-            "prune", "dead-meta-prune", "straighten"]
+            "prune", "dead-meta-prune", "uniform-branch", "straighten"]
 
     def test_o1_matches_inline_normalization(self):
         """-O1 must reproduce what lowering's normalize=True produces —

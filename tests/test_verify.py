@@ -36,7 +36,7 @@ from repro.workloads import all_sources
 CORPUS = Path(__file__).parent / "lint_corpus"
 CORPUS_FILES = sorted(CORPUS.glob("*.mimdc"))
 EXPLOSION_STEMS = {"explosion_bomb", "explosion_branch_tree",
-                   "explosion_random_walks"}
+                   "explosion_random_walks", "explosion_uniform_tree"}
 #: Corpus programs eager conversion completes on (the back half of the
 #: lint pipeline runs, so *all* diagnostics are comparable to lazy).
 TRACTABLE_FILES = [p for p in CORPUS_FILES

@@ -12,7 +12,12 @@ workloads only ``--lazy`` can run at all, and a ``verifier`` section
 timing the incremental frontier verifier
 (:func:`repro.verify.frontier.explore`) over the explosion workloads'
 lazy engines — the graphs whose full frontier has ~3^24 states —
-gated at completing in seconds, not minutes.
+gated at completing in seconds, not minutes, and an ``absint`` section
+timing the abstract-interpretation fixpoint
+(:func:`repro.absint.facts.compute_facts`) over every workload
+*including* the explosion programs — the facts are polynomial in CFG
+blocks, so each row is gated at well under a second no matter how
+large the concrete state space is.
 
 Every row asserts ``SimdResult.backend_used`` matches the backend it
 claims to measure, so a silent fallback can never mislabel a run.
@@ -34,7 +39,8 @@ Exit status is nonzero if
   contract: once every visited state is materialized, the
   miss-handler is a dictionary probe per meta step), or
 - the budgeted frontier exploration of an explosion workload takes
-  longer than its wall-time gate.
+  longer than its wall-time gate, or
+- the absint fixpoint blows its per-workload wall gate.
 
 Usage::
 
@@ -89,6 +95,9 @@ VERIFIER_WALL_LIMIT_S = 60.0
 #: State-space cap for the verifier rows, far above the budget so the
 #: census guard never truncates the measured exploration.
 VERIFIER_MAX_META_STATES = 1_000_000
+#: Wall gate per workload for the absint fixpoint: polynomial in
+#: blocks, so even the ~3^24-state programs must solve fast.
+ABSINT_WALL_LIMIT_S = 1.0
 
 
 def _bench_one(result, backend: str, npes: int, active: int | None,
@@ -241,6 +250,46 @@ def _bench_verifier(reps: int) -> dict:
             "rows": rows}
 
 
+def _bench_absint(reps: int) -> dict:
+    """The absint section: interval + must-init fixpoints and fact
+    distillation per workload.  The explosion programs are included on
+    purpose — their concrete frontiers are ~3^24 states, but the
+    fixpoint cost only tracks CFG blocks, so the rows measure the
+    polynomial-vs-enumerative claim directly."""
+    from repro.absint.facts import compute_facts
+    from repro.stages import driver as stage_driver
+
+    sources = {name: make() for name, make in STANDARD.items()}
+    sources.update((name, make()) for name, make in EXPLOSION.items())
+    rows: dict[str, dict] = {}
+    for name, src in sorted(sources.items()):
+        ctx = stage_driver.CompileContext(
+            source=src, options=ConversionOptions())
+        stage_driver._stage_parse(ctx)
+        stage_driver._stage_sema(ctx)
+        stage_driver._stage_lower(ctx)
+        stage_driver._stage_opt_cfg(ctx)
+        best = float("inf")
+        facts = None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            facts = compute_facts(ctx.cfg)
+            best = min(best, time.perf_counter() - t0)
+        assert facts is not None
+        certs = facts.certificates
+        rows[name] = {
+            "wall_ms": round(best * 1e3, 3),
+            "blocks": len(ctx.cfg.blocks),
+            "solver_iterations": facts.solver_iterations,
+            "uniform_branches": len(facts.uniform_branches),
+            "divergent_branches": len(facts.divergent_branches),
+            "certificates": sum(
+                1 for c in (certs.race_free, certs.deadlock_free) if c),
+            "passed": best <= ABSINT_WALL_LIMIT_S,
+        }
+    return {"limit_s": ABSINT_WALL_LIMIT_S, "rows": rows}
+
+
 def _latest_prior(out: Path, bench_id: str) -> Path | None:
     """The highest-numbered ``BENCH_*.json`` below ``bench_id`` next to
     the output file (the repo root in the Makefile/CI setup)."""
@@ -355,6 +404,15 @@ def main(argv: list[str] | None = None) -> int:
               f"({row['states_per_s']} states/s, limit "
               f"{VERIFIER_WALL_LIMIT_S:.0f}s)")
 
+    absint = _bench_absint(args.reps)
+    for name, row in absint["rows"].items():
+        print(f"{name:24s} [absint] wall={row['wall_ms']:.2f}ms "
+              f"blocks={row['blocks']} "
+              f"iters={row['solver_iterations']} "
+              f"uniform={row['uniform_branches']} "
+              f"divergent={row['divergent_branches']} "
+              f"certs={row['certificates']}")
+
     prior_path = _latest_prior(out, args.bench_id)
     prior_problems = (
         _check_prior(prior_path, workloads, scaling, args.npes,
@@ -373,6 +431,7 @@ def main(argv: list[str] | None = None) -> int:
         "workloads": workloads,
         "lazy": lazy,
         "verifier": verifier,
+        "absint": absint,
         "scaling": {
             "rows": scaling,
             "kernels_vs_plan": round(speedup_plan, 3),
@@ -420,6 +479,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"FAIL: frontier verifier took {row['wall_s']:.1f}s on "
                   f"{name} (limit {VERIFIER_WALL_LIMIT_S:.0f}s): budgeted "
                   f"exploration must complete in seconds, not minutes",
+                  file=sys.stderr)
+            status = 1
+    for name, row in absint["rows"].items():
+        if not row["passed"]:
+            print(f"FAIL: absint fixpoint took {row['wall_ms']:.0f}ms on "
+                  f"{name} (limit {ABSINT_WALL_LIMIT_S * 1e3:.0f}ms): the "
+                  f"facts must stay polynomial in blocks",
                   file=sys.stderr)
             status = 1
     return status
