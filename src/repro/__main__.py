@@ -185,6 +185,13 @@ def cmd_compile(args: argparse.Namespace) -> int:
                   "(static stack depths unresolvable)", file=sys.stderr)
             return 1
         print(kern.source)
+    elif args.emit == "c":
+        nat = result.simd_program().native()
+        if nat is None:
+            print("// native C generation unsupported for this program "
+                  "(static stack depths unresolvable)", file=sys.stderr)
+            return 1
+        print(nat.c_source)
     elif args.emit == "graph":
         print(ascii_graph(result.graph))
     elif args.emit == "dot":
@@ -338,8 +345,8 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("compile", help="convert and print an artifact")
     _add_common(p)
     p.add_argument("--emit", default="summary",
-                   choices=["summary", "mpl", "kernel", "graph", "dot",
-                            "dot-opt", "cfg", "cfg-dot"])
+                   choices=["summary", "mpl", "kernel", "c", "graph",
+                            "dot", "dot-opt", "cfg", "cfg-dot"])
     p.add_argument("--mark-unrealizable", action="store_true",
                    help="with --emit dot, draw meta states no execution "
                         "can dispatch (dead-meta-prune candidates) "
@@ -352,14 +359,17 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--active", type=int, default=None)
     p.add_argument("--max-steps", type=int, default=1_000_000)
     p.add_argument("--backend",
-                   choices=["kernels", "kernels-mt", "plan", "plan-mt",
-                            "interp"],
+                   choices=["kernels", "kernels-mt", "native",
+                            "native-mt", "plan", "plan-mt", "interp"],
                    default=None,
                    help="SIMD executor: fused generated kernels "
                         "(default), their sharded multi-core variant, "
-                        "the precompiled plan tables (serial or "
-                        "sharded), or the interpretive reference — "
-                        "identical results")
+                        "cffi-compiled C kernels (serial or sharded "
+                        "with the GIL released; falls back to kernels "
+                        "when no C toolchain is present), the "
+                        "precompiled plan tables (serial or sharded), "
+                        "or the interpretive reference — identical "
+                        "results")
     p.add_argument("--shards", type=int, default=None,
                    help="PE-axis shard count for the -mt backends "
                         "(default $REPRO_SHARDS or the CPU count; 1 "
@@ -375,8 +385,8 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--npes", type=int, default=16)
     p.add_argument("--active", type=int, default=None)
     p.add_argument("--backend",
-                   choices=["kernels", "kernels-mt", "plan", "plan-mt",
-                            "interp"],
+                   choices=["kernels", "kernels-mt", "native",
+                            "native-mt", "plan", "plan-mt", "interp"],
                    default=None,
                    help="SIMD executor backend (default kernels)")
     p.add_argument("--shards", type=int, default=None,

@@ -100,6 +100,11 @@ class SimdProgram:
     #: ``"unbuilt"`` until first use, then a ``KernelProgram`` or
     #: ``None`` when generation is unsupported for this program.
     _kernels: object = field(default="unbuilt", repr=False, compare=False)
+    #: Native C emission (see :mod:`repro.codegen.native`): ``"unbuilt"``
+    #: until first use, then a ``NativeProgram`` (C source only — the
+    #: shared library is built separately, content-addressed by source
+    #: and compiler) or ``None`` when generation is unsupported.
+    _native: object = field(default="unbuilt", repr=False, compare=False)
 
     def plan(self):
         """The precompiled :class:`~repro.codegen.plan.ProgramPlan` for
@@ -125,6 +130,21 @@ class SimdProgram:
 
             self._kernels = compile_kernels(self)
         return self._kernels
+
+    def native(self):
+        """The C emission (:class:`~repro.codegen.native.NativeProgram`)
+        for this program — one translation unit of per-node lane loops,
+        generated on first use and cached so the source travels with the
+        pickled program artifact. Compilation to a shared library is a
+        separate, host-local step (:mod:`repro.simd.nativert`). ``None``
+        when native generation does not support this program (same
+        precondition as :meth:`kernels`: static stack depths must
+        resolve)."""
+        if self._native == "unbuilt":
+            from repro.codegen.native import compile_native
+
+            self._native = compile_native(self)
+        return self._native
 
     def node_count(self) -> int:
         return len(self.nodes)

@@ -29,6 +29,13 @@ machine calls :meth:`fetch`, which
    routes every aggregate to the same successor at the same flat
    ``dispatch_cost`` either way.
 
+The native C backend does not participate: compiling one shared
+library per just-discovered node would put the C compiler on the hot
+path of every miss. ``backend="native"`` under lazy conversion warns
+and runs the NumPy kernels instead (the machine records
+``backend_used``), a documented fallback covered by
+``tests/test_native.py``.
+
 The chain layout is the trivial one (one node per meta state, the
 ``-O0`` layout): chain straightening needs whole-graph predecessor
 counts, which a partial automaton cannot know. An eager compile at

@@ -269,15 +269,19 @@ def simulate_simd(result: ConversionResult, npes: int, *,
     ``active`` limits how many PEs start in ``main`` (the rest sit in
     the free pool for ``spawn`` to claim); default all. ``backend``
     picks the executor: ``"kernels"`` (fused generated code, the
-    default), ``"kernels-mt"`` / ``"plan-mt"`` (the same semantics
-    with the PE axis sharded over ``shards`` workers), ``"plan"``
-    (dense-table executor), or ``"interp"`` (the interpretive
-    reference) — bit-identical results across all five; the returned
-    result's ``backend_used`` records which one actually ran (a
-    downgrade also warns). ``use_plans=False`` is the deprecated older
-    spelling of ``backend="interp"``. The precompiled plan and the
-    generated kernel source travel with the program artifact, so
-    repeated (and warm-cache) runs never rebuild them.
+    default), ``"native"`` (cffi-compiled C kernels, falling back to
+    ``"kernels"`` with a warning when no toolchain is available),
+    ``"kernels-mt"`` / ``"native-mt"`` / ``"plan-mt"`` (the same
+    semantics with the PE axis sharded over ``shards`` workers),
+    ``"plan"`` (dense-table executor), or ``"interp"`` (the
+    interpretive reference) — bit-identical results across all seven;
+    the returned result's ``backend_used`` records which one actually
+    ran (a downgrade also warns). ``use_plans=False`` is the deprecated
+    older spelling of ``backend="interp"``. The precompiled plan, the
+    generated kernel source, and the generated C source travel with
+    the program artifact, so repeated (and warm-cache) runs never
+    rebuild them (the native shared library is host-local, built once
+    per content address under the same cache root).
     """
     from repro.simd.machine import SimdMachine, resolve_backend
 

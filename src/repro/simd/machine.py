@@ -87,10 +87,13 @@ class SimdResult:
         return self.transition_cycles / self.cycles
 
 
-#: The selectable node-body executors, fastest first — all five
-#: produce bit-identical :class:`SimdResult`\s. The ``-mt`` variants
-#: shard the PE axis across a worker pool (:mod:`repro.simd.shards`).
-BACKENDS = ("kernels", "kernels-mt", "plan", "plan-mt", "interp")
+#: The selectable node-body executors, fastest first — all seven
+#: produce bit-identical :class:`SimdResult`\s. The ``native`` pair
+#: runs cffi-compiled C kernels (:mod:`repro.codegen.native`); the
+#: ``-mt`` variants shard the PE axis across a worker pool
+#: (:mod:`repro.simd.shards`).
+BACKENDS = ("native", "native-mt", "kernels", "kernels-mt",
+            "plan", "plan-mt", "interp")
 
 
 def resolve_backend(backend: str | None = None,
@@ -138,9 +141,24 @@ class SimdMachine:
         ``backend="interp"`` (:func:`resolve_backend` warns). Ignored
         when ``backend`` is given.
     backend:
-        Which executor runs the node bodies — all five produce
+        Which executor runs the node bodies — all seven produce
         bit-identical :class:`SimdResult`\\ s:
 
+        - ``"native"``: per-node C functions generated by
+          :mod:`repro.codegen.native`, compiled once per program via
+          cffi into a content-addressed shared library
+          (:mod:`repro.simd.nativert`) — no Python dispatch inside a
+          node. Falls back to ``"kernels"`` with a
+          :class:`RuntimeWarning` when unavailable (no C compiler or
+          cffi, ``REPRO_NATIVE_DISABLE=1``, build failure, lazy
+          conversion, unresolvable static depths, or a foreign cost
+          model); the fallback cascades through the ``"kernels"``
+          checks below, and :attr:`SimdResult.backend_used` records
+          what actually ran.
+        - ``"native-mt"``: the C kernels, sharded. cffi releases the
+          GIL for the duration of each C call, so — unlike the NumPy
+          backends — shard workers genuinely overlap. Same fallbacks,
+          to ``"kernels-mt"``.
         - ``"kernels"`` (default): fused per-node functions generated by
           :mod:`repro.codegen.kernels` — one compiled kernel executes a
           whole node. Falls back to ``"plan"`` with a
@@ -182,6 +200,7 @@ class SimdMachine:
         self.trace_enabled = trace
         self.backend = backend
         self.use_plans = backend != "interp"
+        self._nfns = None  # loaded native kernels, set per run
         if backend in shardsmod.MT_BACKENDS:
             self.nshards = shardsmod.resolve_shard_count(shards, npes)
         else:
@@ -221,6 +240,34 @@ class SimdMachine:
         mt = backend_used in shardsmod.MT_BACKENDS
         nshards = self.nshards if mt else 1
         if mt and nshards > 1:
+            # Small-node guard: when each shard would hold fewer lanes
+            # than the pool handoff is worth, run the serial twin
+            # instead (the mt label stays; the result reports shards=1).
+            per_shard = -(-self.npes // nshards)
+            if per_shard < shardsmod.inline_threshold(backend_used):
+                nshards = 1
+        if backend_used in ("native", "native-mt"):
+            from repro.simd import nativert
+
+            try:
+                return self._dispatch(prog, active, max_steps, plan,
+                                      backend_used, nshards, miss_handler)
+            except nativert.NativeKernelError as err:
+                # A C kernel reported a failing lane by code; the exact
+                # MachineError (message, in-order position) comes from
+                # replaying on the NumPy kernels — same determinism/
+                # discarded-state argument as the ShardError replay in
+                # _dispatch.
+                self._run_serial(prog, active, max_steps, plan, "kernels",
+                                 backend_used, nshards, miss_handler)
+                raise MachineError(str(err))  # replay passed
+        return self._dispatch(prog, active, max_steps, plan, backend_used,
+                              nshards, miss_handler)
+
+    def _dispatch(self, prog: SimdProgram, active: int, max_steps: int,
+                  plan: "planmod.ProgramPlan | None", backend_used: str,
+                  nshards: int, miss_handler=None) -> SimdResult:
+        if nshards > 1:
             try:
                 return self._run_mt(prog, active, max_steps, plan,
                                     backend_used, nshards, miss_handler)
@@ -233,7 +280,7 @@ class SimdMachine:
                 self._run_serial(prog, active, max_steps, plan,
                                  shardsmod.SERIAL_TWIN[backend_used],
                                  backend_used, nshards, miss_handler)
-                raise err.errors[0]  # replay passed: surface the original
+                raise err.errors[0]  # replay passed: surface original
         # One shard degrades to the serial twin executor (results are
         # identical by contract); the mt label and shard count stay on
         # the result so callers see what was asked and resolved.
@@ -247,11 +294,48 @@ class SimdMachine:
         warning on every downgrade (the pre-PR-6 machine fell back
         silently, so benchmarks could mislabel runs)."""
         backend = self.backend
+        self._nfns = None
         if self.trace_enabled and backend not in ("plan", "interp"):
             warnings.warn(
                 f"backend {backend!r} records no per-PE trace; running "
                 f"'plan' instead", RuntimeWarning, stacklevel=3)
             return "plan"
+        if backend in ("native", "native-mt"):
+            from repro.simd import nativert
+
+            fallback = "kernels" if backend == "native" else "kernels-mt"
+            reason = None
+            if miss_handler is not None:
+                # Documented per-node fallback: lazy conversion
+                # discovers nodes mid-run, and invoking the C compiler
+                # per discovered node would cost far more than it
+                # saves, so lazy runs use the NumPy kernel JIT.
+                reason = ("lazy conversion compiles nodes as they are "
+                          "discovered, which the native backend does "
+                          "not support")
+            if reason is None:
+                reason = nativert.unavailable_reason()
+            nat = None
+            if reason is None:
+                nat = prog.native()
+                if nat is None:
+                    reason = ("program has no native kernels (static "
+                              "stack depths unresolvable)")
+                elif nat.costs != self.costs:
+                    reason = ("native kernels fold a different cost "
+                              "model into their constants than this "
+                              "machine's")
+            if reason is None:
+                try:
+                    self._nfns = nativert.load_native(nat)
+                except nativert.NativeBuildError as err:
+                    reason = f"native kernel build failed: {err}"
+            if reason is None:
+                return backend
+            warnings.warn(
+                f"{reason}; running {fallback!r} instead",
+                RuntimeWarning, stacklevel=3)
+            backend = fallback  # cascade through the kernels checks
         if backend in ("kernels", "kernels-mt"):
             fallback = "plan" if backend == "kernels" else "plan-mt"
             if miss_handler is not None:
@@ -345,10 +429,15 @@ class SimdMachine:
         # Fused kernels: one generated function per node (availability
         # and cost-model compatibility were resolved — with warnings —
         # by _effective_backend). Lazy mode reads the handler's live
-        # kernel dict, which fetch() fills per discovered node.
+        # kernel dict, which fetch() fills per discovered node. The
+        # native executor uses the same per-node callable contract, so
+        # it shares the kernel dispatch below; nodes the C generator
+        # skipped fall through to the plan executor lane-identically.
         if exec_backend == "kernels":
             kfns = (miss_handler.kfns if miss_handler is not None
                     else prog.kernels().fns)
+        elif exec_backend == "native":
+            kfns = self._nfns
         else:
             kfns = None
 
@@ -456,6 +545,8 @@ class SimdMachine:
         if backend_used == "kernels-mt":
             kfns = (miss_handler.kfns if miss_handler is not None
                     else prog.kernels().fns)
+        elif backend_used == "native-mt":
+            kfns = self._nfns
         else:
             kfns = None
         weights = plan.bit_weights

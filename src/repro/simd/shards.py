@@ -50,8 +50,40 @@ import numpy as np
 from repro.errors import MachineError
 
 #: Backends that run the sharded executor and their serial twins.
-MT_BACKENDS = ("kernels-mt", "plan-mt")
-SERIAL_TWIN = {"kernels-mt": "kernels", "plan-mt": "plan"}
+MT_BACKENDS = ("kernels-mt", "native-mt", "plan-mt")
+SERIAL_TWIN = {"kernels-mt": "kernels", "native-mt": "native",
+               "plan-mt": "plan"}
+
+#: Measured on the BENCH_9 16K-PE scaling workload: below roughly this
+#: many lanes per shard the pool's publish/wake/join handoff costs more
+#: than the lane work it parallelizes, and the ``-mt`` backends regress
+#: below their serial twins (BENCH_8 showed ``kernels-mt`` at 0.83x of
+#: ``kernels`` for exactly this reason). See :func:`inline_threshold`.
+MIN_SHARD_LANES = 2048
+
+
+def inline_threshold(backend: str) -> int:
+    """Minimum per-shard lane count below which an ``-mt`` backend
+    skips the :class:`ShardPool` and runs on its serial twin instead
+    (the machine demotes the shard count to 1; the reported backend
+    label is unchanged and ``SimdResult.shards`` records 1).
+
+    ``REPRO_MT_MIN_LANES`` overrides the threshold absolutely (the test
+    suite sets it to 1 so small fixtures still exercise genuine
+    sharding). On a single-CPU host the pool can never win, so the
+    threshold is effectively infinite. ``backend`` is accepted for
+    future per-backend tuning; all mt backends currently share
+    :data:`MIN_SHARD_LANES`.
+    """
+    env = os.environ.get("REPRO_MT_MIN_LANES")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    if (os.cpu_count() or 1) < 2:
+        return 1 << 62
+    return MIN_SHARD_LANES
 
 
 def default_shard_count() -> int:

@@ -19,6 +19,8 @@ The stages, in order::
     encode    CFG + chains          -> SimdProgram (CSI + hash encoding)
     plan      SimdProgram           -> ProgramPlan (dense executor tables)
     kernels   ProgramPlan           -> KernelProgram (fused per-node code)
+    native    ProgramPlan           -> NativeProgram (per-node C source;
+              compiled to a shared library lazily at run time)
 
 The two ``opt-*`` stages run the :mod:`repro.opt` pass pipeline chosen
 by ``ConversionOptions.opt_level``; their per-pass timing/counter rows
@@ -29,8 +31,8 @@ Every artifact past ``lower`` is serializable, so the whole chain is
 memoizable: with a :class:`~repro.stages.cache.CompileCache`, a compile
 whose content key (source + options + cost model + code version) was
 seen before loads ``cfg``/``graph``/``program``/``plan`` and runs no
-stage at all — the report then shows eight cached records and zero
-executed stages.
+stage at all — the report then shows one cached record per stage and
+zero executed stages.
 
 To add a stage: write a ``_stage_<name>(ctx)`` function that reads and
 writes ``CompileContext`` fields and returns a counters dict, append a
@@ -255,6 +257,20 @@ def _stage_kernels(ctx: CompileContext) -> dict:
     return kern.stats()
 
 
+def _stage_native(ctx: CompileContext) -> dict:
+    """Generate (not compile) the per-node C source. Text-only: the
+    NativeProgram travels in the cache bundle with the program, while
+    compilation to a shared library is a host-local runtime step
+    (:mod:`repro.simd.nativert`) — keeping cached bundles relocatable
+    and this stage independent of whether a toolchain exists."""
+    if getattr(ctx.options, "lazy", False):
+        return {"lazy_deferred": 1}
+    nat = ctx.program.native()
+    if nat is None:
+        return {"native_nodes": 0}
+    return nat.stats()
+
+
 # ----------------------------------------------------------------------
 # optional analyze stages (repro.lint)
 # ----------------------------------------------------------------------
@@ -356,6 +372,7 @@ PIPELINE_STAGES: tuple[Stage, ...] = (
     Stage("encode", _stage_encode),
     Stage("plan", _stage_plan),
     Stage("kernels", _stage_kernels),
+    Stage("native", _stage_native),
 )
 
 STAGE_NAMES: tuple[str, ...] = tuple(s.name for s in PIPELINE_STAGES)
@@ -366,7 +383,7 @@ ANALYZE_META_STAGE = Stage("analyze-meta", _stage_analyze_meta)
 
 
 def stages_for(options) -> tuple[Stage, ...]:
-    """The stage list for ``options``: the fixed nine-stage pipeline,
+    """The stage list for ``options``: the fixed ten-stage pipeline,
     plus — when ``options.analyze`` is set — the ``analyze`` stage
     after ``opt-cfg`` (so explosion errors abort before ``convert``)
     and ``analyze-meta`` after ``plan`` (races need the meta graph;
@@ -523,6 +540,9 @@ def _record_cached_stages(report: StageReport, payload: CachedCompile) -> None:
             "kernels": lambda: (payload.program.kernels().stats()
                                 if payload.program.kernels() is not None
                                 else {"kernel_nodes": 0}),
+            "native": lambda: (payload.program.native().stats()
+                               if payload.program.native() is not None
+                               else {"native_nodes": 0}),
         }
     for name in STAGE_NAMES:
         counters = derived.get(name, dict)()

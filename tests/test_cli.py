@@ -180,7 +180,7 @@ class TestTimingsAndCache:
         rep = _report(tmp_path, ["compile", source_file])
         assert [s["name"] for s in rep["stages"]] == [
             "parse", "sema", "lower", "opt-cfg", "convert", "opt-meta",
-            "encode", "plan", "kernels"
+            "encode", "plan", "kernels", "native"
         ]
         opt_cfg = [s for s in rep["stages"] if s["name"] == "opt-cfg"][0]
         assert [p["name"] for p in opt_cfg["passes"]]

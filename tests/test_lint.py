@@ -37,7 +37,7 @@ CORPUS_FILES = sorted(CORPUS.glob("*.mimdc"))
 
 ANALYZED_STAGES = ("parse", "sema", "lower", "opt-cfg", "analyze",
                    "convert", "opt-meta", "encode", "plan",
-                   "analyze-meta", "kernels")
+                   "analyze-meta", "kernels", "native")
 
 
 def expected_codes(path: Path) -> list[str]:

@@ -46,7 +46,7 @@ class TestConvertSource:
         assert r.report is not None
         assert r.report.stage_names() == [
             "parse", "sema", "lower", "opt-cfg", "convert", "opt-meta",
-            "encode", "plan", "kernels"
+            "encode", "plan", "kernels", "native"
         ]
 
     def test_options_threaded_through(self):

@@ -97,6 +97,49 @@ class TestShardLayout:
         assert pool.run([lambda: 1, lambda: 2, lambda: 3]) == [1, 2, 3]
 
 
+class TestInlineThreshold:
+    """The small-node mt regression fix: below a per-shard lane
+    threshold the pool handoff costs more than it parallelizes, so the
+    machine demotes the run to the serial twin (shards=1)."""
+
+    def test_env_override_is_absolute(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MT_MIN_LANES", "123")
+        assert shardsmod.inline_threshold("kernels-mt") == 123
+        monkeypatch.setenv("REPRO_MT_MIN_LANES", "garbage")
+        assert shardsmod.inline_threshold("kernels-mt") in (
+            shardsmod.MIN_SHARD_LANES, 1 << 62)
+
+    def test_single_cpu_never_shards(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MT_MIN_LANES", raising=False)
+        monkeypatch.setattr(shardsmod.os, "cpu_count", lambda: 1)
+        assert shardsmod.inline_threshold("kernels-mt") > 10 ** 9
+
+    def test_multi_cpu_uses_measured_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MT_MIN_LANES", raising=False)
+        monkeypatch.setattr(shardsmod.os, "cpu_count", lambda: 8)
+        assert shardsmod.inline_threshold("kernels-mt") == \
+            shardsmod.MIN_SHARD_LANES
+
+    def test_small_run_demotes_to_serial_twin(self, monkeypatch):
+        # 8 PEs over 4 shards = 2 lanes/shard, far below the threshold:
+        # the run must keep its label but execute (and report) serially.
+        monkeypatch.setenv("REPRO_MT_MIN_LANES", "2048")
+        result = convert_source(STANDARD["divergent_loops"]())
+        ref = run(result, "kernels", 8)
+        res = run(result, "kernels-mt", 8, shards=4)
+        assert res.backend_used == "kernels-mt"
+        assert res.shards == 1
+        assert_identical(res, ref, "inline_demotion")
+
+    def test_large_run_keeps_sharding(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MT_MIN_LANES", "2048")
+        result = convert_source(STANDARD["divergent_loops"]())
+        res = run(result, "kernels-mt", 16384, shards=4)
+        assert res.shards == 4
+        ref = run(result, "kernels", 16384)
+        assert_identical(res, ref, "above_threshold")
+
+
 # ----------------------------------------------------------------------
 # bit-identical results
 # ----------------------------------------------------------------------

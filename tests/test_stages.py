@@ -29,7 +29,7 @@ class TestStageOrder:
     def test_stage_names(self):
         assert STAGE_NAMES == ("parse", "sema", "lower", "opt-cfg",
                                "convert", "opt-meta", "encode", "plan",
-                               "kernels")
+                               "kernels", "native")
 
     def test_cold_report_runs_every_stage(self):
         r = convert_source(LISTING1_RUNNABLE)

@@ -1,10 +1,12 @@
 #!/usr/bin/env python
 """Backend benchmark: every library workload under every SIMD executor.
 
-Writes ``<bench-id>.json`` (``--bench-id``, default ``BENCH_8``) — per
-workload x backend (``kernels`` / ``kernels-mt`` / ``plan`` /
-``plan-mt`` / ``interp``): simulated cycles, best wall time, PE
-utilization, and meta transitions — plus a ``scaling`` section timing
+Writes ``<bench-id>.json`` (``--bench-id``, default ``BENCH_9``) — per
+workload x backend (``native`` / ``native-mt`` / ``kernels`` /
+``kernels-mt`` / ``plan`` / ``plan-mt`` / ``interp``; the native rows
+are skipped, with a recorded ``skip_reason``, when no C toolchain is
+available): simulated cycles, best wall time, PE utilization, and meta
+transitions — plus a ``scaling`` section timing
 the simulator-scaling workload at MasPar width (16K PEs), a ``lazy``
 section: warm lazy-vs-eager steady state on the scaling workload
 (gated at <= 10% overhead) and cold/warm rows for the explosion
@@ -22,15 +24,26 @@ large the concrete state space is.
 Every row asserts ``SimdResult.backend_used`` matches the backend it
 claims to measure, so a silent fallback can never mislabel a run.
 
+Every gate that is *not* enforced records an explicit ``skip_reason``
+(and the host ``cpu_count``), so a passing bench on a 1-CPU host can
+never be mistaken for a measured multi-core result.
+
 Exit status is nonzero if
 
 - any backend disagrees on simulated results (bit-identical by
   contract),
 - ``kernels`` is slower than ``plan`` on the scaling workload,
+- ``native`` is slower than ``kernels`` on the scaling workload —
+  enforced whenever the toolchain is available (the whole point of the
+  C emission is beating the NumPy kernels' per-node dispatch),
+- ``native-mt`` (at ``--shards``) fails the >= 1.5x speedup over
+  serial ``native`` on the scaling workload — enforced when native is
+  available and the host has >= 4 CPUs (or ``--require-mt-speedup``);
+  recorded with a ``skip_reason`` otherwise, or
 - ``kernels-mt`` (at ``--shards``, default 4) fails the >= 1.5x
   speedup over serial ``kernels`` on the scaling workload — enforced
   when the host has >= 4 CPUs (or ``--require-mt-speedup``); recorded
-  informationally otherwise, or
+  with a ``skip_reason`` otherwise, or
 - simulated cycles regressed against the latest prior ``BENCH_*.json``
   (cycles are machine-independent, so they are comparable across
   hosts; wall times are not), or
@@ -44,7 +57,7 @@ Exit status is nonzero if
 
 Usage::
 
-    python tools/bench.py [--bench-id BENCH_8] [--out PATH]
+    python tools/bench.py [--bench-id BENCH_9] [--out PATH]
                           [--npes 1024] [--reps 3] [--shards 4]
                           [--scaling-npes 16384] [--require-mt-speedup]
 """
@@ -63,6 +76,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import ConversionOptions, convert_source  # noqa: E402
+from repro.simd import nativert  # noqa: E402
 from repro.simd.machine import BACKENDS, SimdMachine  # noqa: E402
 from repro.pipeline import simulate_mimd, simulate_simd  # noqa: E402
 from repro.workloads import EXPLOSION, STANDARD  # noqa: E402
@@ -126,14 +140,24 @@ def _bench_one(result, backend: str, npes: int, active: int | None,
     }
 
 
+def _backends_here() -> tuple[str, ...]:
+    """The backends this host can measure: the native pair drops out
+    (recorded via the gates' ``skip_reason``) when no toolchain/cffi is
+    available — a skipped row beats a mislabeled one."""
+    if nativert.native_available():
+        return BACKENDS
+    return tuple(be for be in BACKENDS if not be.startswith("native"))
+
+
 def _bench_workload(name: str, source: str, npes: int, reps: int,
                     shards: int) -> dict:
     result = convert_source(source, ConversionOptions())
     result.simd_program().plan()
     result.simd_program().kernels()
+    result.simd_program().native()
     active = npes // 2 if "spawn" in source else None
     rows = {be: _bench_one(result, be, npes, active, reps, shards)
-            for be in BACKENDS}
+            for be in _backends_here()}
     ref = rows["interp"]
     for be, row in rows.items():
         for field in ("cycles", "utilization", "meta_transitions"):
@@ -334,7 +358,7 @@ def _check_prior(prior_path: Path, workloads: dict, scaling: dict,
 
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--bench-id", default="BENCH_8",
+    ap.add_argument("--bench-id", default="BENCH_9",
                     help="id recorded in the payload and used for the "
                          "default output name and the prior-bench scan")
     ap.add_argument("--out", default=None,
@@ -375,12 +399,32 @@ def main(argv: list[str] | None = None) -> int:
     speedup_mt = kern_ms / kern_mt_ms
     cpus = os.cpu_count() or 1
     mt_enforced = args.require_mt_speedup or cpus >= 4
+    mt_skip_reason = (None if mt_enforced else
+                      f"host has {cpus} CPU(s) (< 4); wall-clock mt "
+                      f"speedup is not measurable here")
     print(f"{'scaling':24s} kernels={kern_ms:.2f}ms "
           f"kernels-mt={kern_mt_ms:.2f}ms plan={plan_ms:.2f}ms "
           f"interp={interp_ms:.2f}ms -> kernels {speedup_plan:.2f}x vs "
           f"plan, {speedup_interp:.2f}x vs interp; kernels-mt "
           f"{speedup_mt:.2f}x vs kernels at {args.shards} shards "
           f"({args.scaling_npes} PEs, {cpus} CPUs)")
+
+    native_reason = nativert.unavailable_reason()
+    if native_reason is None:
+        native_ms = scaling["native"]["wall_ms"]
+        native_mt_ms = scaling["native-mt"]["wall_ms"]
+        speedup_native = kern_ms / native_ms
+        speedup_native_mt = native_ms / native_mt_ms
+        print(f"{'scaling (native)':24s} native={native_ms:.2f}ms "
+              f"native-mt={native_mt_ms:.2f}ms -> native "
+              f"{speedup_native:.2f}x vs kernels; native-mt "
+              f"{speedup_native_mt:.2f}x vs native")
+    else:
+        native_ms = native_mt_ms = None
+        speedup_native = speedup_native_mt = None
+        print(f"{'scaling (native)':24s} skipped: {native_reason}")
+    native_mt_enforced = native_reason is None and mt_enforced
+    native_mt_skip_reason = native_reason or mt_skip_reason
 
     lazy = _bench_lazy(args.scaling_npes, args.reps)
     steady = lazy["steady_state"]
@@ -437,12 +481,42 @@ def main(argv: list[str] | None = None) -> int:
             "kernels_vs_plan": round(speedup_plan, 3),
             "kernels_vs_interp": round(speedup_interp, 3),
             "kernels_mt_vs_kernels": round(speedup_mt, 3),
+            "native_vs_kernels": (
+                round(speedup_native, 3)
+                if speedup_native is not None else None),
+            "native_mt_vs_native": (
+                round(speedup_native_mt, 3)
+                if speedup_native_mt is not None else None),
         },
         "mt_gate": {
             "threshold": MT_SPEEDUP_THRESHOLD,
             "speedup": round(speedup_mt, 3),
+            "cpu_count": cpus,
             "enforced": mt_enforced,
+            "skip_reason": mt_skip_reason,
             "passed": speedup_mt >= MT_SPEEDUP_THRESHOLD,
+        },
+        "native_gate": {
+            # native must beat the NumPy kernels on the scaling
+            # workload whenever the toolchain can build it at all.
+            "available": native_reason is None,
+            "speedup": (round(speedup_native, 3)
+                        if speedup_native is not None else None),
+            "enforced": native_reason is None,
+            "skip_reason": native_reason,
+            "passed": (speedup_native >= 1.0
+                       if speedup_native is not None else None),
+        },
+        "native_mt_gate": {
+            "threshold": MT_SPEEDUP_THRESHOLD,
+            "speedup": (round(speedup_native_mt, 3)
+                        if speedup_native_mt is not None else None),
+            "cpu_count": cpus,
+            "enforced": native_mt_enforced,
+            "skip_reason": (None if native_mt_enforced
+                            else native_mt_skip_reason),
+            "passed": (speedup_native_mt >= MT_SPEEDUP_THRESHOLD
+                       if speedup_native_mt is not None else None),
         },
         "prior": {
             "bench": prior_path.name if prior_path else None,
@@ -462,6 +536,21 @@ def main(argv: list[str] | None = None) -> int:
                f"{speedup_mt:.2f}x vs serial kernels on the scaling "
                f"workload (threshold {MT_SPEEDUP_THRESHOLD}x)")
         if mt_enforced:
+            print(f"FAIL: {msg}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"note: {msg}; not enforced on a {cpus}-CPU host")
+    if native_reason is None and speedup_native < 1.0:
+        print(f"FAIL: native backend slower than the NumPy kernels on "
+              f"the scaling workload ({speedup_native:.2f}x)",
+              file=sys.stderr)
+        status = 1
+    if (speedup_native_mt is not None
+            and speedup_native_mt < MT_SPEEDUP_THRESHOLD):
+        msg = (f"native-mt at {args.shards} shards is only "
+               f"{speedup_native_mt:.2f}x vs serial native on the "
+               f"scaling workload (threshold {MT_SPEEDUP_THRESHOLD}x)")
+        if native_mt_enforced:
             print(f"FAIL: {msg}", file=sys.stderr)
             status = 1
         else:
